@@ -1,0 +1,190 @@
+// Package arda is an automatic relational data augmentation system, a Go
+// implementation of "ARDA: Automatic Relational Data Augmentation for
+// Machine Learning" (Chepurko et al., VLDB 2020).
+//
+// Given a base table with a prediction target and a repository of candidate
+// tables, ARDA discovers candidate joins, executes them against a coreset of
+// the base table under a feature budget, prunes the resulting features by
+// comparing them against injected random noise (RIFS), and returns the base
+// table augmented with exactly the features that improve a downstream model.
+//
+// The minimal flow:
+//
+//	base, _ := arda.ReadCSVFile("taxi.csv")
+//	repo, _ := arda.LoadCSVDir("repository/")
+//	cands := arda.Discover(base, repo, "collisions")
+//	res, _ := arda.Augment(base, cands, arda.Options{Target: "collisions"})
+//	fmt.Println(res.BaseScore, res.FinalScore)
+//	res.Table.WriteCSVFile("augmented.csv")
+package arda
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/arda-ml/arda/internal/core"
+	"github.com/arda-ml/arda/internal/coreset"
+	"github.com/arda-ml/arda/internal/dataframe"
+	"github.com/arda-ml/arda/internal/discovery"
+	"github.com/arda-ml/arda/internal/featsel"
+	"github.com/arda-ml/arda/internal/join"
+)
+
+// Table is a named, typed columnar table — the unit of data ARDA operates
+// on. Construct one with ReadCSVFile/ReadCSV or dataframe constructors.
+type Table = dataframe.Table
+
+// Column is one typed column of a Table.
+type Column = dataframe.Column
+
+// Candidate is a proposed join from the base table into a repository table.
+type Candidate = discovery.Candidate
+
+// Options configures an augmentation run; only Target is required.
+type Options = core.Options
+
+// Result is the outcome of an augmentation run: the augmented table, the
+// kept columns and tables, and base-vs-final holdout scores.
+type Result = core.Result
+
+// Selector is a pluggable feature-selection method.
+type Selector = featsel.Selector
+
+// Method names a built-in feature-selection method.
+type Method = featsel.Method
+
+// Re-exported feature-selection methods (the paper's §7 lineup). RIFS is the
+// default used by Augment when Options.Selector is nil.
+const (
+	RIFS              = featsel.MethodRIFS
+	RandomForest      = featsel.MethodForest
+	SparseRegression  = featsel.MethodSparse
+	Lasso             = featsel.MethodLasso
+	LogisticReg       = featsel.MethodLogistic
+	LinearSVC         = featsel.MethodLinearSVC
+	FTest             = featsel.MethodFTest
+	MutualInfo        = featsel.MethodMutual
+	Relief            = featsel.MethodRelief
+	ForwardSelection  = featsel.MethodForward
+	BackwardSelection = featsel.MethodBackward
+	RFE               = featsel.MethodRFE
+	AllFeatures       = featsel.MethodAll
+)
+
+// Join-plan strategies (§4 "Table grouping").
+const (
+	BudgetJoin          = core.BudgetJoin
+	TableJoin           = core.TableJoin
+	FullMaterialization = core.FullMaterialization
+)
+
+// SoftMethod selects how soft (proximity) keys are matched.
+type SoftMethod = join.SoftMethod
+
+// PlanKind selects the join-plan table-grouping strategy.
+type PlanKind = core.PlanKind
+
+// CoresetStrategy selects the row-reduction method.
+type CoresetStrategy = coreset.Strategy
+
+// Soft-join methods (§4).
+const (
+	TwoWayNearest   = join.TwoWayNearest
+	NearestNeighbor = join.NearestNeighbor
+	HardExact       = join.HardExact
+)
+
+// Coreset strategies (§3.1). CoresetLeverage is a specialized construction
+// beyond the paper's three: ridge leverage-score sampling that
+// preferentially keeps influential rows.
+const (
+	CoresetUniform    = coreset.Uniform
+	CoresetStratified = coreset.Stratified
+	CoresetSketch     = coreset.Sketch
+	CoresetLeverage   = coreset.Leverage
+)
+
+// ReadCSVFile loads one table from a CSV file with type inference; the table
+// is named after the file.
+func ReadCSVFile(path string) (*Table, error) { return dataframe.ReadCSVFile(path) }
+
+// LoadCSVDir loads every *.csv file in dir as a table, sorted by name.
+func LoadCSVDir(dir string) ([]*Table, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(strings.ToLower(e.Name()), ".csv") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	tables := make([]*Table, 0, len(names))
+	for _, name := range names {
+		t, err := dataframe.ReadCSVFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("arda: loading %s: %w", name, err)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Discover proposes candidate joins from the base table into the repository,
+// ranked by estimated relevancy. It plays the role of an external
+// join-discovery system (Aurum, NYU Auctus); if you already have candidates
+// from such a system, pass them to Augment directly.
+func Discover(base *Table, repo []*Table, target string) []Candidate {
+	return discovery.Discover(base, repo, target, discovery.Options{})
+}
+
+// DiscoverTransitive proposes two-hop candidates (base → A → B) in addition
+// to nothing else: signal reachable only through an intermediate table is
+// materialized as a widened candidate (B's columns prefixed "via.<B>.") that
+// joins on the original base key. Append the result to Discover's output
+// before calling Augment (§9 future work: augmentation via transitive
+// joins).
+func DiscoverTransitive(base *Table, repo []*Table, target string, seed int64) []Candidate {
+	rng := rand.New(rand.NewSource(seed))
+	return discovery.Transitive(base, repo, target, discovery.TransitiveOptions{}, rng)
+}
+
+// Describe renders a per-column profile of the table: kinds, ranges,
+// cardinalities, missing counts — a quick schema exploration aid.
+func Describe(t *Table) string {
+	return dataframe.FormatDescription(t.Name(), t.NumRows(), t.Describe())
+}
+
+// NewSelector constructs a built-in feature-selection method by name.
+func NewSelector(m Method) (Selector, error) { return featsel.New(m) }
+
+// RIFSConfig tunes random-injection feature selection (see featsel.RIFSConfig
+// for field documentation); the zero value uses the paper's defaults
+// (η = 0.2, K = 10, ν = 0.5, moment-matched injection).
+type RIFSConfig = featsel.RIFSConfig
+
+// NewRIFS constructs a RIFS selector with explicit parameters. Use this to
+// trade selection quality against speed (e.g. fewer repetitions K or smaller
+// ranking forests on very large repositories).
+func NewRIFS(cfg RIFSConfig) Selector { return &featsel.RIFS{Config: cfg} }
+
+// Augment runs the ARDA pipeline and returns the augmented table together
+// with base-vs-augmented model scores. See Options for tuning knobs; the
+// defaults follow the paper (uniform coreset, budget-join plan, RIFS
+// selection, two-way nearest-neighbour soft joins with time resampling).
+func Augment(base *Table, cands []Candidate, opts Options) (*Result, error) {
+	return core.Augment(base, cands, opts)
+}
+
+// AugmentRepository is the one-call convenience API: discover candidates in
+// repo, then augment.
+func AugmentRepository(base *Table, repo []*Table, opts Options) (*Result, error) {
+	cands := Discover(base, repo, opts.Target)
+	return core.Augment(base, cands, opts)
+}

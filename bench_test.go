@@ -1,0 +1,221 @@
+package arda
+
+// Benchmark harness: one target per table and figure in the ARDA paper's
+// evaluation (§7), running the corresponding experiment from
+// internal/experiments at the Quick scale. `go test -bench=. -benchmem`
+// regenerates reduced versions of every result; `cmd/ardabench` runs the
+// same harnesses at full scale and writes EXPERIMENTS.md.
+//
+// Reported custom metrics: score improvements are in percent, so e.g.
+// "arda_improvement_pct" on BenchmarkFigure3 is the ARDA row of the figure.
+
+import (
+	"testing"
+
+	"github.com/arda-ml/arda/internal/experiments"
+)
+
+const benchSeed = 1
+
+// BenchmarkFigure3 regenerates Figure 3: achieved augmentation of ARDA vs.
+// all-tables, TR rule, and the AutoML baselines on all five corpora.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3(experiments.Quick, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMean(b, "arda_improvement_pct", res.Rows, func(r experiments.Figure3Row) (float64, bool) {
+			return r.ImprovementPct, r.System == "ARDA"
+		})
+		reportMean(b, "alltables_improvement_pct", res.Rows, func(r experiments.Figure3Row) (float64, bool) {
+			return r.ImprovementPct, r.System == "all tables"
+		})
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: every feature selector through the
+// pipeline on every corpus (error/accuracy + time).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(experiments.Quick, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMean(b, "rifs_improvement_pct", res.Rows, func(r experiments.Table1Row) (float64, bool) {
+			return r.ImprovementPct, r.Method == "RIFS"
+		})
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4 (score vs. selection time); it shares
+// Table 1's sweep, so this target runs the sweep and reports timing spread.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(experiments.Quick, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMean(b, "rifs_seltime_s", res.Rows, func(r experiments.Table1Row) (float64, bool) {
+			return r.Time.Seconds(), r.Method == "RIFS"
+		})
+		reportMean(b, "forward_seltime_s", res.Rows, func(r experiments.Table1Row) (float64, bool) {
+			return r.Time.Seconds(), r.Method == "forward selection"
+		})
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: coreset strategies (stratified,
+// sketch vs uniform) on the classification datasets.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(experiments.Quick, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMean(b, "stratified_delta_pct", res.Rows, func(r experiments.CoresetRow) (float64, bool) {
+			return r.StratifiedDeltaPct, true
+		})
+		reportMean(b, "sketch_delta_pct", res.Rows, func(r experiments.CoresetRow) (float64, bool) {
+			return r.SketchDeltaPct, true
+		})
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3: sketching vs uniform sampling on the
+// regression corpora.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3(experiments.Quick, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMean(b, "sketch_delta_pct", res.Rows, func(r experiments.CoresetRow) (float64, bool) {
+			return r.SketchDeltaPct, true
+		})
+	}
+}
+
+// BenchmarkFigure5 regenerates Figure 5: the four time-series join
+// techniques across selectors on Pickup and Taxi.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5(experiments.Quick, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMean(b, "twoway_error", res.Rows, func(r experiments.Figure5Row) (float64, bool) {
+			return r.Error, r.Variant == "2-way nearest"
+		})
+		reportMean(b, "hard_error", res.Rows, func(r experiments.Figure5Row) (float64, bool) {
+			return r.Error, r.Variant == "hard"
+		})
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4: the Tuple-Ratio prefilter's
+// score/speed trade-off.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table4(experiments.Quick, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMean(b, "speedup_x", res.Rows, func(r experiments.Table4Row) (float64, bool) {
+			return r.Speedup, true
+		})
+		reportMean(b, "score_change_pct", res.Rows, func(r experiments.Table4Row) (float64, bool) {
+			return r.ScoreChange, true
+		})
+	}
+}
+
+// BenchmarkTable5 regenerates Table 5: table-join and full materialization
+// vs budget-join.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table5(experiments.Quick, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMean(b, "tablejoin_delta_pct", res.Rows, func(r experiments.Table5Row) (float64, bool) {
+			return r.TableDeltaPct, true
+		})
+		reportMean(b, "fullmat_delta_pct", res.Rows, func(r experiments.Table5Row) (float64, bool) {
+			return r.FullMatDeltaPct, true
+		})
+	}
+}
+
+// BenchmarkTable6 regenerates Table 6 (and the data of Figure 6): selector
+// accuracy and noise filtering on the micro benchmarks.
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunMicros(experiments.Quick, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMean(b, "rifs_accuracy", res.Rows, func(r experiments.MicroRow) (float64, bool) {
+			return r.Accuracy, r.Method == "RIFS"
+		})
+	}
+}
+
+// BenchmarkFigure6 regenerates Figure 6's noise-filtering counts.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunMicros(experiments.Quick, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMean(b, "rifs_original_fraction", res.Rows, func(r experiments.MicroRow) (float64, bool) {
+			if r.Method != "RIFS" || r.Selected == 0 {
+				return 0, false
+			}
+			return float64(r.OriginalSelected) / float64(r.Selected), true
+		})
+	}
+}
+
+// reportMean records the mean of a metric over matching rows.
+func reportMean[T any](b *testing.B, name string, rows []T, f func(T) (float64, bool)) {
+	sum, n := 0.0, 0
+	for _, r := range rows {
+		if v, ok := f(r); ok {
+			sum += v
+			n++
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(sum/float64(n), name)
+	}
+}
+
+// BenchmarkRIFSAblation sweeps RIFS's design choices (ensemble weight,
+// injection strategy, K, η) on the noise-injected Kraken benchmark.
+func BenchmarkRIFSAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RIFSAblation(experiments.Quick, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMean(b, "ensemble_orig_fraction", res.Rows, func(r experiments.AblationRow) (float64, bool) {
+			return r.OriginalFrac, r.Setting == "ensemble (nu=0.5)"
+		})
+	}
+}
+
+// BenchmarkExtensions evaluates the implemented §9 future-work items (kNN
+// imputation, leverage coresets, transitive discovery) against the default
+// pipeline.
+func BenchmarkExtensions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Extensions(experiments.Quick, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMean(b, "transitive_delta_pct", res.Rows, func(r experiments.ExtensionRow) (float64, bool) {
+			return r.DeltaPct, r.Extension == "discovery"
+		})
+	}
+}

@@ -1,0 +1,185 @@
+// Command arda runs automatic relational data augmentation end-to-end over a
+// directory of CSV files: it loads a base table and a repository, discovers
+// candidate joins, executes the ARDA pipeline, prints a report, and writes
+// the augmented table.
+//
+// Usage:
+//
+//	arda -dir data/ -base taxi -target collisions -out augmented.csv
+//
+// Flags tune the pipeline: -selector picks the feature-selection method
+// (default RIFS), -plan the join plan (budget|table|full), -coreset the
+// row-reduction strategy (uniform|stratified|sketch), -tau enables the
+// Tuple-Ratio prefilter.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/arda-ml/arda"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("arda: ")
+
+	var (
+		mode       = flag.String("mode", "augment", "augment | discover (list candidate joins) | describe (profile tables)")
+		dir        = flag.String("dir", ".", "directory of CSV files (base table + repository)")
+		baseName   = flag.String("base", "", "name of the base table (file name without .csv)")
+		target     = flag.String("target", "", "target column in the base table")
+		out        = flag.String("out", "", "path to write the augmented CSV (optional)")
+		selector   = flag.String("selector", "RIFS", "feature selector: RIFS, random forest, sparse regression, lasso, logistic reg, linear svc, f-test, mutual info, relief, forward selection, backward selection, rfe, all features")
+		plan       = flag.String("plan", "budget", "join plan: budget | table | full")
+		strategy   = flag.String("coreset", "uniform", "coreset strategy: uniform | stratified | sketch | leverage")
+		size       = flag.Int("size", 0, "coreset size (0 = automatic)")
+		budget     = flag.Int("budget", 0, "feature budget per batch (0 = coreset size)")
+		tau        = flag.Float64("tau", 0, "Tuple-Ratio prefilter threshold (0 = disabled)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		softJoin   = flag.String("soft", "2way", "soft-key join method: 2way | nearest | hard")
+		transitive = flag.Bool("transitive", false, "also discover two-hop (transitive) join candidates")
+		knnImpute  = flag.Int("knn-impute", 0, "use k-nearest-neighbour imputation with this k (0 = median/random)")
+		sig        = flag.Int("significance", 0, "bootstrap resamples for the augmentation significance test (0 = off)")
+		verbose    = flag.Bool("v", false, "log pipeline progress")
+	)
+	flag.Parse()
+
+	tables, err := arda.LoadCSVDir(*dir)
+	if err != nil {
+		log.Fatalf("loading %s: %v", *dir, err)
+	}
+	if *mode == "describe" {
+		for _, t := range tables {
+			fmt.Print(arda.Describe(t))
+		}
+		return
+	}
+	if *baseName == "" || *target == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var base *arda.Table
+	var repo []*arda.Table
+	for _, t := range tables {
+		if t.Name() == *baseName {
+			base = t
+		} else {
+			repo = append(repo, t)
+		}
+	}
+	if base == nil {
+		log.Fatalf("base table %q not found in %s (%d tables loaded)", *baseName, *dir, len(tables))
+	}
+
+	opts := arda.Options{
+		Target:        *target,
+		CoresetSize:   *size,
+		Budget:        *budget,
+		TupleRatioTau: *tau,
+		Seed:          *seed,
+		KNNImpute:     *knnImpute,
+		Significance:  *sig,
+	}
+	if *verbose {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Printf("  [arda] "+format+"\n", args...)
+		}
+	}
+	switch *plan {
+	case "budget":
+		opts.Plan = arda.BudgetJoin
+	case "table":
+		opts.Plan = arda.TableJoin
+	case "full":
+		opts.Plan = arda.FullMaterialization
+	default:
+		log.Fatalf("unknown plan %q", *plan)
+	}
+	switch *strategy {
+	case "uniform":
+		opts.CoresetStrategy = arda.CoresetUniform
+	case "stratified":
+		opts.CoresetStrategy = arda.CoresetStratified
+	case "sketch":
+		opts.CoresetStrategy = arda.CoresetSketch
+	case "leverage":
+		opts.CoresetStrategy = arda.CoresetLeverage
+	default:
+		log.Fatalf("unknown coreset strategy %q", *strategy)
+	}
+	switch *softJoin {
+	case "2way":
+		opts.SoftMethod = arda.TwoWayNearest
+	case "nearest":
+		opts.SoftMethod = arda.NearestNeighbor
+	case "hard":
+		opts.SoftMethod = arda.HardExact
+	default:
+		log.Fatalf("unknown soft-join method %q", *softJoin)
+	}
+	sel, err := arda.NewSelector(arda.Method(*selector))
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts.Selector = sel
+
+	fmt.Printf("base table: %s\n", base)
+	fmt.Printf("repository: %d tables\n", len(repo))
+	cands := arda.Discover(base, repo, *target)
+	fmt.Printf("discovered: %d candidate joins\n", len(cands))
+	if *transitive {
+		trans := arda.DiscoverTransitive(base, repo, *target, *seed)
+		fmt.Printf("transitive: %d widened candidates\n", len(trans))
+		cands = append(cands, trans...)
+	}
+	if *mode == "discover" {
+		for _, c := range cands {
+			kind := "hard"
+			if c.Geo {
+				kind = "geo"
+			} else if c.Soft {
+				kind = "soft"
+			}
+			keys := ""
+			for i, kp := range c.Keys {
+				if i > 0 {
+					keys += "+"
+				}
+				keys += kp.BaseColumn + "->" + kp.ForeignColumn
+			}
+			fmt.Printf("  %-24s score=%.2f %-4s %s\n", c.Table.Name(), c.Score, kind, keys)
+		}
+		return
+	}
+
+	res, err := arda.Augment(base, cands, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nbase score:      %.4f\n", res.BaseScore)
+	fmt.Printf("augmented score: %.4f\n", res.FinalScore)
+	fmt.Printf("kept columns:    %d (from %d tables)\n", len(res.KeptColumns), len(res.KeptTables))
+	for _, name := range res.KeptTables {
+		fmt.Printf("  + %s\n", name)
+	}
+	if res.CandidatesFiltered > 0 {
+		fmt.Printf("TR prefilter removed %d tables\n", res.CandidatesFiltered)
+	}
+	if res.Significance != nil {
+		s := res.Significance
+		fmt.Printf("significance: Δ=%.4f  p=%.3f  95%% CI [%.4f, %.4f]\n",
+			s.MeanDelta, s.PValue, s.CI95[0], s.CI95[1])
+	}
+	fmt.Printf("elapsed: %s (selection %s)\n", res.Elapsed.Round(1e7), res.SelectionElapsed.Round(1e7))
+
+	if *out != "" {
+		if err := res.Table.WriteCSVFile(*out); err != nil {
+			log.Fatalf("writing %s: %v", *out, err)
+		}
+		fmt.Printf("augmented table written to %s (%d columns)\n", *out, res.Table.NumCols())
+	}
+}

@@ -1,0 +1,105 @@
+// Geo join: location-based augmentation (the paper's §9 names location
+// joins as unexplored future work). Trips carry pickup coordinates; the
+// useful predictors live in a neighbourhood table keyed only by the
+// neighbourhood centre's coordinates. Discovery detects the lat/lon pair,
+// and the pipeline matches each trip to its nearest neighbourhood with a
+// grid-indexed 2-D nearest-neighbour join.
+//
+//	go run ./examples/geojoin
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/arda-ml/arda"
+	"github.com/arda-ml/arda/internal/dataframe"
+)
+
+func main() {
+	base, repo := buildScenario()
+	fmt.Printf("base: %s\n", base)
+	fmt.Println("repo: neighborhoods keyed by (lat, lon) + noise tables")
+
+	cands := arda.Discover(base, repo, "fare")
+	fmt.Printf("\ndiscovered %d candidates:\n", len(cands))
+	for _, c := range cands {
+		kind := "hard/soft"
+		if c.Geo {
+			kind = "geo (2-D nearest)"
+		}
+		fmt.Printf("  %-16s score=%.2f  %s\n", c.Table.Name(), c.Score, kind)
+	}
+
+	res, err := arda.Augment(base, cands, arda.Options{Target: "fare", Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbase score      %.3f\n", res.BaseScore)
+	fmt.Printf("augmented score %.3f\n", res.FinalScore)
+	fmt.Println("kept columns:")
+	for _, col := range res.KeptColumns {
+		fmt.Printf("  + %s\n", col)
+	}
+}
+
+// buildScenario creates trips whose fare depends on the nearest
+// neighbourhood's income and congestion levels.
+func buildScenario() (*arda.Table, []*arda.Table) {
+	rng := rand.New(rand.NewSource(2))
+	const hoods = 40
+	const trips = 1200
+
+	hoodLat := make([]float64, hoods)
+	hoodLon := make([]float64, hoods)
+	income := make([]float64, hoods)
+	congestion := make([]float64, hoods)
+	for h := 0; h < hoods; h++ {
+		hoodLat[h] = 40.60 + 0.25*rng.Float64()
+		hoodLon[h] = -74.05 + 0.30*rng.Float64()
+		income[h] = 30 + 120*rng.Float64()
+		congestion[h] = rng.Float64() * 10
+	}
+
+	lat := make([]float64, trips)
+	lon := make([]float64, trips)
+	distance := make([]float64, trips)
+	fare := make([]float64, trips)
+	for i := 0; i < trips; i++ {
+		h := rng.Intn(hoods)
+		// Trips cluster tightly around their neighbourhood centre.
+		lat[i] = hoodLat[h] + 0.002*rng.NormFloat64()
+		lon[i] = hoodLon[h] + 0.002*rng.NormFloat64()
+		distance[i] = 1 + 9*rng.Float64()
+		fare[i] = 3 + 2.2*distance[i] + 0.05*income[h] + 1.4*congestion[h] + 0.8*rng.NormFloat64()
+	}
+	base := dataframe.MustNewTable("trips",
+		dataframe.NewNumeric("pickup_lat", lat),
+		dataframe.NewNumeric("pickup_lon", lon),
+		dataframe.NewNumeric("distance", distance),
+		dataframe.NewNumeric("fare", fare),
+	)
+	neighborhoods := dataframe.MustNewTable("neighborhoods",
+		dataframe.NewNumeric("lat", hoodLat),
+		dataframe.NewNumeric("lon", hoodLon),
+		dataframe.NewNumeric("median_income", income),
+		dataframe.NewNumeric("congestion", congestion),
+	)
+	repo := []*arda.Table{neighborhoods}
+	// Noise: a geo table with useless features and a non-geo noise table.
+	junkLat := make([]float64, 30)
+	junkLon := make([]float64, 30)
+	junkVal := make([]float64, 30)
+	for i := range junkLat {
+		junkLat[i] = 40.60 + 0.25*rng.Float64()
+		junkLon[i] = -74.05 + 0.30*rng.Float64()
+		junkVal[i] = rng.NormFloat64()
+	}
+	repo = append(repo, dataframe.MustNewTable("antenna_sites",
+		dataframe.NewNumeric("lat", junkLat),
+		dataframe.NewNumeric("lon", junkLon),
+		dataframe.NewNumeric("signal_strength", junkVal),
+	))
+	return base, repo
+}

@@ -1,0 +1,117 @@
+// Transitive joins (the paper's §9 future work): the signal lives two hops
+// away. The base table knows each county; only a mapping table knows which
+// region a county belongs to; and only the economy table knows each region's
+// indicators. A single join can never reach the economy table — transitive
+// discovery widens the mapping table with it and lets RIFS decide whether
+// the transitively-reached features earn their keep.
+//
+//	go run ./examples/transitive
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"github.com/arda-ml/arda"
+	"github.com/arda-ml/arda/internal/dataframe"
+)
+
+func main() {
+	base, repo := buildScenario()
+	fmt.Printf("base:  %s\n", base)
+	fmt.Println("repo:  mapping (county→region), economy (region→gdp, inflation), + noise")
+
+	// Direct discovery cannot reach the economy table.
+	direct := arda.Discover(base, repo, "y")
+	fmt.Printf("\ndirect candidates: %d\n", len(direct))
+	for _, c := range direct {
+		fmt.Printf("  %-14s score=%.2f\n", c.Table.Name(), c.Score)
+	}
+
+	// Augmenting with direct candidates only.
+	noTrans, err := arda.Augment(base, direct, arda.Options{Target: "y", Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Adding transitive candidates: mapping is widened with the economy
+	// columns it can reach.
+	trans := arda.DiscoverTransitive(base, repo, "y", 4)
+	fmt.Printf("\ntransitive candidates: %d\n", len(trans))
+	for _, c := range trans {
+		fmt.Printf("  %-14s score=%.2f columns=%v\n", c.Table.Name(), c.Score, c.Table.ColumnNames())
+	}
+	withTrans, err := arda.Augment(base, append(direct, trans...), arda.Options{Target: "y", Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-28s %8s %9s\n", "configuration", "base", "augmented")
+	fmt.Printf("%-28s %8.3f %9.3f\n", "direct joins only", noTrans.BaseScore, noTrans.FinalScore)
+	fmt.Printf("%-28s %8.3f %9.3f\n", "with transitive joins", withTrans.BaseScore, withTrans.FinalScore)
+
+	fmt.Println("\nkept transitive features:")
+	for _, col := range withTrans.KeptColumns {
+		if strings.Contains(col, "via.") {
+			fmt.Printf("  + %s\n", col)
+		}
+	}
+}
+
+// buildScenario constructs the two-hop corpus.
+func buildScenario() (*arda.Table, []*arda.Table) {
+	rng := rand.New(rand.NewSource(1))
+	// Many more regions than the one-hot cardinality cap: region *identity*
+	// can't be memorized through indicator columns, so the model genuinely
+	// needs the region's numeric indicators — which live two hops away.
+	const counties = 400
+	const regions = 80
+	countyIDs := make([]string, counties)
+	regionOf := make([]string, counties)
+	gdp := make([]float64, regions)
+	inflation := make([]float64, regions)
+	regionNames := make([]string, regions)
+	for r := 0; r < regions; r++ {
+		regionNames[r] = fmt.Sprintf("region-%02d", r)
+		gdp[r] = 20 + 60*rng.Float64()
+		inflation[r] = 1 + 7*rng.Float64()
+	}
+	target := make([]float64, counties)
+	localSpend := make([]float64, counties)
+	for i := 0; i < counties; i++ {
+		countyIDs[i] = fmt.Sprintf("county-%03d", i)
+		r := rng.Intn(regions)
+		regionOf[i] = regionNames[r]
+		localSpend[i] = rng.Float64() * 10
+		target[i] = 3 + 0.8*gdp[r] - 2.5*inflation[r] + 0.4*localSpend[i] + rng.NormFloat64()
+	}
+	base := dataframe.MustNewTable("counties",
+		dataframe.NewCategorical("county", countyIDs),
+		dataframe.NewNumeric("local_spend", localSpend),
+		dataframe.NewNumeric("y", target),
+	)
+	mapping := dataframe.MustNewTable("mapping",
+		dataframe.NewCategorical("county", append([]string{}, countyIDs...)),
+		dataframe.NewCategorical("region", regionOf),
+	)
+	economy := dataframe.MustNewTable("economy",
+		dataframe.NewCategorical("region", regionNames),
+		dataframe.NewNumeric("gdp", gdp),
+		dataframe.NewNumeric("inflation", inflation),
+	)
+	// Noise tables keyed by county.
+	repo := []*arda.Table{mapping, economy}
+	for t := 0; t < 6; t++ {
+		vals := make([]float64, counties)
+		for i := range vals {
+			vals[i] = rng.NormFloat64()
+		}
+		repo = append(repo, dataframe.MustNewTable(fmt.Sprintf("noise_%d", t),
+			dataframe.NewCategorical("county", append([]string{}, countyIDs...)),
+			dataframe.NewNumeric(fmt.Sprintf("metric_%d", t), vals),
+		))
+	}
+	return base, repo
+}

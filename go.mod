@@ -1,0 +1,3 @@
+module github.com/arda-ml/arda
+
+go 1.22

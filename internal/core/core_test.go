@@ -1,0 +1,232 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/arda-ml/arda/internal/coreset"
+	"github.com/arda-ml/arda/internal/dataframe"
+	"github.com/arda-ml/arda/internal/discovery"
+	"github.com/arda-ml/arda/internal/eval"
+	"github.com/arda-ml/arda/internal/featsel"
+	"github.com/arda-ml/arda/internal/join"
+	"github.com/arda-ml/arda/internal/ml"
+	"github.com/arda-ml/arda/internal/synth"
+)
+
+func TestTaskOf(t *testing.T) {
+	tab := dataframe.MustNewTable("t",
+		dataframe.NewCategorical("c", []string{"a", "b"}),
+		dataframe.NewNumeric("r", []float64{1, 2}),
+	)
+	task, classes, err := TaskOf(tab, "c")
+	if err != nil || task != ml.Classification || classes != 2 {
+		t.Fatalf("TaskOf(c) = %v %d %v", task, classes, err)
+	}
+	task, _, err = TaskOf(tab, "r")
+	if err != nil || task != ml.Regression {
+		t.Fatalf("TaskOf(r) = %v %v", task, err)
+	}
+	if _, _, err := TaskOf(tab, "absent"); err == nil {
+		t.Fatal("absent target should error")
+	}
+}
+
+func candidateFor(tab *dataframe.Table, baseCol, foreignCol string, rows int) discovery.Candidate {
+	return discovery.Candidate{
+		Table: tab,
+		Keys:  []join.KeyPair{{BaseColumn: baseCol, ForeignColumn: foreignCol, Kind: join.Hard}},
+		Score: 1,
+	}
+}
+
+func TestEstimateFeatures(t *testing.T) {
+	tab := dataframe.MustNewTable("f",
+		dataframe.NewCategorical("k", []string{"a", "b"}),
+		dataframe.NewNumeric("v", []float64{1, 2}),
+		dataframe.NewCategorical("c", []string{"x", "y"}),
+	)
+	c := candidateFor(tab, "k", "k", 2)
+	// v (1) + c binarized (2 categories) = 3; key k excluded.
+	if got := EstimateFeatures(c); got != 3 {
+		t.Fatalf("EstimateFeatures = %d, want 3", got)
+	}
+}
+
+func TestBuildPlanBudget(t *testing.T) {
+	mk := func(name string, numeric int) discovery.Candidate {
+		cols := []dataframe.Column{dataframe.NewCategorical("k", []string{"a"})}
+		for i := 0; i < numeric; i++ {
+			cols = append(cols, dataframe.NewNumeric(name+string(rune('a'+i)), []float64{1}))
+		}
+		return candidateFor(dataframe.MustNewTable(name, cols...), "k", "k", 1)
+	}
+	cands := []discovery.Candidate{mk("t1", 3), mk("t2", 3), mk("t3", 3), mk("big", 20)}
+	batches := BuildPlan(cands, BudgetJoin, 7)
+	// t1+t2 fit budget 7 (3+3=6); t3 starts a new batch; big ships alone.
+	if len(batches) != 3 {
+		t.Fatalf("batches = %d, want 3", len(batches))
+	}
+	if len(batches[0].Candidates) != 2 || batches[0].EstimatedFeatures != 6 {
+		t.Fatalf("batch 0 = %+v", batches[0])
+	}
+	if len(batches[2].Candidates) != 1 || batches[2].Candidates[0].Table.Name() != "big" {
+		t.Fatal("oversized table should ship alone")
+	}
+
+	tj := BuildPlan(cands, TableJoin, 7)
+	if len(tj) != 4 {
+		t.Fatalf("table-join batches = %d", len(tj))
+	}
+	fm := BuildPlan(cands, FullMaterialization, 7)
+	if len(fm) != 1 || len(fm[0].Candidates) != 4 {
+		t.Fatalf("full-materialization batches = %+v", fm)
+	}
+	if got := BuildPlan(nil, FullMaterialization, 7); got != nil {
+		t.Fatal("empty plan should be nil")
+	}
+}
+
+func TestTupleRatioAndFilter(t *testing.T) {
+	small := dataframe.MustNewTable("small",
+		dataframe.NewCategorical("k", []string{"a", "b"}),
+		dataframe.NewNumeric("v", []float64{1, 2}),
+	)
+	big := dataframe.MustNewTable("big",
+		dataframe.NewCategorical("k", []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}),
+		dataframe.NewNumeric("v", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}),
+	)
+	cs := candidateFor(small, "k", "k", 2)
+	cb := candidateFor(big, "k", "k", 10)
+	// Base of 100 rows: ratios 50 and 10.
+	if got := TupleRatio(100, cs); got != 50 {
+		t.Fatalf("TupleRatio(small) = %v", got)
+	}
+	if got := TupleRatio(100, cb); got != 10 {
+		t.Fatalf("TupleRatio(big) = %v", got)
+	}
+	kept, removed := FilterTupleRatio(100, []discovery.Candidate{cs, cb}, 20)
+	if len(kept) != 1 || kept[0].Table.Name() != "big" || removed != 1 {
+		t.Fatalf("filter kept %d removed %d", len(kept), removed)
+	}
+	// tau <= 0 disables filtering.
+	kept, removed = FilterTupleRatio(100, []discovery.Candidate{cs, cb}, 0)
+	if len(kept) != 2 || removed != 0 {
+		t.Fatal("tau=0 should disable the filter")
+	}
+}
+
+func TestDedupeCandidates(t *testing.T) {
+	tab := dataframe.MustNewTable("f",
+		dataframe.NewCategorical("k", []string{"a"}),
+		dataframe.NewNumeric("v", []float64{1}),
+	)
+	c := candidateFor(tab, "k", "k", 1)
+	base := dataframe.MustNewTable("base", dataframe.NewCategorical("k", []string{"a"}))
+	out := DedupeCandidates(base, []discovery.Candidate{c, c, {Table: base}})
+	if len(out) != 1 {
+		t.Fatalf("dedupe kept %d, want 1", len(out))
+	}
+}
+
+// fastEstimator keeps end-to-end tests quick.
+func fastEstimator(seed int64) eval.Fitter {
+	return func(d *ml.Dataset) ml.Model {
+		return ml.FitForest(d, ml.ForestConfig{NTrees: 20, MaxDepth: 8, Seed: seed, Parallel: true})
+	}
+}
+
+func TestAugmentEndToEndPoverty(t *testing.T) {
+	corpus := synth.Poverty(synth.Config{Seed: 41, Scale: 0.3})
+	cands := discovery.Discover(corpus.Base, corpus.Repo, corpus.Target, discovery.Options{})
+	if len(cands) == 0 {
+		t.Fatal("discovery found nothing")
+	}
+	res, err := Augment(corpus.Base, cands, Options{
+		Target:      corpus.Target,
+		CoresetSize: 256,
+		Selector:    &featsel.RIFS{Config: featsel.RIFSConfig{K: 4, Forest: featsel.ForestRanker{NTrees: 20, MaxDepth: 8}}},
+		Estimator:   fastEstimator(1),
+		Seed:        42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != corpus.Base.NumRows() {
+		t.Fatal("augmented table must preserve base rows")
+	}
+	if len(res.KeptColumns) == 0 {
+		t.Fatal("augmentation kept no columns on a corpus with planted signal")
+	}
+	if res.FinalScore <= res.BaseScore {
+		t.Fatalf("augmentation did not improve: base=%.3f final=%.3f", res.BaseScore, res.FinalScore)
+	}
+	// At least one kept table must be genuinely relevant.
+	foundRelevant := false
+	for _, name := range res.KeptTables {
+		if corpus.RelevantTables[name] {
+			foundRelevant = true
+		}
+	}
+	if !foundRelevant {
+		t.Fatalf("kept tables %v contain no planted-signal table", res.KeptTables)
+	}
+}
+
+func TestAugmentClassificationStratified(t *testing.T) {
+	corpus := synth.SchoolS(synth.Config{Seed: 43, Scale: 0.25})
+	cands := discovery.Discover(corpus.Base, corpus.Repo, corpus.Target, discovery.Options{})
+	res, err := Augment(corpus.Base, cands, Options{
+		Target:          corpus.Target,
+		CoresetStrategy: coreset.Stratified,
+		CoresetSize:     256,
+		Selector:        &featsel.RIFS{Config: featsel.RIFSConfig{K: 4, Forest: featsel.ForestRanker{NTrees: 20, MaxDepth: 8}}},
+		Estimator:       fastEstimator(2),
+		Seed:            44,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalScore <= res.BaseScore {
+		t.Fatalf("classification augmentation did not improve: base=%.3f final=%.3f",
+			res.BaseScore, res.FinalScore)
+	}
+}
+
+func TestAugmentRequiresTarget(t *testing.T) {
+	base := dataframe.MustNewTable("b", dataframe.NewNumeric("x", []float64{1}))
+	if _, err := Augment(base, nil, Options{}); err == nil {
+		t.Fatal("missing target should error")
+	}
+	if _, err := Augment(base, nil, Options{Target: "nope"}); err == nil {
+		t.Fatal("absent target column should error")
+	}
+}
+
+func TestAugmentSelectorTaskMismatch(t *testing.T) {
+	base := dataframe.MustNewTable("b",
+		dataframe.NewCategorical("y", []string{"a", "b"}),
+		dataframe.NewNumeric("x", []float64{1, 2}),
+	)
+	sel, _ := featsel.New(featsel.MethodLasso) // regression-only
+	if _, err := Augment(base, nil, Options{Target: "y", Selector: sel}); err == nil {
+		t.Fatal("lasso on classification should be rejected")
+	}
+}
+
+func TestDedupeCandidatesDropsSameNamedTable(t *testing.T) {
+	// A repository holding a copy of the base file (same table name) must
+	// never become a join candidate — it would leak the target back in.
+	base := dataframe.MustNewTable("base",
+		dataframe.NewCategorical("k", []string{"a", "b"}),
+		dataframe.NewNumeric("y", []float64{1, 2}),
+	)
+	copyOfBase := dataframe.MustNewTable("base",
+		dataframe.NewCategorical("k", []string{"a", "b"}),
+		dataframe.NewNumeric("y", []float64{1, 2}),
+	)
+	c := candidateFor(copyOfBase, "k", "k", 2)
+	out := DedupeCandidates(base, []discovery.Candidate{c})
+	if len(out) != 0 {
+		t.Fatal("same-named table must be dropped to prevent target leakage")
+	}
+}

@@ -1,0 +1,170 @@
+// Package core implements the end-to-end ARDA pipeline (§3 of the paper):
+// coreset construction over the base table, join planning under a feature
+// budget, batch join execution with imputation, feature selection (RIFS by
+// default), optional Tuple-Ratio prefiltering, materialization of the kept
+// features over the full base table, and the final model estimate.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/arda-ml/arda/internal/coreset"
+	"github.com/arda-ml/arda/internal/dataframe"
+	"github.com/arda-ml/arda/internal/eval"
+	"github.com/arda-ml/arda/internal/featsel"
+	"github.com/arda-ml/arda/internal/join"
+	"github.com/arda-ml/arda/internal/ml"
+)
+
+// PlanKind selects the table-grouping strategy for the join plan (§4 "Table
+// grouping").
+type PlanKind int
+
+const (
+	// BudgetJoin batches as many tables as fit the feature budget — the
+	// paper's default, balancing co-predictor discovery against noise.
+	BudgetJoin PlanKind = iota
+	// TableJoin considers one table at a time in priority order.
+	TableJoin
+	// FullMaterialization joins every candidate table before selection.
+	FullMaterialization
+)
+
+// String returns the plan name.
+func (p PlanKind) String() string {
+	switch p {
+	case TableJoin:
+		return "table-join"
+	case FullMaterialization:
+		return "full materialization"
+	default:
+		return "budget-join"
+	}
+}
+
+// Options configures an ARDA run.
+type Options struct {
+	// Target is the base-table column to predict. Required.
+	Target string
+	// CoresetStrategy selects the row-reduction method (§3.1); default
+	// Uniform.
+	CoresetStrategy coreset.Strategy
+	// CoresetSize is the number of coreset rows; 0 picks
+	// coreset.DefaultSize.
+	CoresetSize int
+	// Plan selects the table-grouping strategy; default BudgetJoin.
+	Plan PlanKind
+	// Budget is the maximum number of features considered per batch; 0
+	// defaults to the coreset size.
+	Budget int
+	// Selector is the feature-selection method; nil defaults to RIFS.
+	Selector featsel.Selector
+	// Estimator scores candidate subsets during selection; nil defaults to
+	// the lightly-optimized random forest.
+	Estimator eval.Fitter
+	// TupleRatioTau enables Kumar et al.'s Tuple-Ratio prefilter when > 0:
+	// candidate tables with nS/nR > τ are dropped before joining (§7.3).
+	TupleRatioTau float64
+	// SoftMethod selects how soft keys are matched; default TwoWayNearest.
+	SoftMethod join.SoftMethod
+	// TimeResample aggregates finer-grained foreign time keys to the base
+	// granularity before joining; default true (set DisableTimeResample to
+	// turn off).
+	DisableTimeResample bool
+	// Tolerance bounds soft-key nearest-neighbour distance (0 = unbounded).
+	Tolerance float64
+	// Seed drives every random choice in the run.
+	Seed int64
+	// KeepScores records per-batch selection scores in the result when true.
+	KeepScores bool
+	// KNNImpute switches imputation from the paper's simple median/random
+	// strategy to k-nearest-neighbour imputation (§9 "sophisticated methods
+	// for data imputation"); the value is k (0 disables).
+	KNNImpute int
+	// Significance runs a paired bootstrap test of the final augmentation
+	// against the base table (§9 "statistical significance tests for
+	// augmented features"); the value is the number of bootstrap resamples
+	// (0 disables).
+	Significance int
+	// Logf, when set, receives progress lines (batch starts, selections,
+	// materialization) during the run.
+	Logf func(format string, args ...any)
+}
+
+// logf forwards to Options.Logf when configured.
+func (o *Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// validate applies defaults and checks requirements against the base table.
+func (o *Options) validate(base *dataframe.Table) error {
+	if o.Target == "" {
+		return fmt.Errorf("core: Options.Target is required")
+	}
+	if base.Column(o.Target) == nil {
+		return fmt.Errorf("core: base table %q has no target column %q", base.Name(), o.Target)
+	}
+	if o.Selector == nil {
+		o.Selector = &featsel.RIFS{}
+	}
+	return nil
+}
+
+// TaskOf infers the learning task from the target column: categorical
+// targets yield classification, numeric/time targets regression.
+func TaskOf(base *dataframe.Table, target string) (ml.Task, int, error) {
+	c := base.Column(target)
+	if c == nil {
+		return 0, 0, fmt.Errorf("core: base table %q has no target column %q", base.Name(), target)
+	}
+	if cc, ok := c.(*dataframe.CategoricalColumn); ok {
+		return ml.Classification, cc.Cardinality(), nil
+	}
+	return ml.Regression, 0, nil
+}
+
+// BatchReport records one executed join-plan batch.
+type BatchReport struct {
+	// Tables lists the foreign tables joined in the batch.
+	Tables []string
+	// CandidateFeatures is the number of new feature columns the batch
+	// offered.
+	CandidateFeatures int
+	// KeptFeatures lists the new columns the selector kept.
+	KeptFeatures []string
+	// Score is the selection-time holdout score after keeping the features
+	// (recorded when Options.KeepScores).
+	Score float64
+}
+
+// Result is the output of an ARDA run.
+type Result struct {
+	// Table is the full base table with every kept feature column appended
+	// and imputed.
+	Table *dataframe.Table
+	// KeptColumns lists the augmentation columns in Table beyond the base.
+	KeptColumns []string
+	// KeptTables lists foreign tables that contributed at least one kept
+	// column.
+	KeptTables []string
+	// BaseScore and FinalScore are holdout scores of the final estimator on
+	// the base table alone and on the augmented table.
+	BaseScore, FinalScore float64
+	// EstimatorName names the winning final estimator.
+	EstimatorName string
+	// Batches reports each executed batch.
+	Batches []BatchReport
+	// CandidatesConsidered and CandidatesFiltered count the join candidates
+	// examined and those removed by the Tuple-Ratio prefilter.
+	CandidatesConsidered, CandidatesFiltered int
+	// Elapsed is the total wall-clock duration.
+	Elapsed time.Duration
+	// SelectionElapsed is the time spent inside feature selection.
+	SelectionElapsed time.Duration
+	// Significance holds the paired bootstrap comparison of the augmented
+	// model against the base model when Options.Significance > 0.
+	Significance *eval.SignificanceResult
+}

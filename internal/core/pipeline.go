@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/arda-ml/arda/internal/automl"
+	"github.com/arda-ml/arda/internal/coreset"
+	"github.com/arda-ml/arda/internal/dataframe"
+	"github.com/arda-ml/arda/internal/discovery"
+	"github.com/arda-ml/arda/internal/eval"
+	"github.com/arda-ml/arda/internal/join"
+	"github.com/arda-ml/arda/internal/ml"
+)
+
+// Augment runs the full ARDA pipeline: prefilter and plan the candidate
+// joins, execute them batch-by-batch against the coreset, select features
+// against injected noise, materialize the kept features over the full base
+// table, and report base-vs-augmented holdout scores.
+func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (*Result, error) {
+	start := time.Now()
+	if err := opts.validate(base); err != nil {
+		return nil, err
+	}
+	task, classes, err := TaskOf(base, opts.Target)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.Selector.Supports(task) {
+		return nil, fmt.Errorf("core: selector %q does not support %s tasks", opts.Selector.Name(), task)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	estimator := opts.Estimator
+	if estimator == nil {
+		estimator = automl.DefaultEstimator(opts.Seed)
+	}
+
+	cands = DedupeCandidates(base, cands)
+	res := &Result{CandidatesConsidered: len(cands)}
+	cands, res.CandidatesFiltered = FilterTupleRatio(base.NumRows(), cands, opts.TupleRatioTau)
+
+	size := opts.CoresetSize
+	if size <= 0 {
+		size = coreset.DefaultSize(base.NumRows())
+	}
+	budget := opts.Budget
+	if budget <= 0 {
+		budget = size
+	}
+
+	// Coreset: sampling strategies reduce rows before joining; sketching
+	// must happen after the join, so the sketch strategy joins on all rows
+	// and sketches each batch's numeric view. The clone matters: batch
+	// imputation mutates columns in place and must never leak into the
+	// caller's table.
+	joinBase := base.Clone()
+	if opts.CoresetStrategy != coreset.Sketch && size < base.NumRows() {
+		var idx []int
+		switch {
+		case opts.CoresetStrategy == coreset.Stratified && task == ml.Classification:
+			labels := labelCodes(base, opts.Target)
+			idx = coreset.StratifiedIndices(labels, classes, size, rng)
+		case opts.CoresetStrategy == coreset.Leverage:
+			view := base.ToNumericView(opts.Target)
+			baseDS, err := ml.NewDataset(view.Data, view.Rows, view.Cols,
+				make([]float64, view.Rows), ml.Regression, 0)
+			if err == nil {
+				baseDS.CleanNaNs()
+				idx, err = coreset.LeverageIndices(baseDS.X, baseDS.N, baseDS.D, size, rng)
+			}
+			if err != nil || idx == nil {
+				idx = coreset.UniformIndices(base.NumRows(), size, rng)
+			}
+		default:
+			idx = coreset.UniformIndices(base.NumRows(), size, rng)
+		}
+		sort.Ints(idx)
+		joinBase = base.Gather(idx)
+	}
+
+	plan := BuildPlan(cands, opts.Plan, budget)
+	opts.logf("plan: %s, %d candidates in %d batches (budget %d features, coreset %d rows)",
+		opts.Plan, len(cands), len(plan), budget, joinBase.NumRows())
+
+	// prefixOf assigns each candidate a stable unique column prefix.
+	prefixOf := make(map[int]string, len(cands))
+	candIndex := make(map[string]int, len(cands))
+	for i := range cands {
+		prefixOf[i] = fmt.Sprintf("t%d.", i)
+	}
+	ordinal := 0
+	for bi := range plan {
+		for ci := range plan[bi].Candidates {
+			key := fmt.Sprintf("%d/%d", bi, ci)
+			candIndex[key] = ordinal
+			ordinal++
+		}
+	}
+
+	accum := dataframe.MustNewTable(joinBase.Name(), joinBase.Columns()...)
+	keptByCandidate := make(map[int][]string) // candidate ordinal -> kept source columns (unprefixed)
+
+	for bi, batch := range plan {
+		work := dataframe.MustNewTable(accum.Name(), accum.Columns()...)
+		type added struct {
+			ordinal int
+			prefix  string
+		}
+		var joinedCands []added
+		var tables []string
+		newCols := 0
+		for ci, cand := range batch.Candidates {
+			ord := candIndex[fmt.Sprintf("%d/%d", bi, ci)]
+			prefix := prefixOf[ord]
+			spec := specFor(cand, opts, prefix)
+			jr, err := join.Execute(work, cand.Table, spec, rng)
+			if err != nil {
+				// A malformed candidate (discovery is noisy by design) is
+				// skipped, not fatal.
+				continue
+			}
+			work = jr.Table
+			joinedCands = append(joinedCands, added{ord, prefix})
+			tables = append(tables, cand.Table.Name())
+			newCols += len(jr.AddedColumns)
+		}
+		if len(joinedCands) == 0 {
+			continue
+		}
+		imputeTable(work, opts, rng)
+
+		view := work.ToNumericView(opts.Target)
+		y, err := work.TargetVector(opts.Target)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := ml.NewDataset(view.Data, view.Rows, view.Cols, y, task, classes)
+		if err != nil {
+			return nil, err
+		}
+		ds.CleanNaNs()
+		if opts.CoresetStrategy == coreset.Sketch {
+			ds = coreset.SketchDataset(ds, size, rng)
+		}
+
+		selStart := time.Now()
+		selected, err := opts.Selector.Select(ds, estimator, opts.Seed+int64(bi+1))
+		res.SelectionElapsed += time.Since(selStart)
+		if err != nil {
+			return nil, fmt.Errorf("core: feature selection on batch %d: %w", bi, err)
+		}
+
+		report := BatchReport{Tables: tables, CandidateFeatures: newCols}
+		keptSources := map[string]bool{}
+		for _, j := range selected {
+			name := view.Names[j]
+			src := sourceColumn(name)
+			for _, a := range joinedCands {
+				if strings.HasPrefix(src, a.prefix) {
+					if !keptSources[src] {
+						keptSources[src] = true
+						keptByCandidate[a.ordinal] = append(keptByCandidate[a.ordinal],
+							strings.TrimPrefix(src, a.prefix))
+						report.KeptFeatures = append(report.KeptFeatures, src)
+					}
+					break
+				}
+			}
+		}
+		// Carry kept columns forward so later batches can co-predict with
+		// them.
+		for _, name := range report.KeptFeatures {
+			if col := work.Column(name); col != nil && !accum.HasColumn(name) {
+				if err := accum.AddColumn(col); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if opts.KeepScores && len(report.KeptFeatures) > 0 {
+			report.Score = holdoutScoreOf(accum, opts.Target, task, classes, estimator, opts.Seed)
+		}
+		opts.logf("batch %d/%d: %d tables, %d candidate features, kept %d",
+			bi+1, len(plan), len(tables), newCols, len(report.KeptFeatures))
+		res.Batches = append(res.Batches, report)
+	}
+
+	// Materialize kept features over the full base table. Clone so the
+	// final imputation cannot mutate the caller's table.
+	final := base.Clone()
+	for bi, batch := range plan {
+		for ci, cand := range batch.Candidates {
+			ord := candIndex[fmt.Sprintf("%d/%d", bi, ci)]
+			kept := keptByCandidate[ord]
+			if len(kept) == 0 {
+				continue
+			}
+			prefix := prefixOf[ord]
+			spec := specFor(cand, opts, prefix)
+			jr, err := join.Execute(final, cand.Table, spec, rng)
+			if err != nil {
+				continue
+			}
+			keptSet := make(map[string]bool, len(kept))
+			for _, k := range kept {
+				keptSet[prefix+k] = true
+			}
+			next := jr.Table
+			for _, name := range jr.AddedColumns {
+				if !keptSet[name] {
+					next.DropColumn(name)
+				} else {
+					res.KeptColumns = append(res.KeptColumns, name)
+				}
+			}
+			final = next
+			res.KeptTables = append(res.KeptTables, cand.Table.Name())
+		}
+	}
+	imputeTable(final, opts, rng)
+	res.Table = final
+	opts.logf("materialized %d kept columns from %d tables over %d rows",
+		len(res.KeptColumns), len(res.KeptTables), final.NumRows())
+
+	// Final estimate: base vs augmented holdout score under the same
+	// estimator.
+	res.BaseScore = holdoutScoreOf(base, opts.Target, task, classes, estimator, opts.Seed)
+	res.FinalScore = holdoutScoreOf(final, opts.Target, task, classes, estimator, opts.Seed)
+	res.EstimatorName = "random forest"
+
+	if opts.Significance > 0 {
+		baseDS, errB := DatasetOf(base, opts.Target, task, classes)
+		augDS, errA := DatasetOf(final, opts.Target, task, classes)
+		if errB == nil && errA == nil {
+			res.Significance = eval.TestAugmentation(baseDS, augDS, estimator, opts.Significance, opts.Seed)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// imputeTable applies the configured imputation strategy: kNN when enabled
+// (falling back to simple imputation for anything kNN cannot fill), simple
+// median/random otherwise.
+func imputeTable(t *dataframe.Table, opts Options, rng *rand.Rand) {
+	if opts.KNNImpute > 0 {
+		join.KNNImpute(t, opts.KNNImpute)
+	}
+	join.Impute(t, rng)
+}
+
+// specFor builds the join spec for a candidate under the run options. Geo
+// candidates override the run-wide soft method: they only make sense with
+// GeoNearest matching.
+func specFor(c discovery.Candidate, opts Options, prefix string) *join.Spec {
+	method := opts.SoftMethod
+	if c.Geo {
+		method = join.GeoNearest
+	}
+	return &join.Spec{
+		Keys:         c.Keys,
+		Method:       method,
+		Tolerance:    opts.Tolerance,
+		TimeResample: !opts.DisableTimeResample,
+		Prefix:       prefix,
+	}
+}
+
+// sourceColumn maps a numeric-view feature name back to its table column:
+// one-hot indicators "col=value" map to "col".
+func sourceColumn(name string) string {
+	if i := strings.LastIndex(name, "="); i > 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// labelCodes extracts integer class codes of the target column.
+func labelCodes(t *dataframe.Table, target string) []int {
+	c, _ := t.Column(target).(*dataframe.CategoricalColumn)
+	if c == nil {
+		return make([]int, t.NumRows())
+	}
+	return c.Codes
+}
+
+// holdoutScoreOf builds a numeric dataset from the table (imputing a copy if
+// needed) and returns the estimator's holdout task score.
+func holdoutScoreOf(t *dataframe.Table, target string, task ml.Task, classes int, est eval.Fitter, seed int64) float64 {
+	ds, err := DatasetOf(t, target, task, classes)
+	if err != nil {
+		return 0
+	}
+	split := eval.TrainTestSplit(ds, 0.25, seed)
+	return eval.HoldoutScore(ds, split, est)
+}
+
+// DatasetOf converts a table into an ml.Dataset for the given target,
+// one-hot-encoding categoricals and mean-filling any remaining NaNs.
+func DatasetOf(t *dataframe.Table, target string, task ml.Task, classes int) (*ml.Dataset, error) {
+	view := t.ToNumericView(target)
+	y, err := t.TargetVector(target)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := ml.NewDataset(view.Data, view.Rows, view.Cols, y, task, classes)
+	if err != nil {
+		return nil, err
+	}
+	ds.CleanNaNs()
+	return ds, nil
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/arda-ml/arda/internal/coreset"
+	"github.com/arda-ml/arda/internal/dataframe"
+	"github.com/arda-ml/arda/internal/discovery"
+	"github.com/arda-ml/arda/internal/featsel"
+	"github.com/arda-ml/arda/internal/join"
+	"github.com/arda-ml/arda/internal/synth"
+)
+
+// fastRIFS keeps end-to-end option tests quick.
+func fastRIFS() featsel.Selector {
+	return &featsel.RIFS{Config: featsel.RIFSConfig{
+		K:      3,
+		Forest: featsel.ForestRanker{NTrees: 15, MaxDepth: 7},
+	}}
+}
+
+func TestAugmentSketchCoreset(t *testing.T) {
+	corpus := synth.Poverty(synth.Config{Seed: 51, Scale: 0.2})
+	cands := discovery.Discover(corpus.Base, corpus.Repo, corpus.Target, discovery.Options{})
+	res, err := Augment(corpus.Base, cands, Options{
+		Target:          corpus.Target,
+		CoresetStrategy: coreset.Sketch,
+		CoresetSize:     160,
+		Selector:        fastRIFS(),
+		Estimator:       fastEstimator(3),
+		Seed:            52,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != corpus.Base.NumRows() {
+		t.Fatal("sketch pipeline must still materialize full base rows")
+	}
+	if res.FinalScore <= res.BaseScore {
+		t.Fatalf("sketch pipeline did not improve: %.3f -> %.3f", res.BaseScore, res.FinalScore)
+	}
+}
+
+func TestAugmentTableJoinPlan(t *testing.T) {
+	corpus := synth.Poverty(synth.Config{Seed: 53, Scale: 0.15})
+	cands := discovery.Discover(corpus.Base, corpus.Repo, corpus.Target, discovery.Options{})
+	res, err := Augment(corpus.Base, cands, Options{
+		Target:      corpus.Target,
+		Plan:        TableJoin,
+		CoresetSize: 160,
+		Selector:    fastRIFS(),
+		Estimator:   fastEstimator(4),
+		Seed:        54,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table-join runs one batch per candidate.
+	if len(res.Batches) < 10 {
+		t.Fatalf("table-join ran only %d batches for %d candidates",
+			len(res.Batches), res.CandidatesConsidered)
+	}
+}
+
+func TestAugmentFullMaterializationPlan(t *testing.T) {
+	corpus := synth.Poverty(synth.Config{Seed: 55, Scale: 0.15})
+	cands := discovery.Discover(corpus.Base, corpus.Repo, corpus.Target, discovery.Options{})
+	res, err := Augment(corpus.Base, cands, Options{
+		Target:      corpus.Target,
+		Plan:        FullMaterialization,
+		CoresetSize: 160,
+		Selector:    fastRIFS(),
+		Estimator:   fastEstimator(5),
+		Seed:        56,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Batches) != 1 {
+		t.Fatalf("full materialization ran %d batches, want 1", len(res.Batches))
+	}
+}
+
+func TestAugmentTupleRatioFilterRemovesTables(t *testing.T) {
+	corpus := synth.Poverty(synth.Config{Seed: 57, Scale: 0.15})
+	cands := discovery.Discover(corpus.Base, corpus.Repo, corpus.Target, discovery.Options{})
+	// A tiny tau removes everything with a large base/domain ratio —
+	// including the state-keyed tables (50 distinct keys vs hundreds of
+	// base rows).
+	res, err := Augment(corpus.Base, cands, Options{
+		Target:        corpus.Target,
+		TupleRatioTau: 1.5,
+		CoresetSize:   160,
+		Selector:      fastRIFS(),
+		Estimator:     fastEstimator(6),
+		Seed:          58,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CandidatesFiltered == 0 {
+		t.Fatal("tau=1.5 should remove the state-level tables")
+	}
+	for _, name := range res.KeptTables {
+		if name == "state_economy" || name == "trade" {
+			t.Fatalf("table %s should have been prefiltered", name)
+		}
+	}
+}
+
+func TestAugmentKeepScores(t *testing.T) {
+	corpus := synth.Poverty(synth.Config{Seed: 59, Scale: 0.15})
+	cands := discovery.Discover(corpus.Base, corpus.Repo, corpus.Target, discovery.Options{})
+	res, err := Augment(corpus.Base, cands, Options{
+		Target:      corpus.Target,
+		CoresetSize: 160,
+		Selector:    fastRIFS(),
+		Estimator:   fastEstimator(7),
+		KeepScores:  true,
+		Seed:        60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded := false
+	for _, b := range res.Batches {
+		if len(b.KeptFeatures) > 0 && b.Score > 0 {
+			recorded = true
+		}
+	}
+	if !recorded {
+		t.Fatal("KeepScores did not record any batch score")
+	}
+}
+
+func TestAugmentColumnPrefixes(t *testing.T) {
+	corpus := synth.Poverty(synth.Config{Seed: 61, Scale: 0.15})
+	cands := discovery.Discover(corpus.Base, corpus.Repo, corpus.Target, discovery.Options{})
+	res, err := Augment(corpus.Base, cands, Options{
+		Target:      corpus.Target,
+		CoresetSize: 160,
+		Selector:    fastRIFS(),
+		Estimator:   fastEstimator(8),
+		Seed:        62,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range res.KeptColumns {
+		if !strings.HasPrefix(col, "t") || !strings.Contains(col, ".") {
+			t.Fatalf("kept column %q lacks the per-candidate prefix", col)
+		}
+		if !res.Table.HasColumn(col) {
+			t.Fatalf("kept column %q missing from the materialized table", col)
+		}
+	}
+	// All base columns must survive untouched.
+	for _, name := range corpus.Base.ColumnNames() {
+		if !res.Table.HasColumn(name) {
+			t.Fatalf("base column %q lost during augmentation", name)
+		}
+	}
+}
+
+func TestSourceColumn(t *testing.T) {
+	cases := map[string]string{
+		"t3.temp":       "t3.temp",
+		"t3.city=NYC":   "t3.city",
+		"t3.city=<oth>": "t3.city",
+		"plain":         "plain",
+	}
+	for in, want := range cases {
+		if got := sourceColumn(in); got != want {
+			t.Fatalf("sourceColumn(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSpecForDefaults(t *testing.T) {
+	cand := discovery.Candidate{Keys: []join.KeyPair{{BaseColumn: "a", ForeignColumn: "b"}}}
+	spec := specFor(cand, Options{}, "p.")
+	if spec.Prefix != "p." || spec.TimeResample != true {
+		t.Fatalf("spec defaults wrong: %+v", spec)
+	}
+	spec = specFor(cand, Options{DisableTimeResample: true, Tolerance: 5}, "q.")
+	if spec.TimeResample || spec.Tolerance != 5 {
+		t.Fatalf("spec overrides wrong: %+v", spec)
+	}
+}
+
+func TestAugmentKNNImputeAndSignificance(t *testing.T) {
+	corpus := synth.Poverty(synth.Config{Seed: 63, Scale: 0.15})
+	cands := discovery.Discover(corpus.Base, corpus.Repo, corpus.Target, discovery.Options{})
+	res, err := Augment(corpus.Base, cands, Options{
+		Target:       corpus.Target,
+		CoresetSize:  160,
+		Selector:     fastRIFS(),
+		Estimator:    fastEstimator(9),
+		KNNImpute:    5,
+		Significance: 200,
+		Seed:         64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significance == nil {
+		t.Fatal("significance test not recorded")
+	}
+	if res.Significance.AugScore <= res.Significance.BaseScore {
+		t.Fatalf("significance point estimates inverted: %+v", res.Significance)
+	}
+	if !res.Significance.Significant(0.1) {
+		t.Fatalf("planted-signal augmentation should be significant: p=%v", res.Significance.PValue)
+	}
+	if res.Table.MissingCells() != 0 {
+		t.Fatal("kNN+simple imputation left missing cells")
+	}
+}
+
+func TestAugmentTransitiveCandidates(t *testing.T) {
+	// Build a corpus whose only strong signal is two hops away, then verify
+	// the pipeline exploits the widened transitive candidate.
+	corpus := synth.Poverty(synth.Config{Seed: 65, Scale: 0.15})
+	// Strip the directly-joinable signal tables, keep noise + the base.
+	var repo []*dataframe.Table
+	for _, tab := range corpus.Repo {
+		if !corpus.RelevantTables[tab.Name()] || tab.Name() == "state_economy" {
+			repo = append(repo, tab)
+		}
+	}
+	// state_economy is reachable via the base's state column directly; to
+	// force a second hop, rename the base's state column so only a mapping
+	// table links them.
+	base := dataframe.MustNewTable(corpus.Base.Name(),
+		corpus.Base.Column("county_id"),
+		corpus.Base.Column("population"),
+		corpus.Base.Column(corpus.Target),
+	)
+	mapping := dataframe.MustNewTable("county_state",
+		corpus.Base.Column("county_id"),
+		corpus.Base.Column("state").WithName("state"),
+	)
+	repo = append(repo, mapping)
+
+	direct := discovery.Discover(base, repo, corpus.Target, discovery.Options{})
+	for _, c := range direct {
+		if c.Table.Name() == "state_economy" {
+			t.Fatal("scenario broken: state_economy directly reachable")
+		}
+	}
+	trans := discovery.Transitive(base, repo, corpus.Target, discovery.TransitiveOptions{}, nil)
+	if len(trans) == 0 {
+		t.Fatal("no transitive candidates")
+	}
+	all := append(direct, trans...)
+	res, err := Augment(base, all, Options{
+		Target:      corpus.Target,
+		CoresetSize: 160,
+		Selector:    fastRIFS(),
+		Estimator:   fastEstimator(10),
+		Seed:        66,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundVia := false
+	for _, col := range res.KeptColumns {
+		if strings.Contains(col, "via.state_economy.") {
+			foundVia = true
+		}
+	}
+	if !foundVia {
+		t.Fatalf("transitive gdp feature not kept; kept = %v", res.KeptColumns)
+	}
+}
+
+func TestAugmentDoesNotMutateInput(t *testing.T) {
+	// Base table with missing values, no coreset reduction (size >= rows):
+	// imputation during the run must not leak into the caller's table.
+	base := dataframe.MustNewTable("b",
+		dataframe.NewCategorical("k", []string{"a", "b", "c", "d"}),
+		dataframe.NewNumeric("x", []float64{1, math.NaN(), 3, 4}),
+		dataframe.NewNumeric("y", []float64{1, 2, 3, 4}),
+	)
+	foreign := dataframe.MustNewTable("f",
+		dataframe.NewCategorical("k", []string{"a", "b"}),
+		dataframe.NewNumeric("v", []float64{10, 20}),
+	)
+	cands := discovery.Discover(base, []*dataframe.Table{foreign}, "y", discovery.Options{})
+	before := base.MissingCells()
+	_, err := Augment(base, cands, Options{
+		Target:    "y",
+		Selector:  featsel.AllFeatures{},
+		Estimator: fastEstimator(11),
+		Seed:      67,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.MissingCells() != before {
+		t.Fatalf("Augment mutated the caller's table: missing %d -> %d",
+			before, base.MissingCells())
+	}
+}

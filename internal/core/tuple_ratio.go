@@ -1,0 +1,83 @@
+package core
+
+import (
+	"github.com/arda-ml/arda/internal/dataframe"
+	"github.com/arda-ml/arda/internal/discovery"
+)
+
+// TupleRatio computes Kumar et al.'s ratio nS/nR for a candidate join: the
+// number of base-table training examples divided by the size of the
+// foreign-key domain (the count of distinct join-key values in the foreign
+// table). The associated decision rule states that a foreign table is highly
+// unlikely to help a predictive model when the ratio exceeds a tuned
+// threshold τ.
+func TupleRatio(baseRows int, c discovery.Candidate) float64 {
+	domain := KeyDomainSize(c)
+	if domain == 0 {
+		return 0
+	}
+	return float64(baseRows) / float64(domain)
+}
+
+// KeyDomainSize counts distinct (composite) join-key values in the
+// candidate's foreign table.
+func KeyDomainSize(c discovery.Candidate) int {
+	cols := make([]dataframe.Column, 0, len(c.Keys))
+	for _, kp := range c.Keys {
+		col := c.Table.Column(kp.ForeignColumn)
+		if col == nil {
+			return 0
+		}
+		cols = append(cols, col)
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < c.Table.NumRows(); i++ {
+		key, ok := compositeKeyOf(cols, i)
+		if !ok {
+			continue
+		}
+		seen[key] = true
+	}
+	return len(seen)
+}
+
+// compositeKeyOf renders row i's composite key for domain counting.
+func compositeKeyOf(cols []dataframe.Column, i int) (string, bool) {
+	out := ""
+	for n, c := range cols {
+		if c.IsMissing(i) {
+			return "", false
+		}
+		if n > 0 {
+			out += "\x1f"
+		}
+		out += c.StringAt(i)
+	}
+	return out, true
+}
+
+// FilterTupleRatio drops candidates whose tuple ratio exceeds tau, returning
+// the survivors and the number of distinct tables removed.
+func FilterTupleRatio(baseRows int, cands []discovery.Candidate, tau float64) ([]discovery.Candidate, int) {
+	if tau <= 0 {
+		return cands, 0
+	}
+	removedTables := make(map[string]bool)
+	keptTables := make(map[string]bool)
+	out := make([]discovery.Candidate, 0, len(cands))
+	for _, c := range cands {
+		if TupleRatio(baseRows, c) > tau {
+			removedTables[c.Table.Name()] = true
+			continue
+		}
+		keptTables[c.Table.Name()] = true
+		out = append(out, c)
+	}
+	removed := 0
+	for name := range removedTables {
+		if !keptTables[name] {
+			removed++
+		}
+	}
+	return out, removed
+}

@@ -1,0 +1,120 @@
+package dataframe
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNumericColumnBasics(t *testing.T) {
+	c := NewNumeric("x", []float64{1, math.NaN(), 3})
+	if c.Name() != "x" {
+		t.Fatalf("Name() = %q, want x", c.Name())
+	}
+	if c.Kind() != Numeric {
+		t.Fatalf("Kind() = %v, want Numeric", c.Kind())
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", c.Len())
+	}
+	if !c.IsMissing(1) || c.IsMissing(0) {
+		t.Fatal("IsMissing misreports NaN entries")
+	}
+	if c.MissingCount() != 1 {
+		t.Fatalf("MissingCount() = %d, want 1", c.MissingCount())
+	}
+	if got := c.StringAt(1); got != "" {
+		t.Fatalf("StringAt(missing) = %q, want empty", got)
+	}
+	if got := c.StringAt(2); got != "3" {
+		t.Fatalf("StringAt(2) = %q, want 3", got)
+	}
+}
+
+func TestNumericGather(t *testing.T) {
+	c := NewNumeric("x", []float64{10, 20, 30})
+	g := c.Gather([]int{2, -1, 0, 0}).(*NumericColumn)
+	want := []float64{30, math.NaN(), 10, 10}
+	for i, w := range want {
+		got := g.Values[i]
+		if math.IsNaN(w) != math.IsNaN(got) || (!math.IsNaN(w) && got != w) {
+			t.Fatalf("gather[%d] = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestCategoricalColumn(t *testing.T) {
+	c := NewCategorical("city", []string{"nyc", "", "boston", "nyc"})
+	if c.Cardinality() != 2 {
+		t.Fatalf("Cardinality() = %d, want 2", c.Cardinality())
+	}
+	if !c.IsMissing(1) {
+		t.Fatal("empty string should be missing")
+	}
+	if v, ok := c.Value(3); !ok || v != "nyc" {
+		t.Fatalf("Value(3) = %q,%v want nyc,true", v, ok)
+	}
+	if c.Codes[0] != c.Codes[3] {
+		t.Fatal("equal strings should share a code")
+	}
+	g := c.Gather([]int{-1, 2}).(*CategoricalColumn)
+	if g.Codes[0] != -1 || g.StringAt(1) != "boston" {
+		t.Fatalf("gather = %v / %q", g.Codes, g.StringAt(1))
+	}
+}
+
+func TestTimeColumn(t *testing.T) {
+	c := NewTime("ts", []int64{0, MissingTime, 86400})
+	if c.MissingCount() != 1 {
+		t.Fatalf("MissingCount() = %d, want 1", c.MissingCount())
+	}
+	if got := c.StringAt(0); got != "1970-01-01T00:00:00Z" {
+		t.Fatalf("StringAt(0) = %q", got)
+	}
+	if got := c.StringAt(1); got != "" {
+		t.Fatalf("StringAt(missing) = %q, want empty", got)
+	}
+}
+
+func TestWithNameSharesStorage(t *testing.T) {
+	c := NewNumeric("a", []float64{1, 2})
+	r := c.WithName("b").(*NumericColumn)
+	r.Values[0] = 99
+	if c.Values[0] != 99 {
+		t.Fatal("WithName should share backing storage")
+	}
+	if c.Name() != "a" || r.Name() != "b" {
+		t.Fatalf("names = %q, %q", c.Name(), r.Name())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := NewCategorical("c", []string{"a", "b"})
+	cl := c.Clone().(*CategoricalColumn)
+	cl.Codes[0] = -1
+	if c.Codes[0] == -1 {
+		t.Fatal("Clone should not share codes")
+	}
+}
+
+// Property: Gather with identity indices reproduces the column exactly.
+func TestGatherIdentityProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		c := NewNumeric("v", vals)
+		idx := make([]int, len(vals))
+		for i := range idx {
+			idx[i] = i
+		}
+		g := c.Gather(idx).(*NumericColumn)
+		for i := range vals {
+			a, b := vals[i], g.Values[i]
+			if math.IsNaN(a) != math.IsNaN(b) || (!math.IsNaN(a) && a != b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

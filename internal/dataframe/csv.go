@@ -1,0 +1,202 @@
+package dataframe
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// timeLayouts are the timestamp formats recognized by CSV type inference,
+// tried in order. Date-only layouts parse to midnight UTC.
+var timeLayouts = []string{
+	time.RFC3339,
+	"2006-01-02 15:04:05",
+	"2006-01-02 15:04",
+	"2006-01-02",
+	"01/02/2006 15:04:05",
+	"01/02/2006",
+}
+
+// parseTime attempts to parse s with the known layouts, returning Unix
+// seconds.
+func parseTime(s string) (int64, bool) {
+	for _, layout := range timeLayouts {
+		if ts, err := time.Parse(layout, s); err == nil {
+			return ts.Unix(), true
+		}
+	}
+	return 0, false
+}
+
+// ReadCSV parses a table from CSV with a header row, inferring a kind for
+// each column: a column is Time if every non-empty cell parses as a known
+// timestamp layout, Numeric if every non-empty cell parses as a float, and
+// Categorical otherwise. Empty cells become missing values.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataframe: reading CSV for table %q: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataframe: CSV for table %q has no header", name)
+	}
+	header := normalizeHeader(records[0])
+	rows := records[1:]
+	cols := make([]Column, 0, len(header))
+	raw := make([]string, len(rows))
+	for j, colName := range header {
+		for i, rec := range rows {
+			if j < len(rec) {
+				raw[i] = strings.TrimSpace(rec[j])
+			} else {
+				raw[i] = ""
+			}
+		}
+		cols = append(cols, inferColumn(colName, raw))
+	}
+	return NewTable(name, cols...)
+}
+
+// normalizeHeader makes header names usable as column identifiers: empty
+// cells become "colN" and duplicates get a numeric suffix, so every parsed
+// table can round-trip through WriteCSV.
+func normalizeHeader(raw []string) []string {
+	out := make([]string, len(raw))
+	seen := make(map[string]int, len(raw))
+	for j, name := range raw {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			name = fmt.Sprintf("col%d", j+1)
+		}
+		if n := seen[name]; n > 0 {
+			seen[name] = n + 1
+			name = fmt.Sprintf("%s_%d", name, n+1)
+		}
+		seen[name]++
+		out[j] = name
+	}
+	return out
+}
+
+// inferColumn builds a column of the most specific kind that fits raw.
+func inferColumn(name string, raw []string) Column {
+	allTime, allNum, any := true, true, false
+	for _, s := range raw {
+		if s == "" {
+			continue
+		}
+		any = true
+		if allTime {
+			if _, ok := parseTime(s); !ok {
+				allTime = false
+			}
+		}
+		if allNum {
+			if _, err := strconv.ParseFloat(s, 64); err != nil {
+				allNum = false
+			}
+		}
+		if !allTime && !allNum {
+			break
+		}
+	}
+	switch {
+	case any && allTime:
+		unix := make([]int64, len(raw))
+		for i, s := range raw {
+			if s == "" {
+				unix[i] = MissingTime
+				continue
+			}
+			ts, _ := parseTime(s)
+			unix[i] = ts
+		}
+		return NewTime(name, unix)
+	case any && allNum:
+		vals := make([]float64, len(raw))
+		for i, s := range raw {
+			if s == "" {
+				vals[i] = math.NaN()
+				continue
+			}
+			v, _ := strconv.ParseFloat(s, 64)
+			vals[i] = v
+		}
+		return NewNumeric(name, vals)
+	default:
+		vals := make([]string, len(raw))
+		copy(vals, raw)
+		return NewCategorical(name, vals)
+	}
+}
+
+// ReadCSVFile reads a table from a CSV file; the table is named after the
+// file's base name without extension.
+func ReadCSVFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if i := strings.LastIndexByte(base, '.'); i > 0 {
+		base = base[:i]
+	}
+	return ReadCSV(base, f)
+}
+
+// WriteCSV writes the table as CSV with a header row. Missing values are
+// written as empty cells.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.ColumnNames()); err != nil {
+		return err
+	}
+	rec := make([]string, t.NumCols())
+	for i := 0; i < t.NumRows(); i++ {
+		for j, c := range t.cols {
+			rec[j] = c.StringAt(i)
+		}
+		// encoding/csv writes a record holding a single empty field as a
+		// blank line, which readers skip; quote it explicitly so the row
+		// survives a round trip.
+		if len(rec) == 1 && rec[0] == "" {
+			cw.Flush()
+			if err := cw.Error(); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(w, "\"\"\n"); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the table to the given path as CSV.
+func (t *Table) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

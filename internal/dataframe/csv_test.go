@@ -1,0 +1,150 @@
+package dataframe
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVInference(t *testing.T) {
+	in := "date,city,amount\n2020-01-02,nyc,1.5\n2020-01-03,,\n,boston,2\n"
+	tab, err := ReadCSV("t", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Column("date").Kind() != Time {
+		t.Fatalf("date kind = %v, want Time", tab.Column("date").Kind())
+	}
+	if tab.Column("city").Kind() != Categorical {
+		t.Fatalf("city kind = %v", tab.Column("city").Kind())
+	}
+	if tab.Column("amount").Kind() != Numeric {
+		t.Fatalf("amount kind = %v", tab.Column("amount").Kind())
+	}
+	if !tab.Column("date").IsMissing(2) || !tab.Column("city").IsMissing(1) || !tab.Column("amount").IsMissing(1) {
+		t.Fatal("empty cells should be missing")
+	}
+	if got := tab.Column("amount").(*NumericColumn).Values[0]; got != 1.5 {
+		t.Fatalf("amount[0] = %v", got)
+	}
+}
+
+func TestReadCSVMixedFallsBackToCategorical(t *testing.T) {
+	in := "v\n1\nx\n"
+	tab, err := ReadCSV("t", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Column("v").Kind() != Categorical {
+		t.Fatalf("mixed column kind = %v, want Categorical", tab.Column("v").Kind())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab := MustNewTable("rt",
+		NewTime("ts", []int64{0, MissingTime}),
+		NewCategorical("k", []string{"a", ""}),
+		NewNumeric("v", []float64{1.25, math.NaN()}),
+	)
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("rt", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 2 || back.NumCols() != 3 {
+		t.Fatalf("round-trip shape = %dx%d", back.NumRows(), back.NumCols())
+	}
+	if got := back.Column("v").(*NumericColumn).Values[0]; got != 1.25 {
+		t.Fatalf("v[0] = %v", got)
+	}
+	if !back.Column("v").IsMissing(1) || !back.Column("k").IsMissing(1) || !back.Column("ts").IsMissing(1) {
+		t.Fatal("missing cells lost in round trip")
+	}
+	if got := back.Column("ts").(*TimeColumn).Unix[0]; got != 0 {
+		t.Fatalf("ts[0] = %v", got)
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sample.csv")
+	tab := MustNewTable("sample", NewNumeric("x", []float64{3, 4}))
+	if err := tab.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != "sample" {
+		t.Fatalf("table name = %q, want sample", back.Name())
+	}
+	if got := back.Column("x").(*NumericColumn).Values[1]; got != 4 {
+		t.Fatalf("x[1] = %v", got)
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	if _, err := ReadCSV("e", strings.NewReader("")); err == nil {
+		t.Fatal("empty CSV should error")
+	}
+}
+
+func TestReadCSVQuotedFields(t *testing.T) {
+	in := "name,notes\n\"Smith, John\",\"said \"\"hi\"\"\"\n"
+	tab, err := ReadCSV("q", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Column("name").StringAt(0); got != "Smith, John" {
+		t.Fatalf("quoted field = %q", got)
+	}
+	if got := tab.Column("notes").StringAt(0); got != `said "hi"` {
+		t.Fatalf("escaped quotes = %q", got)
+	}
+}
+
+func TestReadCSVAllEmptyColumn(t *testing.T) {
+	in := "a,b\n1,\n2,\n"
+	tab, err := ReadCSV("e", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A column with no values at all defaults to categorical, all missing.
+	c := tab.Column("b")
+	if c.Kind() != Categorical || c.MissingCount() != 2 {
+		t.Fatalf("empty column kind=%v missing=%d", c.Kind(), c.MissingCount())
+	}
+}
+
+func TestReadCSVRaggedRows(t *testing.T) {
+	// encoding/csv rejects ragged records; we surface that as an error.
+	in := "a,b\n1\n"
+	if _, err := ReadCSV("r", strings.NewReader(in)); err == nil {
+		t.Fatal("ragged CSV should error")
+	}
+}
+
+func TestCSVNumericPrecisionRoundTrip(t *testing.T) {
+	vals := []float64{math.Pi, 1e-300, 1e300, -0.1, 12345678901234.5}
+	tab := MustNewTable("p", NewNumeric("v", vals))
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("p", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.Column("v").(*NumericColumn).Values
+	for i, w := range vals {
+		if got[i] != w {
+			t.Fatalf("v[%d] = %v, want %v (precision lost)", i, got[i], w)
+		}
+	}
+}

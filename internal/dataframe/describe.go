@@ -1,0 +1,135 @@
+package dataframe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ColumnSummary profiles one column for schema exploration (cmd/arda's
+// describe mode and discovery debugging).
+type ColumnSummary struct {
+	Name    string
+	Kind    Kind
+	Missing int
+	// Distinct counts unique present values (capped at DistinctCap).
+	Distinct int
+	// Min/Max/Mean/Median describe numeric columns (Min/Max also time
+	// columns, as Unix seconds).
+	Min, Max, Mean, Median float64
+	// Top holds up to three modal values for categorical columns.
+	Top []string
+}
+
+// DistinctCap bounds distinct-value counting in summaries.
+const DistinctCap = 10000
+
+// Describe profiles every column of the table.
+func (t *Table) Describe() []ColumnSummary {
+	out := make([]ColumnSummary, 0, t.NumCols())
+	for _, c := range t.Columns() {
+		s := ColumnSummary{Name: c.Name(), Kind: c.Kind(), Missing: c.MissingCount()}
+		switch col := c.(type) {
+		case *NumericColumn:
+			summarizeNumeric(&s, col.Values)
+		case *TimeColumn:
+			vals := make([]float64, 0, len(col.Unix))
+			for _, v := range col.Unix {
+				if v != MissingTime {
+					vals = append(vals, float64(v))
+				}
+			}
+			summarizeNumeric(&s, vals)
+		case *CategoricalColumn:
+			counts := make(map[int]int)
+			for _, code := range col.Codes {
+				if code >= 0 {
+					counts[code]++
+				}
+			}
+			s.Distinct = len(counts)
+			type kc struct {
+				code, n int
+			}
+			top := make([]kc, 0, len(counts))
+			for code, n := range counts {
+				top = append(top, kc{code, n})
+			}
+			sort.Slice(top, func(a, b int) bool {
+				if top[a].n != top[b].n {
+					return top[a].n > top[b].n
+				}
+				return top[a].code < top[b].code
+			})
+			for i := 0; i < len(top) && i < 3; i++ {
+				s.Top = append(s.Top, col.Dict[top[i].code])
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// summarizeNumeric fills the numeric fields of a summary.
+func summarizeNumeric(s *ColumnSummary, vals []float64) {
+	present := make([]float64, 0, len(vals))
+	for _, v := range vals {
+		if !math.IsNaN(v) {
+			present = append(present, v)
+		}
+	}
+	if len(present) == 0 {
+		s.Min, s.Max, s.Mean, s.Median = math.NaN(), math.NaN(), math.NaN(), math.NaN()
+		return
+	}
+	sort.Float64s(present)
+	s.Min = present[0]
+	s.Max = present[len(present)-1]
+	sum := 0.0
+	distinct := 1
+	for i, v := range present {
+		sum += v
+		if i > 0 && v != present[i-1] && distinct < DistinctCap {
+			distinct++
+		}
+	}
+	s.Distinct = distinct
+	s.Mean = sum / float64(len(present))
+	mid := len(present) / 2
+	if len(present)%2 == 1 {
+		s.Median = present[mid]
+	} else {
+		s.Median = (present[mid-1] + present[mid]) / 2
+	}
+}
+
+// FormatDescription renders the summaries as an aligned text block.
+func FormatDescription(name string, rows int, summaries []ColumnSummary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d rows, %d columns\n", name, rows, len(summaries))
+	for _, s := range summaries {
+		fmt.Fprintf(&b, "  %-24s %-11s", s.Name, s.Kind)
+		switch s.Kind {
+		case Categorical:
+			fmt.Fprintf(&b, " distinct=%-6d top=%s", s.Distinct, strings.Join(s.Top, ","))
+		case Time:
+			if !math.IsNaN(s.Min) {
+				fmt.Fprintf(&b, " range=[%s, %s]",
+					time.Unix(int64(s.Min), 0).UTC().Format("2006-01-02"),
+					time.Unix(int64(s.Max), 0).UTC().Format("2006-01-02"))
+			}
+		default:
+			if !math.IsNaN(s.Mean) {
+				fmt.Fprintf(&b, " min=%.4g max=%.4g mean=%.4g median=%.4g",
+					s.Min, s.Max, s.Mean, s.Median)
+			}
+		}
+		if s.Missing > 0 {
+			fmt.Fprintf(&b, " missing=%d", s.Missing)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package dataframe
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDescribeNumeric(t *testing.T) {
+	tab := MustNewTable("t",
+		NewNumeric("v", []float64{3, 1, math.NaN(), 2, 2}),
+	)
+	s := tab.Describe()
+	if len(s) != 1 {
+		t.Fatalf("summaries = %d", len(s))
+	}
+	v := s[0]
+	if v.Min != 1 || v.Max != 3 || v.Mean != 2 || v.Median != 2 {
+		t.Fatalf("numeric summary = %+v", v)
+	}
+	if v.Missing != 1 || v.Distinct != 3 {
+		t.Fatalf("missing/distinct = %d/%d", v.Missing, v.Distinct)
+	}
+}
+
+func TestDescribeCategorical(t *testing.T) {
+	tab := MustNewTable("t",
+		NewCategorical("k", []string{"b", "a", "a", "", "c", "a", "b"}),
+	)
+	s := tab.Describe()[0]
+	if s.Distinct != 3 {
+		t.Fatalf("distinct = %d", s.Distinct)
+	}
+	if len(s.Top) != 3 || s.Top[0] != "a" || s.Top[1] != "b" {
+		t.Fatalf("top = %v", s.Top)
+	}
+}
+
+func TestDescribeTime(t *testing.T) {
+	tab := MustNewTable("t",
+		NewTime("ts", []int64{86400, 0, MissingTime}),
+	)
+	s := tab.Describe()[0]
+	if s.Min != 0 || s.Max != 86400 || s.Missing != 1 {
+		t.Fatalf("time summary = %+v", s)
+	}
+}
+
+func TestDescribeAllMissing(t *testing.T) {
+	tab := MustNewTable("t", NewNumeric("v", []float64{math.NaN()}))
+	s := tab.Describe()[0]
+	if !math.IsNaN(s.Mean) {
+		t.Fatalf("all-missing mean = %v", s.Mean)
+	}
+}
+
+func TestFormatDescription(t *testing.T) {
+	tab := MustNewTable("trips",
+		NewTime("date", []int64{0, 86400}),
+		NewCategorical("zone", []string{"a", "b"}),
+		NewNumeric("count", []float64{1, 2}),
+	)
+	out := FormatDescription(tab.Name(), tab.NumRows(), tab.Describe())
+	for _, want := range []string{"trips: 2 rows, 3 columns", "date", "1970-01-01", "zone", "distinct=2", "count", "mean=1.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("description missing %q:\n%s", want, out)
+		}
+	}
+}

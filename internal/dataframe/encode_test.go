@@ -1,0 +1,143 @@
+package dataframe
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestBinarize(t *testing.T) {
+	c := NewCategorical("city", []string{"a", "b", "a", "", "c"})
+	cols := Binarize(c)
+	if len(cols) != 3 {
+		t.Fatalf("got %d indicator columns, want 3", len(cols))
+	}
+	byName := map[string]*NumericColumn{}
+	for _, col := range cols {
+		byName[col.Name()] = col
+	}
+	a := byName["city=a"]
+	if a == nil {
+		t.Fatalf("missing city=a; have %v", names(cols))
+	}
+	if a.Values[0] != 1 || a.Values[1] != 0 || a.Values[2] != 1 {
+		t.Fatalf("city=a = %v", a.Values)
+	}
+	// Missing row is 0 in all indicators.
+	for _, col := range cols {
+		if col.Values[3] != 0 {
+			t.Fatalf("missing row set in %s", col.Name())
+		}
+	}
+}
+
+func TestBinarizeCardinalityCap(t *testing.T) {
+	vals := make([]string, 200)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("v%03d", i%100)
+	}
+	cols := Binarize(NewCategorical("k", vals))
+	if len(cols) > MaxOneHotCardinality {
+		t.Fatalf("got %d indicators, cap is %d", len(cols), MaxOneHotCardinality)
+	}
+	hasOther := false
+	for _, c := range cols {
+		if c.Name() == "k=<other>" {
+			hasOther = true
+		}
+	}
+	if !hasOther {
+		t.Fatal("expected pooled <other> indicator")
+	}
+	// Every present row contributes to exactly one indicator.
+	for i := range vals {
+		sum := 0.0
+		for _, c := range cols {
+			sum += c.Values[i]
+		}
+		if sum != 1 {
+			t.Fatalf("row %d indicator sum = %v, want 1", i, sum)
+		}
+	}
+}
+
+func TestToNumericView(t *testing.T) {
+	tab := MustNewTable("t",
+		NewTime("ts", []int64{0, 3600}),
+		NewCategorical("k", []string{"x", "y"}),
+		NewNumeric("v", []float64{1, math.NaN()}),
+		NewNumeric("target", []float64{0, 1}),
+	)
+	view := tab.ToNumericView("target")
+	if view.Rows != 2 {
+		t.Fatalf("rows = %d", view.Rows)
+	}
+	// ts + k=x + k=y + v = 4 columns.
+	if view.Cols != 4 {
+		t.Fatalf("cols = %d (%v)", view.Cols, view.Names)
+	}
+	for _, n := range view.Names {
+		if n == "target" {
+			t.Fatal("excluded column appears in view")
+		}
+	}
+	if got := view.At(1, 0); got != 3600 {
+		t.Fatalf("time feature = %v", got)
+	}
+	if !math.IsNaN(view.At(1, 3)) {
+		t.Fatalf("NaN should pass through, got %v", view.At(1, 3))
+	}
+}
+
+func TestTargetVector(t *testing.T) {
+	tab := MustNewTable("t",
+		NewCategorical("y", []string{"no", "yes", "no"}),
+		NewNumeric("r", []float64{1.5, 2.5, 3.5}),
+	)
+	y, err := tab.TargetVector("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 0 || y[1] != 1 || y[2] != 0 {
+		t.Fatalf("categorical target = %v", y)
+	}
+	r, err := tab.TargetVector("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[2] != 3.5 {
+		t.Fatalf("numeric target = %v", r)
+	}
+	if _, err := tab.TargetVector("absent"); err == nil {
+		t.Fatal("absent target should error")
+	}
+}
+
+func TestSelectAndAppendView(t *testing.T) {
+	tab := MustNewTable("t",
+		NewNumeric("a", []float64{1, 2}),
+		NewNumeric("b", []float64{3, 4}),
+		NewNumeric("c", []float64{5, 6}),
+	)
+	v := tab.ToNumericView()
+	sel := v.SelectView([]int{2, 0})
+	if sel.Cols != 2 || sel.Names[0] != "c" || sel.At(1, 1) != 2 {
+		t.Fatalf("SelectView wrong: %+v", sel)
+	}
+	app := AppendView(sel, v)
+	if app.Cols != 5 || app.At(0, 2) != 1 || app.At(0, 0) != 5 {
+		t.Fatalf("AppendView wrong: cols=%d", app.Cols)
+	}
+	g := v.GatherRows([]int{1})
+	if g.Rows != 1 || g.At(0, 1) != 4 {
+		t.Fatalf("GatherRows wrong")
+	}
+}
+
+func names(cols []*NumericColumn) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = c.Name()
+	}
+	return out
+}

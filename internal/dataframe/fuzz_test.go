@@ -1,0 +1,70 @@
+package dataframe
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts the CSV reader never panics and that any table it
+// accepts survives a write/read round trip with stable shape and kinds.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,x\n2,y\n")
+	f.Add("date,v\n2020-01-02,3.5\n,\n")
+	f.Add("only_header\n")
+	f.Add("a\n\"quoted, cell\"\n")
+	f.Add("x,y,z\n1,2\n")   // ragged
+	f.Add("a,a\n1,2\n")     // duplicate header
+	f.Add("\x00,\xff\n,\n") // binary garbage
+	f.Fuzz(func(t *testing.T, input string) {
+		tab, err := ReadCSV("fuzz", strings.NewReader(input))
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := tab.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted table failed to serialize: %v", err)
+		}
+		back, err := ReadCSV("fuzz", &buf)
+		if err != nil {
+			t.Fatalf("own output rejected on re-read: %v", err)
+		}
+		if back.NumRows() != tab.NumRows() || back.NumCols() != tab.NumCols() {
+			t.Fatalf("round trip changed shape: %dx%d -> %dx%d",
+				tab.NumRows(), tab.NumCols(), back.NumRows(), back.NumCols())
+		}
+		// Missing cells must not appear or disappear.
+		if back.MissingCells() != tab.MissingCells() {
+			t.Fatalf("round trip changed missing-cell count: %d -> %d",
+				tab.MissingCells(), back.MissingCells())
+		}
+	})
+}
+
+// FuzzBinarize asserts one-hot encoding never panics and always yields
+// exactly one active indicator per present value.
+func FuzzBinarize(f *testing.F) {
+	f.Add("a|b|a||c")
+	f.Add("|||")
+	f.Add("x")
+	f.Fuzz(func(t *testing.T, packed string) {
+		vals := strings.Split(packed, "|")
+		col := NewCategorical("k", vals)
+		indicators := Binarize(col)
+		if len(indicators) > MaxOneHotCardinality {
+			t.Fatalf("cardinality cap violated: %d indicators", len(indicators))
+		}
+		for i, v := range vals {
+			sum := 0.0
+			for _, ind := range indicators {
+				sum += ind.Values[i]
+			}
+			if v == "" && sum != 0 {
+				t.Fatalf("missing row %d has active indicators", i)
+			}
+			if v != "" && sum != 1 {
+				t.Fatalf("row %d indicator sum = %v, want 1", i, sum)
+			}
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package dataframe
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTable(t *testing.T) *Table {
+	t.Helper()
+	tab, err := NewTable("trips",
+		NewTime("date", []int64{0, 86400, 172800}),
+		NewCategorical("zone", []string{"a", "b", "a"}),
+		NewNumeric("count", []float64{5, 7, 9}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestTableBasics(t *testing.T) {
+	tab := sampleTable(t)
+	if tab.NumRows() != 3 || tab.NumCols() != 3 {
+		t.Fatalf("shape = %dx%d, want 3x3", tab.NumRows(), tab.NumCols())
+	}
+	if tab.Column("zone") == nil || tab.Column("nope") != nil {
+		t.Fatal("Column lookup broken")
+	}
+	if !tab.HasColumn("count") {
+		t.Fatal("HasColumn(count) = false")
+	}
+	names := tab.ColumnNames()
+	if strings.Join(names, ",") != "date,zone,count" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestAddColumnErrors(t *testing.T) {
+	tab := sampleTable(t)
+	if err := tab.AddColumn(NewNumeric("count", []float64{1, 2, 3})); err == nil {
+		t.Fatal("duplicate column name should error")
+	}
+	if err := tab.AddColumn(NewNumeric("short", []float64{1})); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestDropColumn(t *testing.T) {
+	tab := sampleTable(t)
+	tab.DropColumn("zone")
+	if tab.NumCols() != 2 || tab.HasColumn("zone") {
+		t.Fatal("DropColumn failed")
+	}
+	// Index map must stay consistent after drop.
+	if tab.Column("count").(*NumericColumn).Values[0] != 5 {
+		t.Fatal("column index remap broken")
+	}
+	tab.DropColumn("absent") // no-op
+	if tab.NumCols() != 2 {
+		t.Fatal("dropping absent column changed the table")
+	}
+}
+
+func TestProject(t *testing.T) {
+	tab := sampleTable(t)
+	p, err := tab.Project("count", "date")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(p.ColumnNames(), ",") != "count,date" {
+		t.Fatalf("projected names = %v", p.ColumnNames())
+	}
+	if _, err := tab.Project("missing"); err == nil {
+		t.Fatal("projecting a missing column should error")
+	}
+}
+
+func TestGatherTable(t *testing.T) {
+	tab := sampleTable(t)
+	g := tab.Gather([]int{2, 0})
+	if g.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", g.NumRows())
+	}
+	if got := g.Column("count").(*NumericColumn).Values[0]; got != 9 {
+		t.Fatalf("gathered count[0] = %v, want 9", got)
+	}
+}
+
+func TestHead(t *testing.T) {
+	tab := sampleTable(t)
+	if h := tab.Head(2); h.NumRows() != 2 {
+		t.Fatalf("Head(2) rows = %d", h.NumRows())
+	}
+	if h := tab.Head(99); h.NumRows() != 3 {
+		t.Fatalf("Head(99) rows = %d", h.NumRows())
+	}
+}
+
+func TestRenamePrefixed(t *testing.T) {
+	tab := sampleTable(t)
+	r := tab.RenamePrefixed("w.", map[string]bool{"date": true})
+	if !r.HasColumn("date") || !r.HasColumn("w.zone") || r.HasColumn("zone") {
+		t.Fatalf("renamed columns = %v", r.ColumnNames())
+	}
+}
+
+func TestSortedByTime(t *testing.T) {
+	tab := MustNewTable("x",
+		NewTime("ts", []int64{86400, MissingTime, 0}),
+	)
+	idx, err := tab.SortedByTime("ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx[0] != 2 || idx[1] != 0 || idx[2] != 1 {
+		t.Fatalf("sorted idx = %v, want [2 0 1]", idx)
+	}
+	if _, err := tab.SortedByTime("absent"); err == nil {
+		t.Fatal("sorting by absent column should error")
+	}
+}
+
+func TestStringSchema(t *testing.T) {
+	tab := sampleTable(t)
+	s := tab.String()
+	for _, want := range []string{"trips[", "date:time", "zone:categorical", "count:numeric", "(3 rows)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}

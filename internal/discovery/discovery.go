@@ -1,0 +1,398 @@
+// Package discovery is ARDA's stand-in for an external join-discovery system
+// such as Aurum or NYU Auctus. Given a base table and a repository of
+// candidate tables, it proposes candidate joins — (base column, foreign
+// table, foreign column) triples — scored by value containment and
+// column-name affinity, and classifies each key as hard (exact match) or
+// soft (proximity match, e.g. time). Exactly like its real counterparts, it
+// is deliberately recall-oriented: the candidate list is large and noisy, and
+// pruning useless joins is downstream ARDA's job.
+package discovery
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/arda-ml/arda/internal/dataframe"
+	"github.com/arda-ml/arda/internal/join"
+)
+
+// Candidate is one proposed join between the base table and a repository
+// table.
+type Candidate struct {
+	// Table is the foreign table.
+	Table *dataframe.Table
+	// Keys maps base columns onto foreign columns; len > 1 for composite
+	// keys.
+	Keys []join.KeyPair
+	// Score is the discovery relevancy estimate in [0, ~1.3]: value
+	// containment plus a name-affinity bonus. Higher is more promising.
+	Score float64
+	// Soft reports whether any key pair requires proximity matching.
+	Soft bool
+	// Geo marks a two-soft-key location candidate (lat/lon pair) that must
+	// be executed with join.GeoNearest.
+	Geo bool
+}
+
+// Options tunes candidate generation.
+type Options struct {
+	// MinContainment is the minimum fraction of distinct base key values
+	// that must appear in the foreign column for a hard candidate (default
+	// 0.05).
+	MinContainment float64
+	// MaxValueSample caps the number of distinct values compared per column
+	// (default 5000).
+	MaxValueSample int
+	// NameBonus is the score bonus for matching column names (default 0.3).
+	NameBonus float64
+	// UseMinHash estimates value containment from MinHash signatures
+	// instead of exact set intersection — O(k) per column pair after a
+	// one-time signature build, the way Aurum-style profilers scale to
+	// large repositories. Estimates carry ~±0.1 error.
+	UseMinHash bool
+}
+
+func (o *Options) defaults() {
+	if o.MinContainment <= 0 {
+		o.MinContainment = 0.05
+	}
+	if o.MaxValueSample <= 0 {
+		o.MaxValueSample = 5000
+	}
+	if o.NameBonus <= 0 {
+		o.NameBonus = 0.3
+	}
+}
+
+// Discover proposes candidate joins from the base table into every table of
+// the repository, ranked by descending score. The target column is never
+// used as a key.
+func Discover(base *dataframe.Table, repo []*dataframe.Table, target string, opts Options) []Candidate {
+	opts.defaults()
+	var sigs *sigCache
+	if opts.UseMinHash {
+		sigs = &sigCache{limit: opts.MaxValueSample, cache: map[dataframe.Column]*MinHash{}}
+	}
+	var out []Candidate
+	for _, foreign := range repo {
+		cands := discoverTable(base, foreign, target, opts, sigs)
+		out = append(out, cands...)
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Score > out[b].Score })
+	return out
+}
+
+// sigCache memoizes per-column MinHash signatures for one Discover call.
+type sigCache struct {
+	limit int
+	cache map[dataframe.Column]*MinHash
+}
+
+// of returns (building if needed) the signature of a column.
+func (s *sigCache) of(c dataframe.Column) *MinHash {
+	if sig, ok := s.cache[c]; ok {
+		return sig
+	}
+	sig := columnSignature(c, s.limit)
+	s.cache[c] = sig
+	return sig
+}
+
+// discoverTable proposes candidates between one base/foreign table pair:
+// every sufficiently-overlapping column pair individually, plus a composite
+// candidate when several hard pairs hit the same table.
+func discoverTable(base, foreign *dataframe.Table, target string, opts Options, sigs *sigCache) []Candidate {
+	var pairs []join.KeyPair
+	var scores []float64
+	for _, bc := range base.Columns() {
+		if bc.Name() == target {
+			continue
+		}
+		for _, fc := range foreign.Columns() {
+			kp, score, ok := matchColumns(bc, fc, opts, sigs)
+			if !ok {
+				continue
+			}
+			pairs = append(pairs, kp)
+			scores = append(scores, score)
+		}
+	}
+	var out []Candidate
+	for i, kp := range pairs {
+		out = append(out, Candidate{
+			Table: foreign,
+			Keys:  []join.KeyPair{kp},
+			Score: scores[i],
+			Soft:  kp.Kind == join.Soft,
+		})
+	}
+	// Composite candidate: all hard pairs with distinct base and foreign
+	// columns, when there are at least two.
+	var comp []join.KeyPair
+	compScore := 0.0
+	usedBase := map[string]bool{}
+	usedForeign := map[string]bool{}
+	for i, kp := range pairs {
+		if kp.Kind != join.Hard || usedBase[kp.BaseColumn] || usedForeign[kp.ForeignColumn] {
+			continue
+		}
+		comp = append(comp, kp)
+		compScore += scores[i]
+		usedBase[kp.BaseColumn] = true
+		usedForeign[kp.ForeignColumn] = true
+	}
+	if len(comp) >= 2 {
+		out = append(out, Candidate{
+			Table: foreign,
+			Keys:  comp,
+			Score: compScore / float64(len(comp)) * 1.1,
+		})
+	}
+	if geo, ok := geoCandidate(base, foreign, target, opts); ok {
+		out = append(out, geo)
+	}
+	return out
+}
+
+// geoCoordinateNames lists normalized name fragments identifying latitude
+// and longitude columns.
+var geoLatNames = []string{"lat", "latitude"}
+var geoLonNames = []string{"lon", "lng", "longitude"}
+
+// findCoordinate returns the first numeric column whose normalized name
+// matches one of the fragments.
+func findCoordinate(t *dataframe.Table, fragments []string, exclude string) *dataframe.NumericColumn {
+	for _, c := range t.Columns() {
+		if c.Name() == exclude {
+			continue
+		}
+		nc, ok := c.(*dataframe.NumericColumn)
+		if !ok {
+			continue
+		}
+		name := normalizeName(c.Name())
+		for _, f := range fragments {
+			if name == f || strings.HasSuffix(name, f) || strings.HasPrefix(name, f) {
+				return nc
+			}
+		}
+	}
+	return nil
+}
+
+// geoCandidate proposes a location-based join when both tables carry a
+// lat/lon coordinate pair with overlapping extents.
+func geoCandidate(base, foreign *dataframe.Table, target string, opts Options) (Candidate, bool) {
+	bLat := findCoordinate(base, geoLatNames, target)
+	bLon := findCoordinate(base, geoLonNames, target)
+	fLat := findCoordinate(foreign, geoLatNames, "")
+	fLon := findCoordinate(foreign, geoLonNames, "")
+	if bLat == nil || bLon == nil || fLat == nil || fLon == nil {
+		return Candidate{}, false
+	}
+	ovLat := rangeOverlap(numericRange(bLat), numericRange(fLat))
+	ovLon := rangeOverlap(numericRange(bLon), numericRange(fLon))
+	if ovLat <= 0 || ovLon <= 0 {
+		return Candidate{}, false
+	}
+	return Candidate{
+		Table: foreign,
+		Keys: []join.KeyPair{
+			{BaseColumn: bLon.Name(), ForeignColumn: fLon.Name(), Kind: join.Soft},
+			{BaseColumn: bLat.Name(), ForeignColumn: fLat.Name(), Kind: join.Soft},
+		},
+		Score: (ovLat + ovLon) / 2,
+		Soft:  true,
+		Geo:   true,
+	}, true
+}
+
+// matchColumns scores one base/foreign column pair as a potential key.
+// When sigs is non-nil, containment is estimated from MinHash signatures.
+func matchColumns(bc, fc dataframe.Column, opts Options, sigs *sigCache) (join.KeyPair, float64, bool) {
+	nameScore := nameAffinity(bc.Name(), fc.Name()) * opts.NameBonus
+	kp := join.KeyPair{BaseColumn: bc.Name(), ForeignColumn: fc.Name()}
+	containmentOf := func() float64 {
+		if sigs != nil {
+			return sigs.of(bc).Containment(sigs.of(fc))
+		}
+		switch bc.Kind() {
+		case dataframe.Categorical:
+			return containment(categoricalSet(bc.(*dataframe.CategoricalColumn), opts.MaxValueSample),
+				categoricalSet(fc.(*dataframe.CategoricalColumn), opts.MaxValueSample))
+		default:
+			return containment(numericSet(bc.(*dataframe.NumericColumn), opts.MaxValueSample),
+				numericSet(fc.(*dataframe.NumericColumn), opts.MaxValueSample))
+		}
+	}
+	switch {
+	case bc.Kind() == dataframe.Time && fc.Kind() == dataframe.Time:
+		// Time keys are soft; score by range overlap.
+		ov := rangeOverlap(timeRange(bc), timeRange(fc))
+		if ov <= 0 && nameScore == 0 {
+			return kp, 0, false
+		}
+		kp.Kind = join.Soft
+		return kp, ov + nameScore, true
+	case bc.Kind() == dataframe.Categorical && fc.Kind() == dataframe.Categorical:
+		cont := containmentOf()
+		if cont < opts.MinContainment {
+			return kp, 0, false
+		}
+		kp.Kind = join.Hard
+		return kp, cont + nameScore, true
+	case bc.Kind() == dataframe.Numeric && fc.Kind() == dataframe.Numeric:
+		// Numeric keys: exact containment suggests a hard (integer id) key;
+		// otherwise a name match with range overlap suggests a soft key.
+		cont := containmentOf()
+		if cont >= opts.MinContainment {
+			kp.Kind = join.Hard
+			return kp, cont + nameScore, true
+		}
+		if nameScore > 0 {
+			ov := rangeOverlap(numericRange(bc), numericRange(fc))
+			if ov > 0 {
+				kp.Kind = join.Soft
+				return kp, 0.5*ov + nameScore, true
+			}
+		}
+		return kp, 0, false
+	default:
+		return kp, 0, false
+	}
+}
+
+// nameAffinity returns 1 for equal normalized names, 0.5 when one contains
+// the other, 0 otherwise.
+func nameAffinity(a, b string) float64 {
+	na, nb := normalizeName(a), normalizeName(b)
+	switch {
+	case na == nb && na != "":
+		return 1
+	case na != "" && nb != "" && (strings.Contains(na, nb) || strings.Contains(nb, na)):
+		return 0.5
+	default:
+		return 0
+	}
+}
+
+// normalizeName lowercases and strips separators.
+func normalizeName(s string) string {
+	s = strings.ToLower(s)
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '_', '-', ' ', '.':
+			return -1
+		}
+		return r
+	}, s)
+}
+
+// containment returns |A ∩ B| / |A|.
+func containment(a, b map[string]bool) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	hits := 0
+	for v := range a {
+		if b[v] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(a))
+}
+
+// categoricalSet collects up to limit distinct values of a categorical
+// column.
+func categoricalSet(c *dataframe.CategoricalColumn, limit int) map[string]bool {
+	out := make(map[string]bool)
+	for _, code := range c.Codes {
+		if code >= 0 {
+			out[c.Dict[code]] = true
+			if len(out) >= limit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// numericSet collects up to limit distinct formatted values of a numeric
+// column.
+func numericSet(c *dataframe.NumericColumn, limit int) map[string]bool {
+	out := make(map[string]bool)
+	for i := range c.Values {
+		if s, ok := keyStringNumeric(c, i); ok {
+			out[s] = true
+			if len(out) >= limit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// keyStringNumeric formats a present numeric value for set comparison.
+func keyStringNumeric(c *dataframe.NumericColumn, i int) (string, bool) {
+	if c.IsMissing(i) {
+		return "", false
+	}
+	// Match join's canonical numeric key formatting.
+	return dataframe.NewNumeric("", c.Values[i:i+1]).StringAt(0), true
+}
+
+// numericRange returns [min, max] of a numeric column.
+func numericRange(c dataframe.Column) [2]float64 {
+	col := c.(*dataframe.NumericColumn)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, v := range col.Values {
+		if col.IsMissing(i) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return [2]float64{lo, hi}
+}
+
+// timeRange returns [min, max] of a time column in seconds.
+func timeRange(c dataframe.Column) [2]float64 {
+	col := c.(*dataframe.TimeColumn)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range col.Unix {
+		if v == dataframe.MissingTime {
+			continue
+		}
+		f := float64(v)
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	return [2]float64{lo, hi}
+}
+
+// rangeOverlap returns the overlap fraction of interval a within interval b
+// scaled to a's width (0 when disjoint or degenerate).
+func rangeOverlap(a, b [2]float64) float64 {
+	if a[0] > a[1] || b[0] > b[1] {
+		return 0
+	}
+	lo := math.Max(a[0], b[0])
+	hi := math.Min(a[1], b[1])
+	if hi <= lo {
+		return 0
+	}
+	width := a[1] - a[0]
+	if width <= 0 {
+		return 1
+	}
+	return (hi - lo) / width
+}

@@ -1,0 +1,127 @@
+package discovery
+
+import (
+	"testing"
+
+	"github.com/arda-ml/arda/internal/dataframe"
+	"github.com/arda-ml/arda/internal/join"
+)
+
+func TestDiscoverFindsCategoricalKey(t *testing.T) {
+	base := dataframe.MustNewTable("base",
+		dataframe.NewCategorical("city", []string{"nyc", "bos", "sfo"}),
+		dataframe.NewNumeric("y", []float64{1, 2, 3}),
+	)
+	good := dataframe.MustNewTable("pop",
+		dataframe.NewCategorical("city", []string{"nyc", "bos", "sfo", "lax"}),
+		dataframe.NewNumeric("population", []float64{8, 0.7, 0.9, 4}),
+	)
+	bad := dataframe.MustNewTable("junk",
+		dataframe.NewCategorical("code", []string{"q1", "q2"}),
+		dataframe.NewNumeric("v", []float64{1, 2}),
+	)
+	cands := Discover(base, []*dataframe.Table{good, bad}, "y", Options{})
+	if len(cands) == 0 {
+		t.Fatal("no candidates discovered")
+	}
+	top := cands[0]
+	if top.Table.Name() != "pop" || top.Keys[0].BaseColumn != "city" {
+		t.Fatalf("top candidate = %v onto %s", top.Keys, top.Table.Name())
+	}
+	if top.Keys[0].Kind != join.Hard {
+		t.Fatal("categorical overlap should be a hard key")
+	}
+	for _, c := range cands {
+		if c.Table.Name() == "junk" {
+			t.Fatal("non-overlapping table should produce no candidate")
+		}
+	}
+}
+
+func TestDiscoverTimeIsSoft(t *testing.T) {
+	base := dataframe.MustNewTable("base",
+		dataframe.NewTime("date", []int64{0, 86400, 172800}),
+		dataframe.NewNumeric("y", []float64{1, 2, 3}),
+	)
+	weather := dataframe.MustNewTable("weather",
+		dataframe.NewTime("ts", []int64{3600, 90000}),
+		dataframe.NewNumeric("temp", []float64{10, 12}),
+	)
+	cands := Discover(base, []*dataframe.Table{weather}, "y", Options{})
+	if len(cands) == 0 {
+		t.Fatal("time overlap should be discovered")
+	}
+	if !cands[0].Soft || cands[0].Keys[0].Kind != join.Soft {
+		t.Fatal("time key should be soft")
+	}
+}
+
+func TestDiscoverExcludesTarget(t *testing.T) {
+	base := dataframe.MustNewTable("base",
+		dataframe.NewCategorical("y", []string{"a", "b"}),
+	)
+	other := dataframe.MustNewTable("other",
+		dataframe.NewCategorical("y", []string{"a", "b"}),
+		dataframe.NewNumeric("v", []float64{1, 2}),
+	)
+	cands := Discover(base, []*dataframe.Table{other}, "y", Options{})
+	if len(cands) != 0 {
+		t.Fatal("target column must never be used as a key")
+	}
+}
+
+func TestDiscoverComposite(t *testing.T) {
+	base := dataframe.MustNewTable("base",
+		dataframe.NewCategorical("a", []string{"x", "y", "z"}),
+		dataframe.NewCategorical("b", []string{"1", "2", "3"}),
+		dataframe.NewNumeric("t", []float64{0, 0, 0}),
+	)
+	foreign := dataframe.MustNewTable("f",
+		dataframe.NewCategorical("a", []string{"x", "y", "z"}),
+		dataframe.NewCategorical("b", []string{"1", "2", "3"}),
+		dataframe.NewNumeric("v", []float64{1, 2, 3}),
+	)
+	cands := Discover(base, []*dataframe.Table{foreign}, "t", Options{})
+	foundComposite := false
+	for _, c := range cands {
+		if len(c.Keys) == 2 {
+			foundComposite = true
+		}
+	}
+	if !foundComposite {
+		t.Fatal("two overlapping hard keys should yield a composite candidate")
+	}
+}
+
+func TestNameAffinity(t *testing.T) {
+	if nameAffinity("pickup_date", "PickupDate") != 1 {
+		t.Fatal("normalized equal names should score 1")
+	}
+	if nameAffinity("date", "pickup_date") != 0.5 {
+		t.Fatal("containment should score 0.5")
+	}
+	if nameAffinity("foo", "bar") != 0 {
+		t.Fatal("unrelated names should score 0")
+	}
+}
+
+func TestNumericHardKeyByContainment(t *testing.T) {
+	base := dataframe.MustNewTable("base",
+		dataframe.NewNumeric("zip", []float64{10001, 10002, 10003}),
+		dataframe.NewNumeric("y", []float64{1, 2, 3}),
+	)
+	foreign := dataframe.MustNewTable("zips",
+		dataframe.NewNumeric("zip", []float64{10001, 10002, 10003, 10004}),
+		dataframe.NewNumeric("income", []float64{1, 2, 3, 4}),
+	)
+	cands := Discover(base, []*dataframe.Table{foreign}, "y", Options{})
+	found := false
+	for _, c := range cands {
+		if c.Keys[0].BaseColumn == "zip" && c.Keys[0].Kind == join.Hard {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("integer-id containment should yield a hard numeric key")
+	}
+}

@@ -1,0 +1,70 @@
+package discovery
+
+import (
+	"testing"
+
+	"github.com/arda-ml/arda/internal/dataframe"
+	"github.com/arda-ml/arda/internal/join"
+)
+
+func geoBase() *dataframe.Table {
+	return dataframe.MustNewTable("trips",
+		dataframe.NewNumeric("pickup_lon", []float64{-74.0, -73.9, -73.95}),
+		dataframe.NewNumeric("pickup_lat", []float64{40.7, 40.75, 40.72}),
+		dataframe.NewNumeric("y", []float64{1, 2, 3}),
+	)
+}
+
+func TestGeoCandidateDiscovered(t *testing.T) {
+	base := geoBase()
+	stations := dataframe.MustNewTable("stations",
+		dataframe.NewNumeric("lon", []float64{-74.0, -73.9}),
+		dataframe.NewNumeric("lat", []float64{40.7, 40.76}),
+		dataframe.NewNumeric("capacity", []float64{10, 20}),
+	)
+	cands := Discover(base, []*dataframe.Table{stations}, "y", Options{})
+	var geo *Candidate
+	for i := range cands {
+		if cands[i].Geo {
+			geo = &cands[i]
+		}
+	}
+	if geo == nil {
+		t.Fatal("no geo candidate discovered for overlapping lat/lon pairs")
+	}
+	if len(geo.Keys) != 2 || geo.Keys[0].Kind != join.Soft || geo.Keys[1].Kind != join.Soft {
+		t.Fatalf("geo keys = %+v", geo.Keys)
+	}
+	if geo.Keys[0].BaseColumn != "pickup_lon" || geo.Keys[1].BaseColumn != "pickup_lat" {
+		t.Fatalf("geo key columns = %+v", geo.Keys)
+	}
+}
+
+func TestGeoCandidateRequiresOverlap(t *testing.T) {
+	base := geoBase()
+	farAway := dataframe.MustNewTable("tokyo_stations",
+		dataframe.NewNumeric("lon", []float64{139.6, 139.8}),
+		dataframe.NewNumeric("lat", []float64{35.6, 35.7}),
+		dataframe.NewNumeric("capacity", []float64{10, 20}),
+	)
+	cands := Discover(base, []*dataframe.Table{farAway}, "y", Options{})
+	for _, c := range cands {
+		if c.Geo {
+			t.Fatal("disjoint coordinate extents should not yield a geo candidate")
+		}
+	}
+}
+
+func TestGeoCandidateNeedsBothCoordinates(t *testing.T) {
+	base := geoBase()
+	lonOnly := dataframe.MustNewTable("halfgeo",
+		dataframe.NewNumeric("lon", []float64{-74.0, -73.9}),
+		dataframe.NewNumeric("v", []float64{1, 2}),
+	)
+	cands := Discover(base, []*dataframe.Table{lonOnly}, "y", Options{})
+	for _, c := range cands {
+		if c.Geo {
+			t.Fatal("a lone longitude column should not yield a geo candidate")
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package discovery
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/arda-ml/arda/internal/dataframe"
+)
+
+func setOf(vals ...string) map[string]bool {
+	out := map[string]bool{}
+	for _, v := range vals {
+		out[v] = true
+	}
+	return out
+}
+
+func TestMinHashIdenticalSets(t *testing.T) {
+	a := NewMinHash(setOf("x", "y", "z"))
+	b := NewMinHash(setOf("x", "y", "z"))
+	if j := a.Jaccard(b); j != 1 {
+		t.Fatalf("identical sets Jaccard = %v", j)
+	}
+	if c := a.Containment(b); c != 1 {
+		t.Fatalf("identical sets containment = %v", c)
+	}
+}
+
+func TestMinHashDisjointSets(t *testing.T) {
+	a := NewMinHash(setOf("a", "b", "c"))
+	b := NewMinHash(setOf("x", "y", "z"))
+	if j := a.Jaccard(b); j > 0.05 {
+		t.Fatalf("disjoint sets Jaccard = %v", j)
+	}
+}
+
+func TestMinHashEmptySet(t *testing.T) {
+	a := NewMinHash(nil)
+	b := NewMinHash(setOf("x"))
+	if a.Jaccard(b) != 0 || a.Containment(b) != 0 {
+		t.Fatal("empty set should have zero similarity")
+	}
+}
+
+func TestMinHashContainmentSubset(t *testing.T) {
+	// A ⊂ B with |A|=50, |B|=500: containment of A in B is 1.
+	av := map[string]bool{}
+	bv := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		v := fmt.Sprintf("v%04d", i)
+		bv[v] = true
+		if i < 50 {
+			av[v] = true
+		}
+	}
+	a := NewMinHash(av)
+	b := NewMinHash(bv)
+	if c := a.Containment(b); c < 0.75 {
+		t.Fatalf("subset containment estimate = %v, want near 1", c)
+	}
+	// Reverse direction: only 10% of B is in A.
+	if c := b.Containment(a); c > 0.3 {
+		t.Fatalf("superset containment estimate = %v, want near 0.1", c)
+	}
+}
+
+// Property: the Jaccard estimate tracks the exact Jaccard within sampling
+// error on random set pairs.
+func TestMinHashJaccardAccuracyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		universe := 200 + rng.Intn(400)
+		av := map[string]bool{}
+		bv := map[string]bool{}
+		pa := 0.2 + 0.6*rng.Float64()
+		pb := 0.2 + 0.6*rng.Float64()
+		inter, union := 0, 0
+		for i := 0; i < universe; i++ {
+			v := fmt.Sprintf("u%05d", i)
+			inA := rng.Float64() < pa
+			inB := rng.Float64() < pb
+			if inA {
+				av[v] = true
+			}
+			if inB {
+				bv[v] = true
+			}
+			if inA && inB {
+				inter++
+			}
+			if inA || inB {
+				union++
+			}
+		}
+		if union == 0 {
+			return true
+		}
+		exact := float64(inter) / float64(union)
+		est := NewMinHash(av).Jaccard(NewMinHash(bv))
+		// 128 coordinates: tolerate ~4 standard errors.
+		return math.Abs(est-exact) < 0.35
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscoverWithMinHashFindsSameTopCandidate(t *testing.T) {
+	base := dataframe.MustNewTable("base",
+		dataframe.NewCategorical("city", []string{"nyc", "bos", "sfo", "chi", "lax"}),
+		dataframe.NewNumeric("y", []float64{1, 2, 3, 4, 5}),
+	)
+	good := dataframe.MustNewTable("pop",
+		dataframe.NewCategorical("city", []string{"nyc", "bos", "sfo", "chi", "lax", "mia"}),
+		dataframe.NewNumeric("population", []float64{8, 0.7, 0.9, 2.7, 4, 0.5}),
+	)
+	junk := dataframe.MustNewTable("junk",
+		dataframe.NewCategorical("code", []string{"q1", "q2"}),
+		dataframe.NewNumeric("v", []float64{1, 2}),
+	)
+	exact := Discover(base, []*dataframe.Table{good, junk}, "y", Options{})
+	approx := Discover(base, []*dataframe.Table{good, junk}, "y", Options{UseMinHash: true})
+	if len(exact) == 0 || len(approx) == 0 {
+		t.Fatal("discovery returned nothing")
+	}
+	if exact[0].Table.Name() != approx[0].Table.Name() {
+		t.Fatalf("minhash changed the top candidate: %s vs %s",
+			exact[0].Table.Name(), approx[0].Table.Name())
+	}
+	for _, c := range approx {
+		if c.Table.Name() == "junk" {
+			t.Fatal("minhash discovery admitted a non-overlapping table")
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package discovery
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/arda-ml/arda/internal/dataframe"
+)
+
+// transitiveScenario builds a two-hop corpus: the base joins to a mapping
+// table (county → region), and only the mapping table joins to the economy
+// table (region → gdp) that actually carries signal.
+func transitiveScenario() (base *dataframe.Table, repo []*dataframe.Table) {
+	const counties = 60
+	const regions = 6
+	countyIDs := make([]string, counties)
+	regionOf := make([]string, counties)
+	gdp := map[string]float64{}
+	for r := 0; r < regions; r++ {
+		gdp[fmt.Sprintf("region-%d", r)] = float64(r * 10)
+	}
+	target := make([]float64, counties)
+	for i := 0; i < counties; i++ {
+		countyIDs[i] = fmt.Sprintf("county-%02d", i)
+		regionOf[i] = fmt.Sprintf("region-%d", i%regions)
+		target[i] = 5 + 2*gdp[regionOf[i]]
+	}
+	base = dataframe.MustNewTable("base",
+		dataframe.NewCategorical("county", append([]string{}, countyIDs...)),
+		dataframe.NewNumeric("y", target),
+	)
+	mapping := dataframe.MustNewTable("mapping",
+		dataframe.NewCategorical("county", append([]string{}, countyIDs...)),
+		dataframe.NewCategorical("region", append([]string{}, regionOf...)),
+	)
+	regionNames := make([]string, regions)
+	gdpVals := make([]float64, regions)
+	for r := 0; r < regions; r++ {
+		regionNames[r] = fmt.Sprintf("region-%d", r)
+		gdpVals[r] = gdp[regionNames[r]]
+	}
+	economy := dataframe.MustNewTable("economy",
+		dataframe.NewCategorical("region", regionNames),
+		dataframe.NewNumeric("gdp", gdpVals),
+	)
+	return base, []*dataframe.Table{mapping, economy}
+}
+
+func TestTransitiveReachesSecondHop(t *testing.T) {
+	base, repo := transitiveScenario()
+
+	// Direct discovery cannot reach the economy table (no shared key with
+	// the base).
+	direct := Discover(base, repo, "y", Options{})
+	for _, c := range direct {
+		if c.Table.Name() == "economy" {
+			t.Fatal("economy should not be directly joinable")
+		}
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	trans := Transitive(base, repo, "y", TransitiveOptions{}, rng)
+	if len(trans) == 0 {
+		t.Fatal("no transitive candidates found")
+	}
+	var widened Candidate
+	found := false
+	for _, c := range trans {
+		if strings.HasPrefix(c.Table.Name(), "mapping+") {
+			widened = c
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no widened mapping candidate; got %v", names(trans))
+	}
+	if !widened.Table.HasColumn("via.economy.gdp") {
+		t.Fatalf("widened table lacks transitive gdp column: %v", widened.Table.ColumnNames())
+	}
+	// The widened table must still join the base on the original key.
+	if widened.Keys[0].BaseColumn != "county" {
+		t.Fatalf("widened candidate keys = %v", widened.Keys)
+	}
+	// Transitive gdp values must be correct: region i%6 → gdp 10·(i%6).
+	gdpCol := widened.Table.Column("via.economy.gdp").(*dataframe.NumericColumn)
+	countyCol := widened.Table.Column("county").(*dataframe.CategoricalColumn)
+	for i := 0; i < widened.Table.NumRows(); i++ {
+		name, _ := countyCol.Value(i)
+		var idx int
+		fmt.Sscanf(name, "county-%d", &idx)
+		if want := float64((idx % 6) * 10); gdpCol.Values[i] != want {
+			t.Fatalf("row %d (%s): gdp %v, want %v", i, name, gdpCol.Values[i], want)
+		}
+	}
+}
+
+func TestTransitiveScoresBelowDirect(t *testing.T) {
+	base, repo := transitiveScenario()
+	rng := rand.New(rand.NewSource(2))
+	direct := Discover(base, repo, "y", Options{})
+	trans := Transitive(base, repo, "y", TransitiveOptions{}, rng)
+	if len(direct) == 0 || len(trans) == 0 {
+		t.Fatal("scenario should produce both kinds")
+	}
+	if trans[0].Score >= direct[0].Score {
+		t.Fatalf("transitive score %v should rank below its direct hop %v",
+			trans[0].Score, direct[0].Score)
+	}
+}
+
+func names(cs []Candidate) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Table.Name()
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/arda-ml/arda/internal/ml"
+)
+
+// SignificanceResult reports a paired bootstrap comparison of two models'
+// holdout predictions — the statistical test the paper's §9 suggests for
+// validating augmented features.
+type SignificanceResult struct {
+	// BaseScore and AugScore are the point estimates on the holdout.
+	BaseScore, AugScore float64
+	// MeanDelta is the mean bootstrap difference (aug − base).
+	MeanDelta float64
+	// PValue estimates P(aug <= base) under bootstrap resampling of the
+	// holdout rows; small values mean the improvement is unlikely to be a
+	// holdout artifact.
+	PValue float64
+	// CI95 is the [2.5%, 97.5%] bootstrap interval of the difference.
+	CI95 [2]float64
+	// Resamples is the number of bootstrap rounds performed.
+	Resamples int
+}
+
+// Significant reports whether the augmentation improvement clears the given
+// significance level (e.g. 0.05).
+func (r *SignificanceResult) Significant(alpha float64) bool {
+	return r.PValue < alpha && r.MeanDelta > 0
+}
+
+// CompareAugmentation runs a paired bootstrap test on two prediction vectors
+// over the same holdout rows. task/classes select the score (accuracy or
+// clipped R²).
+func CompareAugmentation(task ml.Task, classes int, basePred, augPred, truth []float64, resamples int, seed int64) *SignificanceResult {
+	if resamples <= 0 {
+		resamples = 1000
+	}
+	n := len(truth)
+	rng := rand.New(rand.NewSource(seed))
+	res := &SignificanceResult{
+		BaseScore: Score(task, classes, basePred, truth),
+		AugScore:  Score(task, classes, augPred, truth),
+		Resamples: resamples,
+	}
+	if n == 0 {
+		res.PValue = 1
+		return res
+	}
+	deltas := make([]float64, resamples)
+	idx := make([]int, n)
+	rb := make([]float64, n)
+	ra := make([]float64, n)
+	rt := make([]float64, n)
+	worse := 0
+	for r := 0; r < resamples; r++ {
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		for i, j := range idx {
+			rb[i] = basePred[j]
+			ra[i] = augPred[j]
+			rt[i] = truth[j]
+		}
+		d := Score(task, classes, ra, rt) - Score(task, classes, rb, rt)
+		deltas[r] = d
+		res.MeanDelta += d
+		if d <= 0 {
+			worse++
+		}
+	}
+	res.MeanDelta /= float64(resamples)
+	res.PValue = float64(worse) / float64(resamples)
+	sort.Float64s(deltas)
+	lo := int(math.Floor(0.025 * float64(resamples)))
+	hi := int(math.Ceil(0.975*float64(resamples))) - 1
+	if hi >= resamples {
+		hi = resamples - 1
+	}
+	res.CI95 = [2]float64{deltas[lo], deltas[hi]}
+	return res
+}
+
+// TestAugmentation is the convenience form: it fits the estimator on the
+// training side of both datasets (which must share rows and row order) and
+// bootstraps the holdout difference.
+func TestAugmentation(baseDS, augDS *ml.Dataset, fit Fitter, resamples int, seed int64) *SignificanceResult {
+	split := TrainTestSplit(augDS, 0.25, seed)
+	baseModel := fit(baseDS.Subset(split.Train))
+	augModel := fit(augDS.Subset(split.Train))
+	baseTest := baseDS.Subset(split.Test)
+	augTest := augDS.Subset(split.Test)
+	basePred := ml.PredictAll(baseModel, baseTest)
+	augPred := ml.PredictAll(augModel, augTest)
+	return CompareAugmentation(augDS.Task, augDS.Classes, basePred, augPred, augTest.Y, resamples, seed)
+}

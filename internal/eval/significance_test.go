@@ -1,0 +1,103 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/arda-ml/arda/internal/ml"
+)
+
+func TestCompareAugmentationClearImprovement(t *testing.T) {
+	// Base predicts poorly, augmented predicts nearly perfectly.
+	n := 200
+	truth := make([]float64, n)
+	basePred := make([]float64, n)
+	augPred := make([]float64, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		truth[i] = float64(i % 2)
+		basePred[i] = float64(rng.Intn(2)) // coin flip
+		augPred[i] = truth[i]
+		if i%20 == 0 {
+			augPred[i] = 1 - truth[i] // 95% accuracy
+		}
+	}
+	res := CompareAugmentation(ml.Classification, 2, basePred, augPred, truth, 500, 2)
+	if !res.Significant(0.05) {
+		t.Fatalf("clear improvement not significant: %+v", res)
+	}
+	if res.CI95[0] <= 0 {
+		t.Fatalf("CI lower bound %v should be positive", res.CI95[0])
+	}
+	if res.AugScore <= res.BaseScore {
+		t.Fatal("point estimates inverted")
+	}
+}
+
+func TestCompareAugmentationNoImprovement(t *testing.T) {
+	// Identical predictions: delta is identically zero, p-value 1.
+	n := 100
+	truth := make([]float64, n)
+	pred := make([]float64, n)
+	for i := 0; i < n; i++ {
+		truth[i] = float64(i % 2)
+		pred[i] = truth[i]
+	}
+	res := CompareAugmentation(ml.Classification, 2, pred, pred, truth, 300, 3)
+	if res.Significant(0.05) {
+		t.Fatalf("identical models reported significant: %+v", res)
+	}
+	if res.PValue != 1 {
+		t.Fatalf("p-value = %v, want 1", res.PValue)
+	}
+}
+
+func TestCompareAugmentationNoisyTie(t *testing.T) {
+	// Both models are coin flips; significance should (almost always) fail.
+	n := 150
+	rng := rand.New(rand.NewSource(4))
+	truth := make([]float64, n)
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		truth[i] = float64(i % 2)
+		a[i] = float64(rng.Intn(2))
+		b[i] = float64(rng.Intn(2))
+	}
+	res := CompareAugmentation(ml.Classification, 2, a, b, truth, 500, 5)
+	if res.PValue < 0.01 {
+		t.Fatalf("noise vs noise p-value = %v", res.PValue)
+	}
+}
+
+func TestTestAugmentationEndToEnd(t *testing.T) {
+	// Base dataset: pure noise feature. Augmented: same rows plus a
+	// perfectly informative feature.
+	n := 240
+	rng := rand.New(rand.NewSource(6))
+	y := make([]float64, n)
+	noise := make([]float64, n)
+	both := make([]float64, n*2)
+	for i := 0; i < n; i++ {
+		y[i] = float64(i % 2)
+		noise[i] = rng.NormFloat64()
+		both[i*2] = noise[i]
+		both[i*2+1] = y[i]*3 + 0.1*rng.NormFloat64()
+	}
+	baseDS, _ := ml.NewDataset(noise, n, 1, y, ml.Classification, 2)
+	augDS, _ := ml.NewDataset(both, n, 2, y, ml.Classification, 2)
+	fit := func(d *ml.Dataset) ml.Model {
+		return ml.FitForest(d, ml.ForestConfig{NTrees: 15, MaxDepth: 5, Seed: 1})
+	}
+	res := TestAugmentation(baseDS, augDS, fit, 400, 7)
+	if !res.Significant(0.05) {
+		t.Fatalf("informative augmentation not significant: %+v", res)
+	}
+}
+
+func TestCompareAugmentationEmpty(t *testing.T) {
+	res := CompareAugmentation(ml.Classification, 2, nil, nil, nil, 100, 8)
+	if res.PValue != 1 {
+		t.Fatalf("empty holdout p-value = %v", res.PValue)
+	}
+}

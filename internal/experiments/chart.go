@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarChart renders labeled values as a horizontal ASCII bar chart, the
+// plotted companion to the figure tables. Negative values extend left of the
+// zero axis.
+func BarChart(title string, labels []string, values []float64, unit string) string {
+	const width = 40
+	maxAbs := 0.0
+	for _, v := range values {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	labelWidth := 0
+	for _, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	hasNeg := false
+	for _, v := range values {
+		if v < 0 {
+			hasNeg = true
+		}
+	}
+	for i, v := range values {
+		bars := int(math.Round(math.Abs(v) / maxAbs * width))
+		fmt.Fprintf(&b, "%-*s ", labelWidth, labels[i])
+		if hasNeg {
+			if v < 0 {
+				fmt.Fprintf(&b, "%*s|", width, strings.Repeat("#", bars))
+				b.WriteString(strings.Repeat(" ", width))
+			} else {
+				fmt.Fprintf(&b, "%*s|%s", width, "", strings.Repeat("#", bars))
+				b.WriteString(strings.Repeat(" ", width-bars))
+			}
+		} else {
+			b.WriteString(strings.Repeat("#", bars))
+			b.WriteString(strings.Repeat(" ", width-bars))
+		}
+		fmt.Fprintf(&b, "  %.2f%s\n", v, unit)
+	}
+	return b.String()
+}
+
+// RenderChart draws Figure 3 as grouped bars: one block per dataset, one bar
+// per system.
+func (r *Figure3Result) RenderChart() string {
+	var b strings.Builder
+	b.WriteString("Figure 3 (chart): achieved augmentation by system\n")
+	current := ""
+	var labels []string
+	var values []float64
+	flush := func() {
+		if current == "" {
+			return
+		}
+		b.WriteString(BarChart(current, labels, values, "%"))
+		b.WriteByte('\n')
+		labels, values = nil, nil
+	}
+	for _, row := range r.Rows {
+		if row.Dataset != current {
+			flush()
+			current = row.Dataset
+		}
+		labels = append(labels, row.System)
+		values = append(values, row.ImprovementPct)
+	}
+	flush()
+	return b.String()
+}
+
+// RenderChart draws Figure 6 as per-dataset bars of selected-feature counts,
+// annotated with the original-feature fraction.
+func (r *MicroResult) RenderChart() string {
+	var b strings.Builder
+	b.WriteString("Figure 6 (chart): features selected per method\n")
+	current := ""
+	var labels []string
+	var values []float64
+	flush := func() {
+		if current == "" {
+			return
+		}
+		b.WriteString(BarChart(current, labels, values, " selected"))
+		b.WriteByte('\n')
+		labels, values = nil, nil
+	}
+	for _, row := range r.Rows {
+		if row.Selected == 0 {
+			continue
+		}
+		if row.Dataset != current {
+			flush()
+			current = row.Dataset
+		}
+		frac := float64(row.OriginalSelected) / float64(row.Selected)
+		labels = append(labels, fmt.Sprintf("%s (%.0f%% real)", row.Method, 100*frac))
+		values = append(values, float64(row.Selected))
+	}
+	flush()
+	return b.String()
+}

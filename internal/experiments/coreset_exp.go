@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/arda-ml/arda/internal/coreset"
+	"github.com/arda-ml/arda/internal/eval"
+	"github.com/arda-ml/arda/internal/featsel"
+	"github.com/arda-ml/arda/internal/ml"
+	"github.com/arda-ml/arda/internal/synth"
+)
+
+// CoresetRow reports one (dataset, method) comparison of coreset strategies:
+// the score change of stratified sampling and sketching relative to uniform
+// sampling (Tables 2 and 3 of the paper).
+type CoresetRow struct {
+	Dataset, Method    string
+	Uniform            float64
+	StratifiedDeltaPct float64
+	SketchDeltaPct     float64
+}
+
+// CoresetResult holds one coreset-ablation table.
+type CoresetResult struct {
+	Title string
+	Rows  []CoresetRow
+	// SketchOnly omits the stratified column (Table 3: stratification is a
+	// classification-only strategy, so it is a no-op on regression corpora).
+	SketchOnly bool
+}
+
+// coresetScore reduces the training rows with the given strategy and runs
+// feature selection on the reduced set; the final model then trains on the
+// full training rows restricted to the selected features (as in the paper,
+// the coreset accelerates selection — sketched rows are linear mixtures and
+// cannot train a tree model that predicts real rows). The score is taken on
+// the untouched holdout.
+func coresetScore(ds *ml.Dataset, strat coreset.Strategy, sel featsel.Selector, s Scale, seed int64) (float64, error) {
+	split := eval.TrainTestSplit(ds, 0.25, seed)
+	train := ds.Subset(split.Train)
+	test := ds.Subset(split.Test)
+	rng := rand.New(rand.NewSource(seed + 17))
+	// The reduction must actually reduce, even on small quick-scale corpora.
+	size := s.CoresetSize
+	if size > train.N/2 {
+		size = train.N / 2
+	}
+	var reduced *ml.Dataset
+	if strat == coreset.Sketch {
+		reduced = coreset.SketchDataset(train, size, rng)
+	} else {
+		reduced = coreset.Sample(train, strat, size, rng)
+	}
+	est := s.Estimator(seed)
+	cols, err := sel.Select(reduced, est, seed)
+	if err != nil {
+		return 0, err
+	}
+	if len(cols) == 0 {
+		cols = []int{0}
+	}
+	model := est(train.SelectFeatures(cols))
+	testSel := test.SelectFeatures(cols)
+	pred := ml.PredictAll(model, testSel)
+	return eval.Score(ds.Task, ds.Classes, pred, testSel.Y), nil
+}
+
+// classificationCoresetDatasets builds the Table 2 datasets: the fully
+// materialized School (S) corpus plus the Digits and Kraken micro benchmarks
+// with injected noise.
+func classificationCoresetDatasets(s Scale, seed int64) (map[string]*ml.Dataset, error) {
+	out := map[string]*ml.Dataset{}
+	school := s.Generate(CorpusSpec{"school-s", synth.SchoolS}, seed)
+	ds, err := MaterializeAll(school, s, seed)
+	if err != nil {
+		return nil, err
+	}
+	out["school-s"] = ds
+	digits := synth.Digits(synth.Config{Seed: seed})
+	dAug, _ := synth.InjectNoise(digits, s.NoiseFactor, seed+1)
+	out["digits"] = dAug
+	kraken := synth.Kraken(synth.Config{Seed: seed})
+	kAug, _ := synth.InjectNoise(kraken, s.NoiseFactor, seed+2)
+	out["kraken"] = kAug
+	return out, nil
+}
+
+// Table2Methods lists the selectors compared in the paper's Table 2.
+func Table2Methods() []featsel.Method {
+	return []featsel.Method{
+		featsel.MethodFTest, featsel.MethodMutual, featsel.MethodForest,
+		featsel.MethodSparse, featsel.MethodAll, featsel.MethodRIFS,
+		featsel.MethodForward, featsel.MethodLinearSVC, featsel.MethodRelief,
+	}
+}
+
+// Table2 compares stratified sampling and per-stratum sketching against
+// uniform sampling on the classification datasets.
+func Table2(s Scale, seed int64) (*CoresetResult, error) {
+	datasets, err := classificationCoresetDatasets(s, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := &CoresetResult{Title: "Table 2: coreset strategies on classification datasets (Δ accuracy vs uniform)"}
+	for _, name := range []string{"school-s", "digits", "kraken"} {
+		ds := datasets[name]
+		for _, m := range Table2Methods() {
+			sel, err := s.Selector(m)
+			if err != nil {
+				return nil, err
+			}
+			if !sel.Supports(ds.Task) {
+				continue
+			}
+			row, err := coresetComparison(name, string(m), ds, sel, s, seed)
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Table3Methods lists the selectors compared in the paper's Table 3.
+func Table3Methods() []featsel.Method {
+	return []featsel.Method{
+		featsel.MethodRIFS, featsel.MethodSparse, featsel.MethodFTest,
+		featsel.MethodLasso, featsel.MethodMutual, featsel.MethodRelief,
+		featsel.MethodAll, featsel.MethodForest, featsel.MethodForward,
+	}
+}
+
+// Table3 benchmarks sketching against uniform sampling on the regression
+// corpora (fully materialized).
+func Table3(s Scale, seed int64) (*CoresetResult, error) {
+	out := &CoresetResult{
+		Title:      "Table 3: sketching vs uniform sampling on regression datasets (Δ score %)",
+		SketchOnly: true,
+	}
+	for _, spec := range RegressionCorpora() {
+		c := s.Generate(spec, seed)
+		ds, err := MaterializeAll(c, s, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range Table3Methods() {
+			sel, err := s.Selector(m)
+			if err != nil {
+				return nil, err
+			}
+			if !sel.Supports(ds.Task) {
+				continue
+			}
+			row, err := coresetComparison(c.Name, string(m), ds, sel, s, seed)
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// coresetComparison scores all three strategies for one (dataset, method).
+func coresetComparison(dataset, method string, ds *ml.Dataset, sel featsel.Selector, s Scale, seed int64) (CoresetRow, error) {
+	uni, err := coresetScore(ds, coreset.Uniform, sel, s, seed)
+	if err != nil {
+		return CoresetRow{}, err
+	}
+	strat, err := coresetScore(ds, coreset.Stratified, sel, s, seed)
+	if err != nil {
+		return CoresetRow{}, err
+	}
+	sk, err := coresetScore(ds, coreset.Sketch, sel, s, seed)
+	if err != nil {
+		return CoresetRow{}, err
+	}
+	return CoresetRow{
+		Dataset:            dataset,
+		Method:             method,
+		Uniform:            uni,
+		StratifiedDeltaPct: improvementPct(uni, strat),
+		SketchDeltaPct:     improvementPct(uni, sk),
+	}, nil
+}
+
+// Render formats the coreset table.
+func (r *CoresetResult) Render() string {
+	headers := []string{"dataset", "method", "uniform score", "stratified Δ", "sketch Δ"}
+	if r.SketchOnly {
+		headers = []string{"dataset", "method", "uniform score", "sketch Δ"}
+	}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		cells := []string{row.Dataset, row.Method, fmt.Sprintf("%.3f", row.Uniform)}
+		if !r.SketchOnly {
+			cells = append(cells, fmtPct(row.StratifiedDeltaPct))
+		}
+		cells = append(cells, fmtPct(row.SketchDeltaPct))
+		rows = append(rows, cells)
+	}
+	return RenderTable(r.Title, headers, rows)
+}

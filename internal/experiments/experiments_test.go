@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/arda-ml/arda/internal/featsel"
+	"github.com/arda-ml/arda/internal/synth"
+)
+
+// tiny is an even smaller scale than Quick, for unit-testing the harness
+// machinery itself.
+var tiny = Scale{
+	Corpus:             0.08,
+	CoresetSize:        128,
+	RIFSK:              3,
+	Trees:              12,
+	AutoMLBudget:       500 * time.Millisecond,
+	AutoMLTrials:       4,
+	ForwardMaxFeatures: 8,
+	ForwardCandidates:  6,
+	BackwardCandidates: 5,
+	NoiseFactor:        2,
+}
+
+func TestScaleSelectorConstruction(t *testing.T) {
+	for _, m := range featsel.AllMethods() {
+		sel, err := tiny.Selector(m)
+		if err != nil {
+			t.Fatalf("Selector(%s): %v", m, err)
+		}
+		if sel.Name() != string(m) {
+			t.Fatalf("selector name %q != %q", sel.Name(), m)
+		}
+	}
+}
+
+func TestRenderTableAlignment(t *testing.T) {
+	s := RenderTable("T", []string{"a", "long-header"}, [][]string{{"xx", "1"}, {"y", "22"}})
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), s)
+	}
+	if lines[0] != "T" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	// All data lines share the width of the widest cell per column.
+	if len(lines[2]) != len(lines[1]) {
+		t.Fatalf("separator width mismatch: %q vs %q", lines[2], lines[1])
+	}
+}
+
+func TestRunPipelineOnTinyCorpus(t *testing.T) {
+	c := synth.Poverty(synth.Config{Seed: 5, Scale: tiny.Corpus})
+	sel, err := tiny.Selector(featsel.MethodFTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := RunPipeline(c, sel, tiny, PipelineOpts{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Corpus != "poverty" || pr.Method != "f-test" {
+		t.Fatalf("row identity = %q/%q", pr.Corpus, pr.Method)
+	}
+	if pr.TotalTime <= 0 || pr.Error <= 0 {
+		t.Fatalf("metrics missing: %+v", pr)
+	}
+}
+
+func TestBaselineMetrics(t *testing.T) {
+	c := synth.SchoolS(synth.Config{Seed: 7, Scale: tiny.Corpus})
+	score, mae, acc, elapsed := BaselineMetrics(c, tiny, 8)
+	if score <= 0 || acc != score || mae != 0 || elapsed <= 0 {
+		t.Fatalf("baseline metrics = %v %v %v %v", score, mae, acc, elapsed)
+	}
+}
+
+func TestTuneTauRemovesTail(t *testing.T) {
+	c := synth.Poverty(synth.Config{Seed: 9, Scale: tiny.Corpus})
+	tau := TuneTau(c, 10)
+	if tau <= 0 {
+		t.Fatalf("tau = %v", tau)
+	}
+}
+
+func TestMaterializeAll(t *testing.T) {
+	c := synth.Poverty(synth.Config{Seed: 11, Scale: tiny.Corpus})
+	ds, err := MaterializeAll(c, tiny, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N != c.Base.NumRows() {
+		t.Fatalf("materialized rows %d != base %d", ds.N, c.Base.NumRows())
+	}
+	// Materializing everything must add features beyond the base view.
+	baseDS, err := baseDataset(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.D <= baseDS.D {
+		t.Fatalf("materialized d=%d not above base d=%d", ds.D, baseDS.D)
+	}
+}
+
+func TestRunMicrosTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micro sweep is slow")
+	}
+	// Restrict to a fast subset via a trimmed scale; RunMicros itself runs
+	// all methods, so use the smallest settings.
+	res, err := RunMicros(tiny, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no micro rows")
+	}
+	var rifs *MicroRow
+	for i := range res.Rows {
+		if res.Rows[i].Method == "RIFS" && res.Rows[i].Dataset == "kraken" {
+			rifs = &res.Rows[i]
+		}
+	}
+	if rifs == nil {
+		t.Fatal("RIFS row missing")
+	}
+	if rifs.Selected == 0 {
+		t.Fatal("RIFS selected nothing on kraken")
+	}
+	// RIFS should filter most injected noise: the original fraction of its
+	// selection must far exceed the base rate (1/(1+factor)).
+	frac := float64(rifs.OriginalSelected) / float64(rifs.Selected)
+	baseRate := 1.0 / float64(1+tiny.NoiseFactor)
+	if frac < 1.5*baseRate {
+		t.Fatalf("RIFS original fraction %.2f not above 1.5x base rate %.2f", frac, baseRate)
+	}
+	if s := res.RenderTable6(); !strings.Contains(s, "kraken") {
+		t.Fatal("render missing dataset")
+	}
+	if s := res.RenderFigure6(); !strings.Contains(s, "orig fraction") {
+		t.Fatal("figure 6 render missing header")
+	}
+}

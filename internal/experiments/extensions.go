@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/arda-ml/arda/internal/core"
+	"github.com/arda-ml/arda/internal/coreset"
+	"github.com/arda-ml/arda/internal/discovery"
+	"github.com/arda-ml/arda/internal/featsel"
+	"github.com/arda-ml/arda/internal/synth"
+)
+
+// ExtensionRow reports one §9-extension configuration against the ARDA
+// default on a corpus.
+type ExtensionRow struct {
+	Corpus, Extension, Setting string
+	FinalScore                 float64
+	DeltaPct                   float64 // vs the default configuration
+	Time                       time.Duration
+}
+
+// ExtensionsResult holds the future-work ablation.
+type ExtensionsResult struct {
+	Rows []ExtensionRow
+}
+
+// Extensions evaluates the implemented §9 future-work items against the
+// default pipeline on the Poverty and School (S) corpora: kNN imputation vs
+// the simple median/random strategy, leverage-score coresets vs uniform
+// sampling, and transitive candidate discovery vs direct-only.
+func Extensions(s Scale, seed int64) (*ExtensionsResult, error) {
+	out := &ExtensionsResult{}
+	rifs, err := s.Selector(featsel.MethodRIFS)
+	if err != nil {
+		return nil, err
+	}
+	for _, spec := range []CorpusSpec{{"poverty", synth.Poverty}, {"school-s", synth.SchoolS}} {
+		c := s.Generate(spec, seed)
+		cands := discovery.Discover(c.Base, c.Repo, c.Target, discovery.Options{})
+		est := s.Estimator(seed)
+
+		runWith := func(opts core.Options) (float64, time.Duration, error) {
+			opts.Target = c.Target
+			opts.CoresetSize = s.CoresetSize
+			opts.Selector = rifs
+			opts.Estimator = est
+			opts.Seed = seed
+			start := time.Now()
+			useCands := cands
+			res, err := core.Augment(c.Base, useCands, opts)
+			if err != nil {
+				return 0, 0, err
+			}
+			return res.FinalScore, time.Since(start), nil
+		}
+
+		baseScore, baseTime, err := runWith(core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, ExtensionRow{
+			Corpus: c.Name, Extension: "default", Setting: "uniform coreset, simple impute",
+			FinalScore: baseScore, Time: baseTime,
+		})
+
+		knnScore, knnTime, err := runWith(core.Options{KNNImpute: 5})
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, ExtensionRow{
+			Corpus: c.Name, Extension: "imputation", Setting: "kNN (k=5)",
+			FinalScore: knnScore, DeltaPct: improvementPct(baseScore, knnScore), Time: knnTime,
+		})
+
+		levScore, levTime, err := runWith(core.Options{CoresetStrategy: coreset.Leverage})
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, ExtensionRow{
+			Corpus: c.Name, Extension: "coreset", Setting: "leverage sampling",
+			FinalScore: levScore, DeltaPct: improvementPct(baseScore, levScore), Time: levTime,
+		})
+
+		// Transitive candidates appended to the direct ones.
+		trans := discovery.Transitive(c.Base, c.Repo, c.Target, discovery.TransitiveOptions{}, nil)
+		start := time.Now()
+		res, err := core.Augment(c.Base, append(append([]discovery.Candidate{}, cands...), trans...), core.Options{
+			Target:      c.Target,
+			CoresetSize: s.CoresetSize,
+			Selector:    rifs,
+			Estimator:   est,
+			Seed:        seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, ExtensionRow{
+			Corpus: c.Name, Extension: "discovery", Setting: "with transitive candidates",
+			FinalScore: res.FinalScore, DeltaPct: improvementPct(baseScore, res.FinalScore),
+			Time: time.Since(start),
+		})
+	}
+	return out, nil
+}
+
+// Render formats the extensions table.
+func (r *ExtensionsResult) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Corpus, row.Extension, row.Setting,
+			fmtScore(row.FinalScore), fmtPct(row.DeltaPct), fmtDur(row.Time),
+		})
+	}
+	return RenderTable(
+		"Extensions (paper §9 future work) vs the default pipeline",
+		[]string{"corpus", "extension", "setting", "final score", "Δ vs default", "time"},
+		rows,
+	)
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/arda-ml/arda/internal/automl"
+	"github.com/arda-ml/arda/internal/core"
+	"github.com/arda-ml/arda/internal/featsel"
+	"github.com/arda-ml/arda/internal/ml"
+	"github.com/arda-ml/arda/internal/synth"
+)
+
+// Figure3Row is one (dataset, system) point of Figure 3: achieved
+// augmentation as %-improvement over the base-table score, plus wall time.
+type Figure3Row struct {
+	Dataset, System string
+	ImprovementPct  float64
+	Time            time.Duration
+}
+
+// Figure3Result holds the full figure.
+type Figure3Result struct {
+	Rows []Figure3Row
+}
+
+// Figure3 reproduces the paper's headline experiment: for every real-world
+// corpus, compare ARDA (RIFS, budget-join), joining all tables without
+// selection, the Tuple-Ratio rule as a stand-alone filter, and the AutoML
+// baselines on base and fully-materialized inputs.
+func Figure3(s Scale, seed int64) (*Figure3Result, error) {
+	out := &Figure3Result{}
+	for _, spec := range RealWorld() {
+		c := s.Generate(spec, seed)
+		baseScore, _, _, baseTime := BaselineMetrics(c, s, seed)
+		add := func(system string, pct float64, d time.Duration) {
+			out.Rows = append(out.Rows, Figure3Row{Dataset: c.Name, System: system, ImprovementPct: pct, Time: d})
+		}
+		add("base table", 0, baseTime)
+
+		rifs, err := s.Selector(featsel.MethodRIFS)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := RunPipeline(c, rifs, s, PipelineOpts{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		add("ARDA", pr.ImprovementPct, pr.TotalTime)
+
+		all, err := s.Selector(featsel.MethodAll)
+		if err != nil {
+			return nil, err
+		}
+		pa, err := RunPipeline(c, all, s, PipelineOpts{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		add("all tables", pa.ImprovementPct, pa.TotalTime)
+
+		// TR rule as a stand-alone augmentation method: prefilter tables,
+		// then join everything that survives without feature selection.
+		tau := TuneTau(c, seed)
+		pt, err := RunPipeline(c, all, s, PipelineOpts{Seed: seed, Tau: tau})
+		if err != nil {
+			return nil, err
+		}
+		add("TR rule", pt.ImprovementPct, pt.TotalTime)
+
+		// AutoML on the base table and on the fully-materialized join.
+		baseDS, err := baseDataset(c)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		ab := automl.Search(baseDS, automl.Config{Budget: s.AutoMLBudget, MaxTrials: s.AutoMLTrials, Seed: seed})
+		add("AutoML (base)", improvementPct(baseScore, ab.Score), time.Since(start))
+
+		allDS, err := MaterializeAll(c, s, seed)
+		if err != nil {
+			return nil, err
+		}
+		start = time.Now()
+		aa := automl.Search(allDS, automl.Config{Budget: s.AutoMLBudget, MaxTrials: s.AutoMLTrials, Seed: seed})
+		add("AutoML (all)", improvementPct(baseScore, aa.Score), time.Since(start))
+	}
+	return out, nil
+}
+
+// Render formats the figure as a text table.
+func (r *Figure3Result) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Dataset, row.System, fmtPct(row.ImprovementPct), fmtDur(row.Time)})
+	}
+	return RenderTable(
+		"Figure 3: achieved augmentation (% improvement over base score) and time",
+		[]string{"dataset", "system", "improvement", "time"},
+		rows,
+	)
+}
+
+// baseDataset converts a corpus's base table into an ml.Dataset.
+func baseDataset(c *synth.Corpus) (*ml.Dataset, error) {
+	task, classes, err := core.TaskOf(c.Base, c.Target)
+	if err != nil {
+		return nil, err
+	}
+	return core.DatasetOf(c.Base, c.Target, task, classes)
+}

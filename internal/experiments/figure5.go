@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/arda-ml/arda/internal/featsel"
+	"github.com/arda-ml/arda/internal/join"
+	"github.com/arda-ml/arda/internal/ml"
+)
+
+// JoinVariant names one soft-join technique of Figure 5.
+type JoinVariant struct {
+	Name           string
+	Method         join.SoftMethod
+	NoTimeResample bool
+}
+
+// JoinVariants lists the paper's four techniques: plain hard join on
+// unmodified keys, time-resampled hard join, nearest-neighbour soft join,
+// and two-way nearest-neighbour soft join (the NN variants include
+// resampling, as in the paper).
+func JoinVariants() []JoinVariant {
+	return []JoinVariant{
+		{Name: "hard", Method: join.HardExact, NoTimeResample: true},
+		{Name: "time-resampled", Method: join.HardExact},
+		{Name: "nearest", Method: join.NearestNeighbor},
+		{Name: "2-way nearest", Method: join.TwoWayNearest},
+	}
+}
+
+// Figure5Row is one (dataset, selector, variant) error measurement.
+type Figure5Row struct {
+	Dataset, Method, Variant string
+	Error                    float64
+}
+
+// Figure5Result holds the soft-join ablation.
+type Figure5Result struct {
+	Rows []Figure5Row
+}
+
+// Figure5Methods lists the selectors the ablation sweeps.
+func Figure5Methods() []featsel.Method {
+	return []featsel.Method{
+		featsel.MethodRIFS, featsel.MethodAll, featsel.MethodFTest,
+		featsel.MethodLasso, featsel.MethodMutual, featsel.MethodForest,
+		featsel.MethodRelief, featsel.MethodSparse,
+	}
+}
+
+// Figure5 compares the four time-series join techniques on the Pickup and
+// Taxi corpora across feature selectors, reporting the holdout MAE of the
+// final augmented model.
+func Figure5(s Scale, seed int64) (*Figure5Result, error) {
+	out := &Figure5Result{}
+	for _, spec := range []CorpusSpec{RegressionCorpora()[1], RegressionCorpora()[0]} { // pickup, taxi
+		c := s.Generate(spec, seed)
+		for _, m := range Figure5Methods() {
+			sel, err := s.Selector(m)
+			if err != nil {
+				return nil, err
+			}
+			if !sel.Supports(ml.Regression) {
+				continue
+			}
+			for _, v := range JoinVariants() {
+				pr, err := RunPipeline(c, sel, s, PipelineOpts{
+					Seed:           seed,
+					SoftMethod:     v.Method,
+					NoTimeResample: v.NoTimeResample,
+				})
+				if err != nil {
+					return nil, err
+				}
+				out.Rows = append(out.Rows, Figure5Row{
+					Dataset: c.Name, Method: string(m), Variant: v.Name, Error: pr.Error,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Render formats the ablation table.
+func (r *Figure5Result) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Dataset, row.Method, row.Variant, fmt.Sprintf("%.3f", row.Error)})
+	}
+	return RenderTable(
+		"Figure 5: time-series join techniques (holdout MAE of the final model)",
+		[]string{"dataset", "method", "join", "error"},
+		rows,
+	)
+}

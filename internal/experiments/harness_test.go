@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllHarnessesTiny runs every table/figure harness once at the tiny
+// scale and checks structural invariants (row counts, render output). It is
+// the integration test for the whole reproduction pipeline; skip with
+// -short.
+func TestAllHarnessesTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness sweep is slow")
+	}
+	seed := int64(77)
+
+	t.Run("figure3", func(t *testing.T) {
+		r, err := Figure3(tiny, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 6 systems × 5 datasets.
+		if len(r.Rows) != 30 {
+			t.Fatalf("figure 3 rows = %d, want 30", len(r.Rows))
+		}
+		for _, row := range r.Rows {
+			if row.System == "base table" && row.ImprovementPct != 0 {
+				t.Fatal("base table must be the zero line")
+			}
+		}
+		if !strings.Contains(r.Render(), "ARDA") {
+			t.Fatal("render missing ARDA row")
+		}
+	})
+
+	t.Run("table1", func(t *testing.T) {
+		r, err := Table1(tiny, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 5 reference rows + 12 methods per dataset × 5 datasets.
+		if len(r.Rows) != 5*17 {
+			t.Fatalf("table 1 rows = %d, want 85", len(r.Rows))
+		}
+		nas := 0
+		for _, row := range r.Rows {
+			if row.NA {
+				nas++
+			}
+		}
+		// lasso n/a on 2 classification datasets; linear svc + logistic reg
+		// n/a on 3 regression datasets.
+		if nas != 2+3*2 {
+			t.Fatalf("n/a cells = %d, want 8", nas)
+		}
+		out := r.Render()
+		if !strings.Contains(out, "n/a") || !strings.Contains(out, "RIFS") {
+			t.Fatal("table 1 render incomplete")
+		}
+		if !strings.Contains(r.RenderFigure4(), "improvement") {
+			t.Fatal("figure 4 render incomplete")
+		}
+	})
+
+	t.Run("table2", func(t *testing.T) {
+		r, err := Table2(tiny, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Rows) == 0 {
+			t.Fatal("table 2 empty")
+		}
+		datasets := map[string]bool{}
+		for _, row := range r.Rows {
+			datasets[row.Dataset] = true
+		}
+		for _, want := range []string{"school-s", "digits", "kraken"} {
+			if !datasets[want] {
+				t.Fatalf("table 2 missing dataset %s", want)
+			}
+		}
+	})
+
+	t.Run("table3", func(t *testing.T) {
+		r, err := Table3(tiny, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.SketchOnly {
+			t.Fatal("table 3 should render sketch-only")
+		}
+		// 9 methods × 3 regression datasets.
+		if len(r.Rows) != 27 {
+			t.Fatalf("table 3 rows = %d, want 27", len(r.Rows))
+		}
+	})
+
+	t.Run("figure5", func(t *testing.T) {
+		r, err := Figure5(tiny, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 8 methods × 4 variants × 2 datasets.
+		if len(r.Rows) != 64 {
+			t.Fatalf("figure 5 rows = %d, want 64", len(r.Rows))
+		}
+		for _, row := range r.Rows {
+			if row.Error < 0 {
+				t.Fatalf("negative MAE on %s/%s", row.Dataset, row.Method)
+			}
+		}
+	})
+
+	t.Run("table4", func(t *testing.T) {
+		r, err := Table4(tiny, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Rows) != 5 {
+			t.Fatalf("table 4 rows = %d, want 5", len(r.Rows))
+		}
+		for _, row := range r.Rows {
+			if row.Tau <= 0 || row.Speedup <= 0 {
+				t.Fatalf("degenerate row %+v", row)
+			}
+		}
+	})
+
+	t.Run("table5", func(t *testing.T) {
+		r, err := Table5(tiny, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 4 methods × 4 datasets.
+		if len(r.Rows) != 16 {
+			t.Fatalf("table 5 rows = %d, want 16", len(r.Rows))
+		}
+	})
+
+	t.Run("ablation", func(t *testing.T) {
+		r, err := RIFSAblation(tiny, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Rows) != 11 {
+			t.Fatalf("ablation rows = %d, want 11", len(r.Rows))
+		}
+		if !strings.Contains(r.Render(), "moment-matched") {
+			t.Fatal("ablation render incomplete")
+		}
+	})
+}

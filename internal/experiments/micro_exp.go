@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/arda-ml/arda/internal/automl"
+	"github.com/arda-ml/arda/internal/eval"
+	"github.com/arda-ml/arda/internal/featsel"
+	"github.com/arda-ml/arda/internal/ml"
+	"github.com/arda-ml/arda/internal/synth"
+)
+
+// MicroSpec names one micro-benchmark dataset generator.
+type MicroSpec struct {
+	Name string
+	Gen  func(synth.Config) *ml.Dataset
+}
+
+// Micros lists the paper's §7.2 micro benchmarks.
+func Micros() []MicroSpec {
+	return []MicroSpec{
+		{"kraken", synth.Kraken},
+		{"digits", synth.Digits},
+	}
+}
+
+// MicroRow reports one selector on one noise-injected micro benchmark.
+type MicroRow struct {
+	Dataset, Method string
+	Accuracy        float64
+	Time            time.Duration
+	// Selected is the number of features the method kept; OriginalSelected
+	// how many of them are true (pre-injection) features. Figure 6 plots
+	// these two counts.
+	Selected, OriginalSelected int
+	// TotalOriginal and TotalFeatures give the denominators.
+	TotalOriginal, TotalFeatures int
+}
+
+// MicroResult holds the Table 6 / Figure 6 sweep.
+type MicroResult struct {
+	Rows []MicroRow
+}
+
+// Table6Methods lists the classification selectors of Table 6, in its order.
+func Table6Methods() []featsel.Method {
+	return []featsel.Method{
+		featsel.MethodRIFS,
+		featsel.MethodBackward,
+		featsel.MethodForward,
+		featsel.MethodRFE,
+		featsel.MethodSparse,
+		featsel.MethodForest,
+		featsel.MethodFTest,
+		featsel.MethodLinearSVC,
+		featsel.MethodLogistic,
+		featsel.MethodMutual,
+		featsel.MethodRelief,
+	}
+}
+
+// RunMicros reproduces Table 6 and Figure 6: append NoiseFactor×d synthetic
+// noise features to each micro benchmark, then measure each selector's
+// holdout accuracy, running time, and how many true vs. noise features it
+// keeps.
+func RunMicros(s Scale, seed int64) (*MicroResult, error) {
+	out := &MicroResult{}
+	for _, spec := range Micros() {
+		base := spec.Gen(synth.Config{Seed: seed})
+		aug, mask := synth.InjectNoise(base, s.NoiseFactor, seed+1)
+		split := eval.TrainTestSplit(aug, 0.25, seed)
+		est := s.Estimator(seed)
+
+		// Baseline: original features only, no injected noise.
+		start := time.Now()
+		baseScore := eval.HoldoutScore(base, eval.TrainTestSplit(base, 0.25, seed), est)
+		out.Rows = append(out.Rows, MicroRow{
+			Dataset: spec.Name, Method: "baseline (our)", Accuracy: baseScore,
+			Time: time.Since(start), TotalOriginal: base.D, TotalFeatures: aug.D,
+		})
+
+		// All features: noise included, no selection.
+		start = time.Now()
+		allScore := eval.HoldoutScore(aug, split, est)
+		out.Rows = append(out.Rows, MicroRow{
+			Dataset: spec.Name, Method: "all features (our)", Accuracy: allScore,
+			Time: time.Since(start), Selected: aug.D, OriginalSelected: base.D,
+			TotalOriginal: base.D, TotalFeatures: aug.D,
+		})
+
+		// AutoML references on both inputs.
+		for _, ref := range []struct {
+			name string
+			ds   *ml.Dataset
+		}{{"baseline (AutoML)", base}, {"all features (AutoML)", aug}} {
+			start = time.Now()
+			res := automl.Search(ref.ds, automl.Config{Budget: s.AutoMLBudget, MaxTrials: s.AutoMLTrials, Seed: seed})
+			out.Rows = append(out.Rows, MicroRow{
+				Dataset: spec.Name, Method: ref.name, Accuracy: res.Score,
+				Time: time.Since(start), TotalOriginal: base.D, TotalFeatures: aug.D,
+			})
+		}
+
+		for _, m := range Table6Methods() {
+			sel, err := s.Selector(m)
+			if err != nil {
+				return nil, err
+			}
+			if !sel.Supports(ml.Classification) {
+				continue
+			}
+			row, err := runMicroSelector(spec.Name, string(m), aug, mask, split, sel, est, seed)
+			if err != nil {
+				return nil, err
+			}
+			row.TotalOriginal = base.D
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// runMicroSelector runs one selector on the noise-injected dataset: select
+// on the training side, retrain the estimator on the kept features, score on
+// the holdout, and count how much injected noise survived.
+func runMicroSelector(dataset, method string, aug *ml.Dataset, mask []bool, split eval.Split, sel featsel.Selector, est eval.Fitter, seed int64) (MicroRow, error) {
+	train := aug.Subset(split.Train)
+	test := aug.Subset(split.Test)
+	start := time.Now()
+	cols, err := sel.Select(train, est, seed)
+	if err != nil {
+		return MicroRow{}, err
+	}
+	elapsed := time.Since(start)
+	if len(cols) == 0 {
+		cols = []int{0}
+	}
+	model := est(train.SelectFeatures(cols))
+	testSel := test.SelectFeatures(cols)
+	pred := ml.PredictAll(model, testSel)
+	row := MicroRow{
+		Dataset:       dataset,
+		Method:        method,
+		Accuracy:      eval.Accuracy(pred, testSel.Y),
+		Time:          elapsed,
+		Selected:      len(cols),
+		TotalFeatures: aug.D,
+	}
+	for _, j := range cols {
+		if mask[j] {
+			row.OriginalSelected++
+		}
+	}
+	return row, nil
+}
+
+// RenderTable6 formats the accuracy/time view of the sweep.
+func (r *MicroResult) RenderTable6() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Dataset, row.Method, fmtAcc(row.Accuracy), fmtDur(row.Time)})
+	}
+	return RenderTable(
+		"Table 6: micro benchmarks with injected noise (accuracy, time)",
+		[]string{"dataset", "method", "accuracy", "time"},
+		rows,
+	)
+}
+
+// RenderFigure6 formats the noise-filtering view: features selected and the
+// fraction of them that are original.
+func (r *MicroResult) RenderFigure6() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		if row.Selected == 0 {
+			continue
+		}
+		frac := float64(row.OriginalSelected) / float64(row.Selected)
+		rows = append(rows, []string{
+			row.Dataset, row.Method,
+			fmtInt(row.Selected),
+			fmtInt(row.OriginalSelected),
+			fmt.Sprintf("%.2f", frac),
+		})
+	}
+	return RenderTable(
+		"Figure 6: features selected per method (original vs planted noise)",
+		[]string{"dataset", "method", "selected", "original", "orig fraction"},
+		rows,
+	)
+}

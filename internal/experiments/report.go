@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// RenderTable formats headers and rows as an aligned monospace table.
+func RenderTable(title string, headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// fmtPct formats a percentage with sign.
+func fmtPct(v float64) string { return fmt.Sprintf("%+.2f%%", v) }
+
+// fmtScore formats a score to three decimals.
+func fmtScore(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// fmtDur formats a duration in seconds with one decimal.
+func fmtDur(d time.Duration) string { return fmt.Sprintf("%.1fs", d.Seconds()) }
+
+// fmtAcc formats an accuracy as a percentage.
+func fmtAcc(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }

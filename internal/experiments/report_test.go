@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFormatHelpers(t *testing.T) {
+	if got := fmtPct(3.14159); got != "+3.14%" {
+		t.Fatalf("fmtPct = %q", got)
+	}
+	if got := fmtPct(-0.5); got != "-0.50%" {
+		t.Fatalf("fmtPct negative = %q", got)
+	}
+	if got := fmtScore(0.12345); got != "0.123" {
+		t.Fatalf("fmtScore = %q", got)
+	}
+	if got := fmtDur(1500 * time.Millisecond); got != "1.5s" {
+		t.Fatalf("fmtDur = %q", got)
+	}
+	if got := fmtAcc(0.875); got != "87.50%" {
+		t.Fatalf("fmtAcc = %q", got)
+	}
+	if got := fmtSpeed(2.5); got != "2.50" {
+		t.Fatalf("fmtSpeed = %q", got)
+	}
+	if got := fmtInt(42); got != "42" {
+		t.Fatalf("fmtInt = %q", got)
+	}
+}
+
+func TestRenderTableEmptyRows(t *testing.T) {
+	s := RenderTable("empty", []string{"a"}, nil)
+	if !strings.Contains(s, "empty") || !strings.Contains(s, "a") {
+		t.Fatalf("render = %q", s)
+	}
+}
+
+func TestMethodLists(t *testing.T) {
+	if len(Table1Methods()) != 12 {
+		t.Fatalf("Table1Methods = %d, want 12", len(Table1Methods()))
+	}
+	if len(Table5Methods()) != 4 {
+		t.Fatalf("Table5Methods = %d, want 4", len(Table5Methods()))
+	}
+	if len(Table6Methods()) != 11 {
+		t.Fatalf("Table6Methods = %d, want 11", len(Table6Methods()))
+	}
+	if len(JoinVariants()) != 4 {
+		t.Fatalf("JoinVariants = %d, want 4", len(JoinVariants()))
+	}
+	if len(Micros()) != 2 {
+		t.Fatalf("Micros = %d, want 2", len(Micros()))
+	}
+	if len(RealWorld()) != 5 {
+		t.Fatalf("RealWorld = %d, want 5", len(RealWorld()))
+	}
+	if len(RegressionCorpora()) != 3 {
+		t.Fatalf("RegressionCorpora = %d, want 3", len(RegressionCorpora()))
+	}
+}
+
+func TestImprovementPct(t *testing.T) {
+	if got := improvementPct(0.5, 0.75); got != 50 {
+		t.Fatalf("improvementPct = %v", got)
+	}
+	if got := improvementPct(0, 0); got != 0 {
+		t.Fatalf("zero baseline, zero final = %v", got)
+	}
+	if got := improvementPct(0, 0.5); got != 100 {
+		t.Fatalf("zero baseline, positive final = %v", got)
+	}
+}
+
+func TestCoresetRenderSketchOnly(t *testing.T) {
+	r := &CoresetResult{
+		Title:      "T",
+		SketchOnly: true,
+		Rows: []CoresetRow{{
+			Dataset: "d", Method: "m", Uniform: 0.5,
+			StratifiedDeltaPct: 3, SketchDeltaPct: -2,
+		}},
+	}
+	s := r.Render()
+	if strings.Contains(s, "stratified") {
+		t.Fatalf("sketch-only render should omit the stratified column: %q", s)
+	}
+	if !strings.Contains(s, "-2.00%") {
+		t.Fatalf("sketch delta missing: %q", s)
+	}
+	r.SketchOnly = false
+	s = r.Render()
+	if !strings.Contains(s, "stratified") || !strings.Contains(s, "+3.00%") {
+		t.Fatalf("full render should include stratified column: %q", s)
+	}
+}
+
+func TestQuickAndFullScalesSane(t *testing.T) {
+	for _, s := range []Scale{Quick, Full} {
+		if s.Corpus <= 0 || s.CoresetSize <= 0 || s.RIFSK <= 0 || s.Trees <= 0 {
+			t.Fatalf("scale has zero knobs: %+v", s)
+		}
+		if s.NoiseFactor <= 0 {
+			t.Fatalf("scale missing noise factor: %+v", s)
+		}
+	}
+	if Full.Corpus <= Quick.Corpus {
+		t.Fatal("Full should be bigger than Quick")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("T", []string{"a", "bb"}, []float64{10, 5}, "%")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("chart lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[1], "########################################") {
+		t.Fatalf("max bar not full width: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "####################") || strings.Contains(lines[2], "#####################") {
+		t.Fatalf("half bar wrong: %q", lines[2])
+	}
+	if !strings.Contains(lines[1], "10.00%") {
+		t.Fatalf("value label missing: %q", lines[1])
+	}
+}
+
+func TestBarChartNegative(t *testing.T) {
+	out := BarChart("", []string{"pos", "neg"}, []float64{4, -4}, "")
+	if !strings.Contains(out, "|####") {
+		t.Fatalf("positive bar should extend right of axis: %q", out)
+	}
+	if !strings.Contains(out, "####|") {
+		t.Fatalf("negative bar should extend left of axis: %q", out)
+	}
+}
+
+func TestBarChartAllZero(t *testing.T) {
+	out := BarChart("", []string{"z"}, []float64{0}, "")
+	if strings.Contains(out, "#") {
+		t.Fatalf("zero values should draw no bars: %q", out)
+	}
+}
+
+func TestFigure3RenderChart(t *testing.T) {
+	r := &Figure3Result{Rows: []Figure3Row{
+		{Dataset: "taxi", System: "base table", ImprovementPct: 0},
+		{Dataset: "taxi", System: "ARDA", ImprovementPct: 20},
+		{Dataset: "pickup", System: "ARDA", ImprovementPct: 50},
+	}}
+	out := r.RenderChart()
+	for _, want := range []string{"taxi", "pickup", "ARDA", "20.00%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure6RenderChart(t *testing.T) {
+	r := &MicroResult{Rows: []MicroRow{
+		{Dataset: "kraken", Method: "RIFS", Selected: 20, OriginalSelected: 15},
+		{Dataset: "kraken", Method: "skipped", Selected: 0},
+	}}
+	out := r.RenderChart()
+	if !strings.Contains(out, "RIFS (75% real)") {
+		t.Fatalf("chart missing annotated label:\n%s", out)
+	}
+	if strings.Contains(out, "skipped") {
+		t.Fatal("zero-selection rows should be omitted")
+	}
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/arda-ml/arda/internal/core"
+	"github.com/arda-ml/arda/internal/coreset"
+	"github.com/arda-ml/arda/internal/discovery"
+	"github.com/arda-ml/arda/internal/eval"
+	"github.com/arda-ml/arda/internal/featsel"
+	"github.com/arda-ml/arda/internal/join"
+	"github.com/arda-ml/arda/internal/ml"
+	"github.com/arda-ml/arda/internal/synth"
+)
+
+// PipelineOpts tunes one pipeline run beyond the defaults.
+type PipelineOpts struct {
+	Plan            core.PlanKind
+	Tau             float64
+	CoresetStrategy coreset.Strategy
+	SoftMethod      join.SoftMethod
+	NoTimeResample  bool
+	Seed            int64
+	// Budget overrides the per-batch feature budget (0 = coreset size).
+	Budget int
+}
+
+// PipelineResult reports one (corpus, method) pipeline run with the metrics
+// the paper's tables use.
+type PipelineResult struct {
+	Corpus, Method string
+	Task           ml.Task
+	// BaseScore/FinalScore are holdout task scores (accuracy or clipped R²).
+	BaseScore, FinalScore float64
+	// ImprovementPct is 100·(FinalScore−BaseScore)/BaseScore.
+	ImprovementPct float64
+	// Error is the holdout MAE of the final model (regression tables);
+	// Accuracy is the holdout accuracy (classification tables).
+	Error, Accuracy float64
+	// SelTime is time spent in feature selection; TotalTime the whole run.
+	SelTime, TotalTime time.Duration
+	// KeptFeatures / KeptTables count the augmentation output.
+	KeptFeatures, KeptTables int
+	// TablesFiltered counts tables removed by the TR prefilter.
+	TablesFiltered int
+}
+
+// RunPipeline executes ARDA end-to-end on a corpus with the given selector.
+func RunPipeline(c *synth.Corpus, sel featsel.Selector, s Scale, opts PipelineOpts) (PipelineResult, error) {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	cands := discovery.Discover(c.Base, c.Repo, c.Target, discovery.Options{})
+	est := s.Estimator(seed)
+	start := time.Now()
+	res, err := core.Augment(c.Base, cands, core.Options{
+		Target:              c.Target,
+		CoresetStrategy:     opts.CoresetStrategy,
+		CoresetSize:         s.CoresetSize,
+		Budget:              opts.Budget,
+		Plan:                opts.Plan,
+		Selector:            sel,
+		Estimator:           est,
+		TupleRatioTau:       opts.Tau,
+		SoftMethod:          opts.SoftMethod,
+		DisableTimeResample: opts.NoTimeResample,
+		Seed:                seed,
+	})
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	out := PipelineResult{
+		Corpus:         c.Name,
+		Method:         sel.Name(),
+		BaseScore:      res.BaseScore,
+		FinalScore:     res.FinalScore,
+		SelTime:        res.SelectionElapsed,
+		TotalTime:      time.Since(start),
+		KeptFeatures:   len(res.KeptColumns),
+		KeptTables:     len(res.KeptTables),
+		TablesFiltered: res.CandidatesFiltered,
+	}
+	out.Task, _, _ = core.TaskOf(c.Base, c.Target)
+	out.ImprovementPct = improvementPct(res.BaseScore, res.FinalScore)
+	out.Error, out.Accuracy = holdoutMetrics(res, c, est, seed)
+	return out, nil
+}
+
+// corpusTask returns the corpus's task and class count.
+func corpusTask(c *synth.Corpus) (ml.Task, int, error) {
+	return core.TaskOf(c.Base, c.Target)
+}
+
+// improvementPct guards the percentage against a zero baseline.
+func improvementPct(base, final float64) float64 {
+	if base <= 1e-9 {
+		if final <= 1e-9 {
+			return 0
+		}
+		return 100
+	}
+	return 100 * (final - base) / base
+}
+
+// holdoutMetrics computes the paper's reporting metrics (MAE for regression,
+// accuracy for classification) on the final augmented table.
+func holdoutMetrics(res *core.Result, c *synth.Corpus, est eval.Fitter, seed int64) (mae, acc float64) {
+	task, classes, err := core.TaskOf(c.Base, c.Target)
+	if err != nil {
+		return 0, 0
+	}
+	ds, err := core.DatasetOf(res.Table, c.Target, task, classes)
+	if err != nil {
+		return 0, 0
+	}
+	split := eval.TrainTestSplit(ds, 0.25, seed)
+	if task == ml.Regression {
+		return eval.HoldoutError(ds, split, est), 0
+	}
+	return 0, eval.HoldoutScore(ds, split, est)
+}
+
+// BaselineMetrics evaluates the estimator on the base table alone: the
+// "baseline (our)" rows of Tables 1 and 6.
+func BaselineMetrics(c *synth.Corpus, s Scale, seed int64) (score, mae, acc float64, elapsed time.Duration) {
+	task, classes, err := core.TaskOf(c.Base, c.Target)
+	if err != nil {
+		return 0, 0, 0, 0
+	}
+	ds, err := core.DatasetOf(c.Base, c.Target, task, classes)
+	if err != nil {
+		return 0, 0, 0, 0
+	}
+	est := s.Estimator(seed)
+	start := time.Now()
+	split := eval.TrainTestSplit(ds, 0.25, seed)
+	score = eval.HoldoutScore(ds, split, est)
+	if task == ml.Regression {
+		mae = eval.HoldoutError(ds, split, est)
+	} else {
+		acc = score
+	}
+	return score, mae, acc, time.Since(start)
+}
+
+// MaterializeAll joins every discovered candidate into the base table (full
+// materialization, no selection) and returns the resulting dataset — the
+// substrate for the "all features" and AutoML-(all) rows.
+func MaterializeAll(c *synth.Corpus, s Scale, seed int64) (*ml.Dataset, error) {
+	sel := featsel.AllFeatures{}
+	cands := discovery.Discover(c.Base, c.Repo, c.Target, discovery.Options{})
+	res, err := core.Augment(c.Base, cands, core.Options{
+		Target:      c.Target,
+		CoresetSize: s.CoresetSize,
+		Plan:        core.FullMaterialization,
+		Selector:    sel,
+		Estimator:   s.Estimator(seed),
+		Seed:        seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	task, classes, err := core.TaskOf(c.Base, c.Target)
+	if err != nil {
+		return nil, err
+	}
+	return core.DatasetOf(res.Table, c.Target, task, classes)
+}

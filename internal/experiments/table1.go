@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/arda-ml/arda/internal/automl"
+	"github.com/arda-ml/arda/internal/eval"
+	"github.com/arda-ml/arda/internal/featsel"
+	"github.com/arda-ml/arda/internal/ml"
+)
+
+// Table1Row is one (dataset, method) cell group of Table 1: error or
+// accuracy plus feature-selection-and-evaluation time. It also carries the
+// %-improvement used by Figure 4 (score vs. time per selector).
+type Table1Row struct {
+	Dataset, Method string
+	Task            ml.Task
+	// Error is the holdout MAE (regression datasets); Accuracy the holdout
+	// accuracy (classification datasets).
+	Error, Accuracy float64
+	// ImprovementPct is the Figure 4 y-axis: %-improvement of the final
+	// score over the base-table score.
+	ImprovementPct float64
+	Time           time.Duration
+	// NA marks method/dataset combinations the paper reports as n/a
+	// (lasso on classification, linear svc / logistic reg on regression).
+	NA bool
+}
+
+// Table1Result is the full selector sweep over the real-world corpora —
+// the data behind both Table 1 and Figure 4.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1Methods lists the method rows in the paper's order.
+func Table1Methods() []featsel.Method {
+	return []featsel.Method{
+		featsel.MethodRIFS,
+		featsel.MethodBackward,
+		featsel.MethodForward,
+		featsel.MethodRFE,
+		featsel.MethodSparse,
+		featsel.MethodForest,
+		featsel.MethodFTest,
+		featsel.MethodLasso,
+		featsel.MethodMutual,
+		featsel.MethodRelief,
+		featsel.MethodLinearSVC,
+		featsel.MethodLogistic,
+	}
+}
+
+// Table1 runs every feature selector through the ARDA pipeline on every
+// real-world corpus, plus the baseline, all-features and AutoML reference
+// rows.
+func Table1(s Scale, seed int64) (*Table1Result, error) {
+	out := &Table1Result{}
+	for _, spec := range RealWorld() {
+		c := s.Generate(spec, seed)
+		task, _, _ := corpusTask(c)
+
+		baseScore, baseMAE, baseAcc, baseTime := BaselineMetrics(c, s, seed)
+		out.Rows = append(out.Rows, Table1Row{
+			Dataset: c.Name, Method: "baseline (our)", Task: task,
+			Error: baseMAE, Accuracy: baseAcc, Time: baseTime,
+		})
+
+		allSel, err := s.Selector(featsel.MethodAll)
+		if err != nil {
+			return nil, err
+		}
+		pa, err := RunPipeline(c, allSel, s, PipelineOpts{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, rowOf(c.Name, "all features (our)", pa))
+
+		tau := TuneTau(c, seed)
+		pt, err := RunPipeline(c, allSel, s, PipelineOpts{Seed: seed, Tau: tau})
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, rowOf(c.Name, "TR rule", pt))
+
+		// AutoML reference rows (substitutes for Azure AutoML / Alpine
+		// Meadow).
+		baseDS, err := baseDataset(c)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, automlRow(c.Name, "baseline (AutoML)", task, baseScore, baseDS, s, seed))
+		allDS, err := MaterializeAll(c, s, seed)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, automlRow(c.Name, "all features (AutoML)", task, baseScore, allDS, s, seed))
+
+		for _, m := range Table1Methods() {
+			sel, err := s.Selector(m)
+			if err != nil {
+				return nil, err
+			}
+			if !sel.Supports(task) {
+				out.Rows = append(out.Rows, Table1Row{Dataset: c.Name, Method: string(m), Task: task, NA: true})
+				continue
+			}
+			pr, err := RunPipeline(c, sel, s, PipelineOpts{Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, rowOf(c.Name, string(m), pr))
+		}
+	}
+	return out, nil
+}
+
+// rowOf converts a pipeline result into a table row.
+func rowOf(dataset, method string, pr PipelineResult) Table1Row {
+	return Table1Row{
+		Dataset:        dataset,
+		Method:         method,
+		Task:           pr.Task,
+		Error:          pr.Error,
+		Accuracy:       pr.Accuracy,
+		ImprovementPct: pr.ImprovementPct,
+		Time:           pr.SelTime,
+	}
+}
+
+// automlRow evaluates an AutoML search on a dataset as a reference row.
+func automlRow(dataset, method string, task ml.Task, baseScore float64, ds *ml.Dataset, s Scale, seed int64) Table1Row {
+	start := time.Now()
+	res := automl.Search(ds, automl.Config{Budget: s.AutoMLBudget, MaxTrials: s.AutoMLTrials, Seed: seed})
+	elapsed := time.Since(start)
+	row := Table1Row{Dataset: dataset, Method: method, Task: task, Time: elapsed}
+	row.ImprovementPct = improvementPct(baseScore, res.Score)
+	split := eval.TrainTestSplit(ds, 0.25, seed)
+	if task == ml.Regression {
+		row.Error = eval.HoldoutError(ds, split, res.Fit)
+	} else {
+		row.Accuracy = res.Score
+	}
+	return row
+}
+
+// Render formats Table 1 in the paper's layout: one row per method, one
+// column group per dataset.
+func (r *Table1Result) Render() string {
+	datasets := []string{}
+	seen := map[string]bool{}
+	for _, row := range r.Rows {
+		if !seen[row.Dataset] {
+			seen[row.Dataset] = true
+			datasets = append(datasets, row.Dataset)
+		}
+	}
+	cell := map[string]map[string]Table1Row{}
+	methods := []string{}
+	seenM := map[string]bool{}
+	for _, row := range r.Rows {
+		if cell[row.Method] == nil {
+			cell[row.Method] = map[string]Table1Row{}
+		}
+		cell[row.Method][row.Dataset] = row
+		if !seenM[row.Method] {
+			seenM[row.Method] = true
+			methods = append(methods, row.Method)
+		}
+	}
+	headers := []string{"method"}
+	for _, d := range datasets {
+		headers = append(headers, d+" err/acc", d+" time")
+	}
+	var rows [][]string
+	for _, m := range methods {
+		row := []string{m}
+		for _, d := range datasets {
+			c, ok := cell[m][d]
+			switch {
+			case !ok || c.NA:
+				row = append(row, "n/a", "")
+			case c.Task == ml.Regression:
+				row = append(row, fmt.Sprintf("%.2f", c.Error), fmtDur(c.Time))
+			default:
+				row = append(row, fmtAcc(c.Accuracy), fmtDur(c.Time))
+			}
+		}
+		rows = append(rows, row)
+	}
+	return RenderTable(
+		"Table 1: error (MAE) / accuracy and selection time per feature selector",
+		headers, rows,
+	)
+}
+
+// RenderFigure4 formats the same sweep as Figure 4: %-improvement vs.
+// selection time per selector and dataset.
+func (r *Table1Result) RenderFigure4() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		if row.NA {
+			continue
+		}
+		rows = append(rows, []string{
+			row.Dataset, row.Method, fmtPct(row.ImprovementPct), fmtDur(row.Time),
+		})
+	}
+	return RenderTable(
+		"Figure 4: %-improvement over base score vs. feature-selection time",
+		[]string{"dataset", "method", "improvement", "sel time"},
+		rows,
+	)
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"github.com/arda-ml/arda/internal/core"
+	"github.com/arda-ml/arda/internal/discovery"
+	"github.com/arda-ml/arda/internal/featsel"
+	"github.com/arda-ml/arda/internal/synth"
+)
+
+// Table5Row reports, for one (dataset, selector), the final-score change of
+// table-join and full-materialization relative to budget-join.
+type Table5Row struct {
+	Dataset, Method string
+	TableDeltaPct   float64
+	FullMatDeltaPct float64
+	BudgetScore     float64
+}
+
+// Table5Result holds the join-plan grouping comparison.
+type Table5Result struct {
+	Rows []Table5Row
+}
+
+// Table5Methods lists the selectors of the paper's Table 5.
+func Table5Methods() []featsel.Method {
+	return []featsel.Method{
+		featsel.MethodRIFS, featsel.MethodForward,
+		featsel.MethodForest, featsel.MethodSparse,
+	}
+}
+
+// Table5 compares table-join and full materialization against the
+// budget-join default on Taxi, Pickup, Poverty and School (S).
+func Table5(s Scale, seed int64) (*Table5Result, error) {
+	specs := append(RegressionCorpora(), CorpusSpec{"school-s", RealWorld()[3].Gen})
+	out := &Table5Result{}
+	for _, spec := range specs {
+		c := s.Generate(spec, seed)
+		task, _, err := corpusTask(c)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range Table5Methods() {
+			sel, err := s.Selector(m)
+			if err != nil {
+				return nil, err
+			}
+			if !sel.Supports(task) {
+				continue
+			}
+			// A budget well below the corpus's total feature count, so
+			// budget-join actually batches (otherwise it degenerates to full
+			// materialization and the comparison is vacuous).
+			featBudget := totalFeatures(c) / 4
+			if featBudget < 16 {
+				featBudget = 16
+			}
+			budget, err := RunPipeline(c, sel, s, PipelineOpts{Seed: seed, Plan: core.BudgetJoin, Budget: featBudget})
+			if err != nil {
+				return nil, err
+			}
+			table, err := RunPipeline(c, sel, s, PipelineOpts{Seed: seed, Plan: core.TableJoin, Budget: featBudget})
+			if err != nil {
+				return nil, err
+			}
+			full, err := RunPipeline(c, sel, s, PipelineOpts{Seed: seed, Plan: core.FullMaterialization, Budget: featBudget})
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, Table5Row{
+				Dataset:         c.Name,
+				Method:          string(m),
+				BudgetScore:     budget.FinalScore,
+				TableDeltaPct:   improvementPct(budget.FinalScore, table.FinalScore),
+				FullMatDeltaPct: improvementPct(budget.FinalScore, full.FinalScore),
+			})
+		}
+	}
+	return out, nil
+}
+
+// totalFeatures sums the estimated feature contributions of every
+// discovered candidate.
+func totalFeatures(c *synth.Corpus) int {
+	cands := discovery.Discover(c.Base, c.Repo, c.Target, discovery.Options{})
+	total := 0
+	for _, cand := range cands {
+		total += core.EstimateFeatures(cand)
+	}
+	return total
+}
+
+// Render formats the table.
+func (r *Table5Result) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Dataset, row.Method,
+			fmtScore(row.BudgetScore),
+			fmtPct(row.TableDeltaPct),
+			fmtPct(row.FullMatDeltaPct),
+		})
+	}
+	return RenderTable(
+		"Table 5: join-plan grouping vs budget-join (Δ final score %)",
+		[]string{"dataset", "method", "budget score", "table-join Δ", "full-mat Δ"},
+		rows,
+	)
+}

@@ -1,0 +1,85 @@
+package featsel
+
+import (
+	"fmt"
+
+	"github.com/arda-ml/arda/internal/ml"
+)
+
+// Method identifies a feature-selection method by the paper's name.
+type Method string
+
+// The feature-selection methods evaluated in the paper's §7.
+const (
+	MethodRIFS      Method = "RIFS"
+	MethodForest    Method = "random forest"
+	MethodSparse    Method = "sparse regression"
+	MethodLasso     Method = "lasso"
+	MethodLogistic  Method = "logistic reg"
+	MethodLinearSVC Method = "linear svc"
+	MethodFTest     Method = "f-test"
+	MethodMutual    Method = "mutual info"
+	MethodRelief    Method = "relief"
+	MethodForward   Method = "forward selection"
+	MethodBackward  Method = "backward selection"
+	MethodRFE       Method = "rfe"
+	MethodAll       Method = "all features"
+)
+
+// AllMethods lists every method in the paper's table order.
+func AllMethods() []Method {
+	return []Method{
+		MethodRIFS, MethodForest, MethodSparse, MethodLasso, MethodLogistic,
+		MethodLinearSVC, MethodFTest, MethodMutual, MethodRelief,
+		MethodForward, MethodBackward, MethodRFE, MethodAll,
+	}
+}
+
+// New constructs the named selector with paper-default parameters.
+func New(m Method) (Selector, error) {
+	switch m {
+	case MethodRIFS:
+		return &RIFS{}, nil
+	case MethodForest:
+		return &RankingSelector{Ranker: &ForestRanker{}}, nil
+	case MethodSparse:
+		return &RankingSelector{Ranker: &SparseRegressionRanker{}}, nil
+	case MethodLasso:
+		return &RankingSelector{Ranker: &LassoRanker{}}, nil
+	case MethodLogistic:
+		return &RankingSelector{Ranker: &LogisticRanker{}}, nil
+	case MethodLinearSVC:
+		return &RankingSelector{Ranker: &LinearSVCRanker{}}, nil
+	case MethodFTest:
+		return &RankingSelector{Ranker: &FTestRanker{}}, nil
+	case MethodMutual:
+		return &RankingSelector{Ranker: &MutualInfoRanker{}}, nil
+	case MethodRelief:
+		return &RankingSelector{Ranker: &ReliefRanker{}}, nil
+	case MethodForward:
+		return &ForwardSelector{}, nil
+	case MethodBackward:
+		return &BackwardSelector{}, nil
+	case MethodRFE:
+		return &RFESelector{}, nil
+	case MethodAll:
+		return AllFeatures{}, nil
+	default:
+		return nil, fmt.Errorf("featsel: unknown method %q", m)
+	}
+}
+
+// MethodsFor returns the methods applicable to a task, in table order.
+func MethodsFor(task ml.Task) []Method {
+	var out []Method
+	for _, m := range AllMethods() {
+		sel, err := New(m)
+		if err != nil {
+			continue
+		}
+		if sel.Supports(task) {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,323 @@
+package featsel
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/arda-ml/arda/internal/eval"
+	"github.com/arda-ml/arda/internal/linalg"
+	"github.com/arda-ml/arda/internal/ml"
+	"github.com/arda-ml/arda/internal/stats"
+)
+
+// InjectionKind selects the random-feature generation strategy of Algorithm 2.
+type InjectionKind int
+
+const (
+	// MomentMatched fits N(µ, Σ) to the empirical feature-vector moments and
+	// injects i.i.d. samples — the aggressive strategy for inputs where true
+	// signal is a small fraction of the features.
+	MomentMatched InjectionKind = iota
+	// SimpleDistributions cycles through standard Normal / Bernoulli /
+	// Uniform / Poisson noise columns — sufficient when most features are
+	// real signal.
+	SimpleDistributions
+)
+
+// String returns the injection kind name.
+func (k InjectionKind) String() string {
+	if k == SimpleDistributions {
+		return "simple"
+	}
+	return "moment-matched"
+}
+
+// RIFSConfig tunes random-injection feature selection.
+type RIFSConfig struct {
+	// Eta is the fraction of random features injected, t = ⌈η·d⌉ (default
+	// 0.2, the paper's setting).
+	Eta float64
+	// K is the number of injection repetitions (default 10).
+	K int
+	// Nu weights the random-forest ranking against the sparse-regression
+	// ranking in the aggregate (default 0.5).
+	Nu float64
+	// Thresholds is the increasing threshold set T of Algorithm 3 (default
+	// {0.2, 0.4, 0.6, 0.8, 1.0}).
+	Thresholds []float64
+	// Injection selects the Algorithm 2 strategy (default MomentMatched).
+	Injection InjectionKind
+	// MomentMatchCap bounds the rows used to fit N(µ, Σ); above it the
+	// sampler fits on a row subsample (default 768). The covariance is n×n,
+	// so this caps the Cholesky cost.
+	MomentMatchCap int
+	// Forest configures the forest half of the ranking ensemble.
+	Forest ForestRanker
+	// Sparse configures the ℓ2,1 half of the ranking ensemble.
+	Sparse ml.Sparse21Config
+}
+
+func (c *RIFSConfig) defaults() {
+	if c.Eta <= 0 {
+		c.Eta = 0.2
+	}
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if c.Nu <= 0 || c.Nu >= 1 {
+		c.Nu = 0.5
+	}
+	if len(c.Thresholds) == 0 {
+		c.Thresholds = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	}
+	if c.MomentMatchCap <= 0 {
+		c.MomentMatchCap = 768
+	}
+	if c.Forest.NTrees <= 0 {
+		c.Forest.NTrees = 40
+	}
+	if c.Forest.MaxDepth <= 0 {
+		c.Forest.MaxDepth = 10
+	}
+	if c.Sparse.MaxRows == 0 {
+		c.Sparse.MaxRows = 256
+	}
+}
+
+// RIFS is the paper's random-injection feature selection (Algorithms 1–3):
+// repeatedly append synthetic noise columns, rank all columns with a
+// ν-weighted ensemble of random-forest importances and ℓ2,1 sparse-regression
+// norms, score each real feature by how often it outranks every injected
+// column, and pick the survivor threshold by a monotone holdout sweep.
+type RIFS struct {
+	Config RIFSConfig
+}
+
+// Name implements Selector.
+func (r *RIFS) Name() string { return "RIFS" }
+
+// Supports implements Selector: both tasks.
+func (r *RIFS) Supports(ml.Task) bool { return true }
+
+// Select implements Selector.
+func (r *RIFS) Select(ds *ml.Dataset, est eval.Fitter, seed int64) ([]int, error) {
+	rstar, err := r.RStar(ds, seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := r.Config
+	cfg.defaults()
+	scorer := newSubsetScorer(ds, est, seed)
+	return sweepThresholds(rstar, cfg.Thresholds, scorer.score), nil
+}
+
+// sweepThresholds is Algorithm 3's wrapper: walk the increasing threshold
+// set, keeping the subset {j : r*_j ≥ τ} while its holdout score stays
+// monotone, and return the last subset before the score decreases (nil when
+// even the loosest threshold selects nothing).
+func sweepThresholds(rstar, thresholds []float64, score func([]int) float64) []int {
+	var prev []int
+	prevScore := math.Inf(-1)
+	for _, tau := range thresholds {
+		var subset []int
+		for j, v := range rstar {
+			if v >= tau {
+				subset = append(subset, j)
+			}
+		}
+		if len(subset) == 0 {
+			break
+		}
+		sc := score(subset)
+		if sc < prevScore {
+			break
+		}
+		prev, prevScore = subset, sc
+	}
+	return prev
+}
+
+// RStar runs the injection repetitions of Algorithm 1 and returns, per real
+// feature, the fraction of repetitions in which it outranked every injected
+// random feature.
+func (r *RIFS) RStar(ds *ml.Dataset, seed int64) ([]float64, error) {
+	cfg := r.Config
+	cfg.defaults()
+	d := ds.D
+	t := int(math.Ceil(cfg.Eta * float64(d)))
+	if t < 1 {
+		t = 1
+	}
+	inject, err := r.newInjector(ds, seed)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]float64, d)
+	for rep := 0; rep < cfg.K; rep++ {
+		repSeed := seed + int64(rep+1)*104729
+		aug, err := injectColumns(ds, t, inject, repSeed)
+		if err != nil {
+			return nil, err
+		}
+		agg, err := r.aggregateRanking(aug, repSeed)
+		if err != nil {
+			return nil, err
+		}
+		maxNoise := math.Inf(-1)
+		for j := d; j < d+t; j++ {
+			if agg[j] > maxNoise {
+				maxNoise = agg[j]
+			}
+		}
+		for j := 0; j < d; j++ {
+			if agg[j] > maxNoise {
+				counts[j]++
+			}
+		}
+	}
+	for j := range counts {
+		counts[j] /= float64(cfg.K)
+	}
+	return counts, nil
+}
+
+// aggregateRanking computes the ν-weighted ensemble ranking (normalized rank
+// combination of forest importances and sparse-regression row norms) over
+// every column of aug.
+func (r *RIFS) aggregateRanking(aug *ml.Dataset, seed int64) ([]float64, error) {
+	cfg := r.Config
+	cfg.defaults()
+	rfScores, err := cfg.Forest.Rank(aug, seed)
+	if err != nil {
+		return nil, fmt.Errorf("featsel: rifs forest ranking: %w", err)
+	}
+	sr := &SparseRegressionRanker{Config: cfg.Sparse}
+	srScores, err := sr.Rank(aug, seed)
+	if err != nil {
+		return nil, fmt.Errorf("featsel: rifs sparse ranking: %w", err)
+	}
+	rfRank := RanksOf(rfScores)
+	srRank := RanksOf(srScores)
+	agg := make([]float64, aug.D)
+	for j := range agg {
+		agg[j] = cfg.Nu*rfRank[j] + (1-cfg.Nu)*srRank[j]
+	}
+	return agg, nil
+}
+
+// injector produces one synthetic noise column per call.
+type injector func(repSeed int64, col int) []float64
+
+// newInjector builds the Algorithm 2 sampler for ds.
+func (r *RIFS) newInjector(ds *ml.Dataset, seed int64) (injector, error) {
+	cfg := r.Config
+	cfg.defaults()
+	if cfg.Injection == SimpleDistributions {
+		return func(repSeed int64, col int) []float64 {
+			rng := newRNG(repSeed*31 + int64(col))
+			dist := stats.Distribution(col % 4)
+			return stats.SampleColumn(dist, ds.N, rng)
+		}, nil
+	}
+	// Moment-matched injection: µ is the mean feature vector (length n),
+	// Σ the empirical covariance of the d feature columns (n×n), both fit on
+	// at most MomentMatchCap rows. Columns are z-scored first — on raw data
+	// the largest-scale column dominates Σ, collapsing it to (near) rank one
+	// so every injected column becomes a clone of a single direction that
+	// both rankers trivially bury, which would let arbitrary noise "beat all
+	// injected features".
+	rows := ds.N
+	rowIdx := make([]int, rows)
+	for i := range rowIdx {
+		rowIdx[i] = i
+	}
+	if rows > cfg.MomentMatchCap {
+		rng := newRNG(seed + 7)
+		rowIdx = rng.Perm(ds.N)[:cfg.MomentMatchCap]
+		rows = cfg.MomentMatchCap
+	}
+	n, d := rows, ds.D
+	// Standardize each column over the fit rows.
+	std := make([]float64, n*d)
+	for j := 0; j < d; j++ {
+		sum, sq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := ds.At(rowIdx[i], j)
+			sum += v
+			sq += v * v
+		}
+		mean := sum / float64(n)
+		sd := math.Sqrt(math.Max(sq/float64(n)-mean*mean, 0))
+		if sd < 1e-12 {
+			sd = 1
+		}
+		for i := 0; i < n; i++ {
+			std[i*d+j] = (ds.At(rowIdx[i], j) - mean) / sd
+		}
+	}
+	mu := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			mu[i] += std[i*d+j]
+		}
+	}
+	linalg.Scale(mu, 1/float64(d))
+	sigma := linalg.NewMatrix(n, n)
+	diff := make([]float64, n)
+	for j := 0; j < d; j++ {
+		for i := 0; i < n; i++ {
+			diff[i] = std[i*d+j] - mu[i]
+		}
+		for a := 0; a < n; a++ {
+			if diff[a] == 0 {
+				continue
+			}
+			row := sigma.Row(a)
+			for b := 0; b < n; b++ {
+				row[b] += diff[a] * diff[b]
+			}
+		}
+	}
+	for i := range sigma.Data {
+		sigma.Data[i] /= float64(d)
+	}
+	sampler, err := linalg.NewMVNSampler(mu, sigma)
+	if err != nil {
+		return nil, fmt.Errorf("featsel: rifs moment-matched sampler: %w", err)
+	}
+	full := rows == ds.N
+	return func(repSeed int64, col int) []float64 {
+		rng := newRNG(repSeed*37 + int64(col))
+		s := sampler.Sample(rng)
+		if full {
+			return s
+		}
+		// The sampler was fit on a row subsample; tile the sampled pattern
+		// across all rows (values beyond the fit rows cycle through s).
+		out := make([]float64, ds.N)
+		for i := range out {
+			out[i] = s[i%len(s)]
+		}
+		return out
+	}, nil
+}
+
+// injectColumns appends t synthetic columns to ds, returning a new dataset
+// of width d+t that shares the label vector.
+func injectColumns(ds *ml.Dataset, t int, inject injector, repSeed int64) (*ml.Dataset, error) {
+	d2 := ds.D + t
+	x := make([]float64, ds.N*d2)
+	for i := 0; i < ds.N; i++ {
+		copy(x[i*d2:], ds.Row(i))
+	}
+	for c := 0; c < t; c++ {
+		col := inject(repSeed, c)
+		if len(col) != ds.N {
+			return nil, fmt.Errorf("featsel: injected column has %d rows, want %d", len(col), ds.N)
+		}
+		for i := 0; i < ds.N; i++ {
+			x[i*d2+ds.D+c] = col[i]
+		}
+	}
+	return ml.NewDataset(x, ds.N, d2, ds.Y, ds.Task, ds.Classes)
+}

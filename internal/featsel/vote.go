@@ -1,0 +1,95 @@
+package featsel
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/arda-ml/arda/internal/eval"
+	"github.com/arda-ml/arda/internal/ml"
+)
+
+// VoteSelector runs several feature-selection methods simultaneously (§3:
+// "ARDA considers various types of feature selection algorithms that can be
+// run simultaneously") and keeps the features selected by at least MinVotes
+// of them. Selectors that do not support the task abstain. Members run
+// concurrently when Parallel is set.
+type VoteSelector struct {
+	// Selectors are the ensemble members.
+	Selectors []Selector
+	// MinVotes is the agreement threshold; 0 means a strict majority of the
+	// applicable members.
+	MinVotes int
+	// Parallel runs members concurrently.
+	Parallel bool
+}
+
+// Name implements Selector.
+func (s *VoteSelector) Name() string { return "vote" }
+
+// Supports implements Selector: the ensemble applies when at least one
+// member does.
+func (s *VoteSelector) Supports(task ml.Task) bool {
+	for _, sel := range s.Selectors {
+		if sel.Supports(task) {
+			return true
+		}
+	}
+	return false
+}
+
+// Select implements Selector.
+func (s *VoteSelector) Select(ds *ml.Dataset, est eval.Fitter, seed int64) ([]int, error) {
+	var members []Selector
+	for _, sel := range s.Selectors {
+		if sel.Supports(ds.Task) {
+			members = append(members, sel)
+		}
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("featsel: vote ensemble has no member supporting %s", ds.Task)
+	}
+	results := make([][]int, len(members))
+	errs := make([]error, len(members))
+	runMember := func(i int) {
+		results[i], errs[i] = members[i].Select(ds, est, seed+int64(i)*31)
+	}
+	if s.Parallel && len(members) > 1 {
+		var wg sync.WaitGroup
+		for i := range members {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				runMember(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range members {
+			runMember(i)
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("featsel: vote member %s: %w", members[i].Name(), err)
+		}
+	}
+	min := s.MinVotes
+	if min <= 0 {
+		min = len(members)/2 + 1
+	}
+	votes := make([]int, ds.D)
+	for _, cols := range results {
+		for _, j := range cols {
+			if j >= 0 && j < ds.D {
+				votes[j]++
+			}
+		}
+	}
+	var out []int
+	for j, v := range votes {
+		if v >= min {
+			out = append(out, j)
+		}
+	}
+	return out, nil
+}

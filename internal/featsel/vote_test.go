@@ -1,0 +1,120 @@
+package featsel
+
+import (
+	"testing"
+
+	"github.com/arda-ml/arda/internal/eval"
+	"github.com/arda-ml/arda/internal/ml"
+)
+
+// fixedSelector returns a canned selection (for ensemble-logic tests).
+type fixedSelector struct {
+	name string
+	cols []int
+	task ml.Task
+	all  bool
+}
+
+func (f *fixedSelector) Name() string { return f.name }
+func (f *fixedSelector) Supports(t ml.Task) bool {
+	return f.all || t == f.task
+}
+func (f *fixedSelector) Select(*ml.Dataset, eval.Fitter, int64) ([]int, error) {
+	return f.cols, nil
+}
+
+func TestVoteMajority(t *testing.T) {
+	ds := planted(ml.Classification, 40, 2, 3, 90)
+	v := &VoteSelector{Selectors: []Selector{
+		&fixedSelector{name: "a", cols: []int{0, 1, 2}, all: true},
+		&fixedSelector{name: "b", cols: []int{0, 1, 3}, all: true},
+		&fixedSelector{name: "c", cols: []int{0, 4}, all: true},
+	}}
+	got, err := v.Select(ds, fastForest(1), 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Majority of 3 = 2 votes: features 0 (3 votes) and 1 (2 votes).
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("majority vote = %v, want [0 1]", got)
+	}
+}
+
+func TestVoteMinVotesOverride(t *testing.T) {
+	ds := planted(ml.Classification, 40, 2, 3, 92)
+	v := &VoteSelector{
+		MinVotes: 1, // union
+		Selectors: []Selector{
+			&fixedSelector{name: "a", cols: []int{0}, all: true},
+			&fixedSelector{name: "b", cols: []int{4}, all: true},
+		},
+	}
+	got, err := v.Select(ds, fastForest(2), 93)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("union vote = %v", got)
+	}
+}
+
+func TestVoteSkipsUnsupportedMembers(t *testing.T) {
+	ds := planted(ml.Regression, 40, 1, 2, 94)
+	v := &VoteSelector{Selectors: []Selector{
+		&fixedSelector{name: "clf-only", cols: []int{2}, task: ml.Classification},
+		&fixedSelector{name: "reg", cols: []int{0}, task: ml.Regression},
+	}}
+	got, err := v.Select(ds, fastForest(3), 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the regression member votes; majority of 1 is 1.
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("vote with abstention = %v", got)
+	}
+	if !v.Supports(ml.Classification) || !v.Supports(ml.Regression) {
+		t.Fatal("ensemble should support any task a member supports")
+	}
+}
+
+func TestVoteNoApplicableMembers(t *testing.T) {
+	ds := planted(ml.Regression, 20, 1, 1, 96)
+	v := &VoteSelector{Selectors: []Selector{
+		&fixedSelector{name: "clf-only", cols: []int{0}, task: ml.Classification},
+	}}
+	if _, err := v.Select(ds, fastForest(4), 97); err == nil {
+		t.Fatal("no applicable member should error")
+	}
+}
+
+func TestVoteRealSelectorsParallel(t *testing.T) {
+	ds := planted(ml.Classification, 250, 3, 17, 98)
+	v := &VoteSelector{
+		Parallel: true,
+		Selectors: []Selector{
+			&RankingSelector{Ranker: &FTestRanker{}},
+			&RankingSelector{Ranker: &MutualInfoRanker{}},
+			&RankingSelector{Ranker: &ForestRanker{NTrees: 20}},
+		},
+	}
+	got, err := v.Select(ds, fastForest(5), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("ensemble selected nothing")
+	}
+	keep := map[int]bool{}
+	for _, j := range got {
+		keep[j] = true
+	}
+	hits := 0
+	for j := 0; j < 3; j++ {
+		if keep[j] {
+			hits++
+		}
+	}
+	if hits < 2 {
+		t.Fatalf("ensemble lost the signal: %v", got)
+	}
+}

@@ -1,0 +1,68 @@
+package join
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/arda-ml/arda/internal/dataframe"
+	"github.com/arda-ml/arda/internal/stats"
+)
+
+// Impute fills every missing value in the table in place, using the paper's
+// simple strategies (§4 "Imputation"): numeric and time columns take the
+// column median, categorical columns draw uniformly at random from the
+// column's observed values. Columns that are entirely missing become all-zero
+// (numeric), epoch (time), or stay missing (categorical with no observed
+// values). It returns the number of cells filled.
+func Impute(t *dataframe.Table, rng *rand.Rand) int {
+	filled := 0
+	for _, c := range t.Columns() {
+		switch col := c.(type) {
+		case *dataframe.NumericColumn:
+			med := stats.Median(col.Values)
+			if math.IsNaN(med) {
+				med = 0
+			}
+			for i, v := range col.Values {
+				if math.IsNaN(v) {
+					col.Values[i] = med
+					filled++
+				}
+			}
+		case *dataframe.TimeColumn:
+			vals := make([]float64, 0, len(col.Unix))
+			for _, v := range col.Unix {
+				if v != dataframe.MissingTime {
+					vals = append(vals, float64(v))
+				}
+			}
+			med := int64(0)
+			if len(vals) > 0 {
+				med = int64(stats.Median(vals))
+			}
+			for i, v := range col.Unix {
+				if v == dataframe.MissingTime {
+					col.Unix[i] = med
+					filled++
+				}
+			}
+		case *dataframe.CategoricalColumn:
+			present := make([]int, 0, len(col.Codes))
+			for _, code := range col.Codes {
+				if code >= 0 {
+					present = append(present, code)
+				}
+			}
+			if len(present) == 0 {
+				continue
+			}
+			for i, code := range col.Codes {
+				if code < 0 {
+					col.Codes[i] = present[rng.Intn(len(present))]
+					filled++
+				}
+			}
+		}
+	}
+	return filled
+}

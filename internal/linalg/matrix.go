@@ -1,0 +1,332 @@
+// Package linalg provides the dense linear-algebra primitives ARDA needs:
+// row-major matrices, matrix products, Cholesky factorization and solves,
+// regularized least squares, and multivariate-normal sampling for the
+// moment-matched random feature injection of RIFS.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("linalg: row %d has %d entries, want %d", i, len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:], r)
+	}
+	return m
+}
+
+// At returns entry (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns entry (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a subslice of the backing array.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*m.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// Mul returns the product a·b.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: mul dims %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the product m·x as a new vector.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: mulvec dims %dx%d · %d", m.Rows, m.Cols, len(x)))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Dot(m.Row(i), x)
+	}
+	return out
+}
+
+// Dot returns the inner product of equal-length vectors.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// AddScaled adds alpha*src to dst in place.
+func AddScaled(dst []float64, alpha float64, src []float64) {
+	for i, v := range src {
+		dst[i] += alpha * v
+	}
+}
+
+// Scale multiplies every entry of v by alpha in place.
+func Scale(v []float64, alpha float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// ErrNotSPD is returned by Cholesky when the input is not (numerically)
+// symmetric positive definite.
+var ErrNotSPD = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular factor L with A = L·Lᵀ for a
+// symmetric positive-definite A. Only the lower triangle of A is read.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: cholesky of non-square %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotSPD
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return l, nil
+}
+
+// CholeskyJittered computes a Cholesky factor of a + jitter·I, doubling the
+// jitter (starting from start, or a scale-based default if start <= 0) until
+// factorization succeeds or the jitter exceeds the matrix scale by a large
+// factor.
+func CholeskyJittered(a *Matrix, start float64) (*Matrix, error) {
+	scale := 0.0
+	for i := 0; i < a.Rows; i++ {
+		if v := math.Abs(a.At(i, i)); v > scale {
+			scale = v
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	jitter := start
+	if jitter <= 0 {
+		jitter = 1e-10 * scale
+	}
+	work := a.Clone()
+	for iter := 0; iter < 60; iter++ {
+		l, err := Cholesky(work)
+		if err == nil {
+			return l, nil
+		}
+		for i := 0; i < work.Rows; i++ {
+			work.Set(i, i, a.At(i, i)+jitter)
+		}
+		jitter *= 4
+		if jitter > 1e6*scale {
+			break
+		}
+	}
+	return nil, ErrNotSPD
+}
+
+// SolveCholesky solves A·x = b given the Cholesky factor L of A, by forward
+// then backward substitution.
+func SolveCholesky(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l.Row(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		y[i] = s / row[i]
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// SolveSPD solves A·X = B for symmetric positive-definite A (jittered if
+// needed), where B has one column per solve.
+func SolveSPD(a, b *Matrix) (*Matrix, error) {
+	l, err := CholeskyJittered(a, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	col := make([]float64, a.Rows)
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < a.Rows; i++ {
+			col[i] = b.At(i, j)
+		}
+		x := SolveCholesky(l, col)
+		for i := 0; i < a.Rows; i++ {
+			out.Set(i, j, x[i])
+		}
+	}
+	return out, nil
+}
+
+// RidgeSolve solves the regularized least squares problem
+// min_w ‖X·w − y‖² + lambda‖w‖² via the normal equations
+// (XᵀX + lambda·I)w = Xᵀy. X is n×d with d expected modest (use dual or
+// sketching for wide problems).
+func RidgeSolve(x *Matrix, y []float64, lambda float64) ([]float64, error) {
+	d := x.Cols
+	xtx := NewMatrix(d, d)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for a := 0; a < d; a++ {
+			va := row[a]
+			if va == 0 {
+				continue
+			}
+			out := xtx.Row(a)
+			for b := 0; b < d; b++ {
+				out[b] += va * row[b]
+			}
+		}
+	}
+	for a := 0; a < d; a++ {
+		xtx.Data[a*d+a] += lambda
+	}
+	xty := make([]float64, d)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		AddScaled(xty, y[i], row)
+	}
+	l, err := CholeskyJittered(xtx, 0)
+	if err != nil {
+		return nil, err
+	}
+	return SolveCholesky(l, xty), nil
+}
+
+// MVNSampler draws samples from N(mu, sigma) using a jittered Cholesky factor
+// of sigma.
+type MVNSampler struct {
+	mu []float64
+	l  *Matrix
+}
+
+// NewMVNSampler prepares a sampler for N(mu, sigma). sigma must be square
+// with dimension len(mu); a small jitter is added if it is not strictly
+// positive definite.
+func NewMVNSampler(mu []float64, sigma *Matrix) (*MVNSampler, error) {
+	if sigma.Rows != len(mu) || sigma.Cols != len(mu) {
+		return nil, fmt.Errorf("linalg: MVN dims mu=%d sigma=%dx%d", len(mu), sigma.Rows, sigma.Cols)
+	}
+	l, err := CholeskyJittered(sigma, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &MVNSampler{mu: mu, l: l}, nil
+}
+
+// Sample draws one vector from the distribution.
+func (s *MVNSampler) Sample(rng *rand.Rand) []float64 {
+	n := len(s.mu)
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = rng.NormFloat64()
+	}
+	out := make([]float64, n)
+	copy(out, s.mu)
+	for i := 0; i < n; i++ {
+		row := s.l.Row(i)
+		for k := 0; k <= i; k++ {
+			out[i] += row[k] * z[k]
+		}
+	}
+	return out
+}
+
+// Mean returns the column-wise mean of m as a vector of length Cols.
+func Mean(m *Matrix) []float64 {
+	mu := make([]float64, m.Cols)
+	if m.Rows == 0 {
+		return mu
+	}
+	for i := 0; i < m.Rows; i++ {
+		AddScaled(mu, 1, m.Row(i))
+	}
+	Scale(mu, 1/float64(m.Rows))
+	return mu
+}

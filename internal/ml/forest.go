@@ -1,0 +1,151 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// ForestConfig controls random-forest training.
+type ForestConfig struct {
+	// NTrees is the ensemble size (default 100).
+	NTrees int
+	// MaxDepth bounds per-tree depth; <= 0 means unbounded.
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 1 for classification,
+	// 2 for regression).
+	MinLeaf int
+	// MTry is the features-per-split count; <= 0 selects sqrt(d) for
+	// classification and max(1, d/3) for regression.
+	MTry int
+	// Seed seeds the per-tree RNGs.
+	Seed int64
+	// Parallel enables concurrent tree growth across GOMAXPROCS workers.
+	Parallel bool
+}
+
+// Forest is a fitted random forest.
+type Forest struct {
+	Trees   []*Tree
+	task    Task
+	classes int
+	imp     []float64
+}
+
+// FitForest trains a random forest on ds with bootstrap resampling.
+func FitForest(ds *Dataset, cfg ForestConfig) *Forest {
+	if cfg.NTrees <= 0 {
+		cfg.NTrees = 100
+	}
+	if cfg.MinLeaf <= 0 {
+		if ds.Task == Regression {
+			cfg.MinLeaf = 2
+		} else {
+			cfg.MinLeaf = 1
+		}
+	}
+	mtry := cfg.MTry
+	if mtry <= 0 {
+		if ds.Task == Classification {
+			mtry = int(math.Sqrt(float64(ds.D)))
+		} else {
+			mtry = ds.D / 3
+		}
+		if mtry < 1 {
+			mtry = 1
+		}
+	}
+	tc := TreeConfig{MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf, MTry: mtry}
+	f := &Forest{
+		Trees:   make([]*Tree, cfg.NTrees),
+		task:    ds.Task,
+		classes: ds.Classes,
+	}
+	fit := func(t int) {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*7919))
+		idx := make([]int, ds.N)
+		for i := range idx {
+			idx[i] = rng.Intn(ds.N)
+		}
+		f.Trees[t] = FitTree(ds, idx, tc, rng)
+	}
+	if cfg.Parallel && cfg.NTrees > 1 {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > cfg.NTrees {
+			workers = cfg.NTrees
+		}
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t := range next {
+					fit(t)
+				}
+			}()
+		}
+		for t := 0; t < cfg.NTrees; t++ {
+			next <- t
+		}
+		close(next)
+		wg.Wait()
+	} else {
+		for t := 0; t < cfg.NTrees; t++ {
+			fit(t)
+		}
+	}
+	// Aggregate importances: mean of per-tree normalized importances.
+	f.imp = make([]float64, ds.D)
+	for _, tree := range f.Trees {
+		ti := tree.Importance()
+		total := 0.0
+		for _, v := range ti {
+			total += v
+		}
+		if total <= 0 {
+			continue
+		}
+		for j, v := range ti {
+			f.imp[j] += v / total
+		}
+	}
+	total := 0.0
+	for _, v := range f.imp {
+		total += v
+	}
+	if total > 0 {
+		for j := range f.imp {
+			f.imp[j] /= total
+		}
+	}
+	return f
+}
+
+// Predict returns the ensemble prediction: majority vote for classification,
+// mean for regression.
+func (f *Forest) Predict(x []float64) float64 {
+	if f.task == Classification {
+		votes := make([]int, f.classes)
+		for _, t := range f.Trees {
+			votes[int(t.Predict(x))]++
+		}
+		best, bestK := -1, 0
+		for k, v := range votes {
+			if v > best {
+				best, bestK = v, k
+			}
+		}
+		return float64(bestK)
+	}
+	s := 0.0
+	for _, t := range f.Trees {
+		s += t.Predict(x)
+	}
+	return s / float64(len(f.Trees))
+}
+
+// Importances returns the normalized mean-decrease-impurity importance of
+// each feature (sums to 1 when any splits occurred).
+func (f *Forest) Importances() []float64 { return f.imp }

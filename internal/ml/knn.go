@@ -1,0 +1,108 @@
+package ml
+
+import (
+	"container/heap"
+	"math"
+)
+
+// KNN is a brute-force k-nearest-neighbours predictor over standardized
+// features: majority vote for classification, mean for regression.
+type KNN struct {
+	x       []float64
+	y       []float64
+	n, d, k int
+	task    Task
+	classes int
+	std     *Standardization
+}
+
+// FitKNN stores the (standardized) training set for k-NN prediction.
+func FitKNN(ds *Dataset, k int) *KNN {
+	if k <= 0 {
+		k = 5
+	}
+	if k > ds.N {
+		k = ds.N
+	}
+	std := FitStandardization(ds)
+	sds := std.Apply(ds)
+	return &KNN{
+		x:       sds.X,
+		y:       sds.Y,
+		n:       sds.N,
+		d:       sds.D,
+		k:       k,
+		task:    sds.Task,
+		classes: sds.Classes,
+		std:     std,
+	}
+}
+
+// neighborHeap is a max-heap of (distance, index) pairs keeping the k
+// smallest distances seen.
+type neighborHeap struct {
+	dist []float64
+	idx  []int
+}
+
+func (h *neighborHeap) Len() int           { return len(h.dist) }
+func (h *neighborHeap) Less(i, j int) bool { return h.dist[i] > h.dist[j] }
+func (h *neighborHeap) Swap(i, j int) {
+	h.dist[i], h.dist[j] = h.dist[j], h.dist[i]
+	h.idx[i], h.idx[j] = h.idx[j], h.idx[i]
+}
+func (h *neighborHeap) Push(x any) {
+	p := x.([2]float64)
+	h.dist = append(h.dist, p[0])
+	h.idx = append(h.idx, int(p[1]))
+}
+func (h *neighborHeap) Pop() any {
+	n := len(h.dist) - 1
+	p := [2]float64{h.dist[n], float64(h.idx[n])}
+	h.dist = h.dist[:n]
+	h.idx = h.idx[:n]
+	return p
+}
+
+// Predict returns the k-NN prediction for x.
+func (m *KNN) Predict(x []float64) float64 {
+	sx := m.std.ApplyVec(x)
+	h := &neighborHeap{}
+	heap.Init(h)
+	for i := 0; i < m.n; i++ {
+		row := m.x[i*m.d : (i+1)*m.d]
+		dist := 0.0
+		for j, v := range sx {
+			dv := v - row[j]
+			dist += dv * dv
+		}
+		if h.Len() < m.k {
+			heap.Push(h, [2]float64{dist, float64(i)})
+		} else if dist < h.dist[0] {
+			h.dist[0] = dist
+			h.idx[0] = i
+			heap.Fix(h, 0)
+		}
+	}
+	if m.task == Classification {
+		votes := make([]int, m.classes)
+		for _, i := range h.idx {
+			votes[int(m.y[i])]++
+		}
+		best, bestK := -1, 0
+		for k, v := range votes {
+			if v > best {
+				best, bestK = v, k
+			}
+		}
+		return float64(bestK)
+	}
+	s := 0.0
+	for _, i := range h.idx {
+		s += m.y[i]
+	}
+	if len(h.idx) == 0 {
+		return math.NaN()
+	}
+	return s / float64(len(h.idx))
+}

@@ -1,0 +1,173 @@
+package ml
+
+import (
+	"math"
+)
+
+// LogisticConfig controls softmax-regression fitting.
+type LogisticConfig struct {
+	// L2 is the ℓ2 penalty strength (default 1e-3).
+	L2 float64
+	// LearningRate is the initial gradient step (default 0.5).
+	LearningRate float64
+	// MaxIter bounds full-batch gradient steps (default 300).
+	MaxIter int
+	// Tol stops iteration when the loss improvement falls below it (default
+	// 1e-6).
+	Tol float64
+}
+
+// LogisticModel is a fitted multinomial (softmax) logistic regression over
+// standardized features.
+type LogisticModel struct {
+	// W is classes×d in row-major order; B is the per-class intercept.
+	W       []float64
+	B       []float64
+	classes int
+	d       int
+	std     *Standardization
+}
+
+// FitLogistic fits multinomial logistic regression with full-batch gradient
+// descent and backtracking on divergence.
+func FitLogistic(ds *Dataset, cfg LogisticConfig) *LogisticModel {
+	if cfg.L2 <= 0 {
+		cfg.L2 = 1e-3
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.5
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 300
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-6
+	}
+	std := FitStandardization(ds)
+	sds := std.Apply(ds)
+	n, d, c := sds.N, sds.D, sds.Classes
+	m := &LogisticModel{
+		W:       make([]float64, c*d),
+		B:       make([]float64, c),
+		classes: c,
+		d:       d,
+		std:     std,
+	}
+	gradW := make([]float64, c*d)
+	gradB := make([]float64, c)
+	probs := make([]float64, c)
+	lr := cfg.LearningRate
+	prevLoss := math.Inf(1)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		for i := range gradW {
+			gradW[i] = 0
+		}
+		for i := range gradB {
+			gradB[i] = 0
+		}
+		loss := 0.0
+		for i := 0; i < n; i++ {
+			row := sds.Row(i)
+			m.scores(row, probs)
+			softmaxInPlace(probs)
+			label := sds.Label(i)
+			p := probs[label]
+			if p < 1e-12 {
+				p = 1e-12
+			}
+			loss -= math.Log(p)
+			for k := 0; k < c; k++ {
+				g := probs[k]
+				if k == label {
+					g -= 1
+				}
+				gradB[k] += g
+				wrow := gradW[k*d : (k+1)*d]
+				for j, v := range row {
+					wrow[j] += g * v
+				}
+			}
+		}
+		inv := 1 / float64(n)
+		loss *= inv
+		for k := 0; k < c*d; k++ {
+			gradW[k] = gradW[k]*inv + cfg.L2*m.W[k]
+			loss += 0.5 * cfg.L2 * m.W[k] * m.W[k] * inv
+		}
+		if loss > prevLoss+1e-12 {
+			lr *= 0.5
+			if lr < 1e-6 {
+				break
+			}
+		} else if prevLoss-loss < cfg.Tol {
+			break
+		}
+		prevLoss = loss
+		for k := range m.W {
+			m.W[k] -= lr * gradW[k]
+		}
+		for k := range m.B {
+			m.B[k] -= lr * gradB[k] * inv
+		}
+	}
+	return m
+}
+
+// scores writes the raw class scores for standardized x into out.
+func (m *LogisticModel) scores(x []float64, out []float64) {
+	for k := 0; k < m.classes; k++ {
+		w := m.W[k*m.d : (k+1)*m.d]
+		s := m.B[k]
+		for j, v := range x {
+			s += w[j] * v
+		}
+		out[k] = s
+	}
+}
+
+// softmaxInPlace converts raw scores to probabilities.
+func softmaxInPlace(s []float64) {
+	max := s[0]
+	for _, v := range s[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for i, v := range s {
+		s[i] = math.Exp(v - max)
+		sum += s[i]
+	}
+	for i := range s {
+		s[i] /= sum
+	}
+}
+
+// Predict returns the argmax class code for x.
+func (m *LogisticModel) Predict(x []float64) float64 {
+	sx := m.std.ApplyVec(x)
+	scores := make([]float64, m.classes)
+	m.scores(sx, scores)
+	best, bestK := math.Inf(-1), 0
+	for k, v := range scores {
+		if v > best {
+			best, bestK = v, k
+		}
+	}
+	return float64(bestK)
+}
+
+// FeatureWeights returns per-feature ranking scores: the ℓ2 norm across
+// classes of each feature's weights in standardized space.
+func (m *LogisticModel) FeatureWeights() []float64 {
+	out := make([]float64, m.d)
+	for j := 0; j < m.d; j++ {
+		s := 0.0
+		for k := 0; k < m.classes; k++ {
+			w := m.W[k*m.d+j]
+			s += w * w
+		}
+		out[j] = math.Sqrt(s)
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLPConfig controls feed-forward network training. The paper's §9 lists
+// neural networks as a future-work estimator; this is a compact multilayer
+// perceptron (ReLU hidden layers, softmax or linear output) trained with
+// mini-batch Adam, usable anywhere an eval.Fitter is expected.
+type MLPConfig struct {
+	// Hidden lists hidden-layer widths (default [32]).
+	Hidden []int
+	// Epochs is the number of passes over the data (default 60).
+	Epochs int
+	// BatchSize is the mini-batch size (default 32).
+	BatchSize int
+	// LearningRate is Adam's step size (default 1e-2).
+	LearningRate float64
+	// L2 is the weight-decay strength (default 1e-4).
+	L2 float64
+	// Seed drives initialization and batch order.
+	Seed int64
+}
+
+// MLP is a fitted feed-forward network over standardized features.
+type MLP struct {
+	weights [][]float64 // per layer, (in+1)×out row-major with bias row last
+	dims    []int       // layer widths including input and output
+	task    Task
+	classes int
+	std     *Standardization
+	yMean   float64 // regression target centering
+}
+
+// FitMLP trains a multilayer perceptron on ds.
+func FitMLP(ds *Dataset, cfg MLPConfig) *MLP {
+	if len(cfg.Hidden) == 0 {
+		cfg.Hidden = []int{32}
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 60
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 1e-2
+	}
+	if cfg.L2 <= 0 {
+		cfg.L2 = 1e-4
+	}
+	std := FitStandardization(ds)
+	sds := std.Apply(ds)
+
+	out := 1
+	if sds.Task == Classification {
+		out = sds.Classes
+	}
+	dims := append(append([]int{sds.D}, cfg.Hidden...), out)
+	m := &MLP{dims: dims, task: sds.Task, classes: sds.Classes, std: std}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for l := 0; l+1 < len(dims); l++ {
+		in, outW := dims[l], dims[l+1]
+		w := make([]float64, (in+1)*outW)
+		scale := math.Sqrt(2 / float64(in)) // He initialization for ReLU
+		for i := 0; i < in*outW; i++ {
+			w[i] = rng.NormFloat64() * scale
+		}
+		m.weights = append(m.weights, w)
+	}
+
+	// Regression target centering stabilizes the linear output layer.
+	if sds.Task == Regression {
+		for _, v := range sds.Y {
+			m.yMean += v
+		}
+		m.yMean /= float64(sds.N)
+	}
+
+	// Adam state.
+	mom := make([][]float64, len(m.weights))
+	vel := make([][]float64, len(m.weights))
+	grads := make([][]float64, len(m.weights))
+	for l := range m.weights {
+		mom[l] = make([]float64, len(m.weights[l]))
+		vel[l] = make([]float64, len(m.weights[l]))
+		grads[l] = make([]float64, len(m.weights[l]))
+	}
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	step := 0
+
+	order := rng.Perm(sds.N)
+	acts := make([][]float64, len(dims))   // layer activations
+	deltas := make([][]float64, len(dims)) // layer error terms
+	for l, d := range dims {
+		acts[l] = make([]float64, d)
+		deltas[l] = make([]float64, d)
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(sds.N, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < sds.N; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > sds.N {
+				end = sds.N
+			}
+			for l := range grads {
+				for i := range grads[l] {
+					grads[l][i] = 0
+				}
+			}
+			for _, i := range order[start:end] {
+				m.forward(sds.Row(i), acts)
+				// Output delta.
+				outAct := acts[len(acts)-1]
+				dOut := deltas[len(deltas)-1]
+				if sds.Task == Classification {
+					probs := append([]float64{}, outAct...)
+					softmaxInPlace(probs)
+					for k := range dOut {
+						dOut[k] = probs[k]
+						if k == sds.Label(i) {
+							dOut[k] -= 1
+						}
+					}
+				} else {
+					dOut[0] = outAct[0] - (sds.Y[i] - m.yMean)
+				}
+				m.backward(acts, deltas, grads)
+			}
+			// Adam update.
+			step++
+			batch := float64(end - start)
+			lr := cfg.LearningRate *
+				math.Sqrt(1-math.Pow(beta2, float64(step))) /
+				(1 - math.Pow(beta1, float64(step)))
+			for l := range m.weights {
+				w := m.weights[l]
+				for i := range w {
+					g := grads[l][i]/batch + cfg.L2*w[i]
+					mom[l][i] = beta1*mom[l][i] + (1-beta1)*g
+					vel[l][i] = beta2*vel[l][i] + (1-beta2)*g*g
+					w[i] -= lr * mom[l][i] / (math.Sqrt(vel[l][i]) + eps)
+				}
+			}
+		}
+	}
+	return m
+}
+
+// forward fills acts with the network's layer activations for input x
+// (unstandardized handled by caller at predict time; training uses
+// pre-standardized rows).
+func (m *MLP) forward(x []float64, acts [][]float64) {
+	copy(acts[0], x)
+	for l := 0; l+1 < len(m.dims); l++ {
+		in, out := m.dims[l], m.dims[l+1]
+		w := m.weights[l]
+		prev := acts[l]
+		next := acts[l+1]
+		for o := 0; o < out; o++ {
+			s := w[in*out+o] // bias row
+			for i := 0; i < in; i++ {
+				s += prev[i] * w[i*out+o]
+			}
+			if l+2 < len(m.dims) && s < 0 {
+				s = 0 // ReLU on hidden layers
+			}
+			next[o] = s
+		}
+	}
+}
+
+// backward accumulates gradients given filled activations and the output
+// delta already placed in deltas[last].
+func (m *MLP) backward(acts, deltas [][]float64, grads [][]float64) {
+	for l := len(m.dims) - 2; l >= 0; l-- {
+		in, out := m.dims[l], m.dims[l+1]
+		w := m.weights[l]
+		g := grads[l]
+		prev := acts[l]
+		dNext := deltas[l+1]
+		// Weight and bias gradients.
+		for i := 0; i < in; i++ {
+			if prev[i] == 0 {
+				continue
+			}
+			for o := 0; o < out; o++ {
+				g[i*out+o] += prev[i] * dNext[o]
+			}
+		}
+		for o := 0; o < out; o++ {
+			g[in*out+o] += dNext[o]
+		}
+		if l == 0 {
+			break
+		}
+		// Propagate delta through the layer and ReLU derivative.
+		dPrev := deltas[l]
+		for i := 0; i < in; i++ {
+			s := 0.0
+			for o := 0; o < out; o++ {
+				s += w[i*out+o] * dNext[o]
+			}
+			if acts[l][i] <= 0 {
+				s = 0
+			}
+			dPrev[i] = s
+		}
+	}
+}
+
+// Predict returns the network's prediction for x: argmax class for
+// classification, value for regression.
+func (m *MLP) Predict(x []float64) float64 {
+	sx := m.std.ApplyVec(x)
+	acts := make([][]float64, len(m.dims))
+	for l, d := range m.dims {
+		acts[l] = make([]float64, d)
+	}
+	m.forward(sx, acts)
+	outAct := acts[len(acts)-1]
+	if m.task == Classification {
+		best, bestK := math.Inf(-1), 0
+		for k, v := range outAct {
+			if v > best {
+				best, bestK = v, k
+			}
+		}
+		return float64(bestK)
+	}
+	return outAct[0] + m.yMean
+}

@@ -1,0 +1,93 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMLPBinaryClassification(t *testing.T) {
+	ds := makeClassification(400, 2, 3, 71)
+	m := FitMLP(ds, MLPConfig{Seed: 1, Epochs: 40})
+	if acc := accuracyOf(m, ds); acc < 0.9 {
+		t.Fatalf("mlp accuracy = %v", acc)
+	}
+}
+
+func TestMLPSolvesXOR(t *testing.T) {
+	// XOR needs a hidden layer — the classic non-linear sanity check.
+	var x []float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		a, b := float64(i%2), float64((i/2)%2)
+		x = append(x, a, b)
+		if a != b {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	ds, _ := NewDataset(x, 200, 2, y, Classification, 2)
+	m := FitMLP(ds, MLPConfig{Hidden: []int{16}, Epochs: 200, Seed: 2})
+	if acc := accuracyOf(m, ds); acc < 0.99 {
+		t.Fatalf("mlp XOR accuracy = %v", acc)
+	}
+}
+
+func TestMLPRegression(t *testing.T) {
+	ds := makeRegression(500, 2, 72)
+	m := FitMLP(ds, MLPConfig{Hidden: []int{24}, Epochs: 80, Seed: 3})
+	var ssRes, ssTot, mean float64
+	for _, v := range ds.Y {
+		mean += v
+	}
+	mean /= float64(ds.N)
+	for i := 0; i < ds.N; i++ {
+		d := m.Predict(ds.Row(i)) - ds.Y[i]
+		ssRes += d * d
+		ssTot += (ds.Y[i] - mean) * (ds.Y[i] - mean)
+	}
+	if r2 := 1 - ssRes/ssTot; r2 < 0.85 {
+		t.Fatalf("mlp regression R² = %v", r2)
+	}
+}
+
+func TestMLPMulticlass(t *testing.T) {
+	// Three clusters in 2-D.
+	n := 300
+	x := make([]float64, n*2)
+	y := make([]float64, n)
+	rng := newTestRNG(73)
+	centers := [][2]float64{{0, 0}, {4, 0}, {2, 4}}
+	for i := 0; i < n; i++ {
+		k := i % 3
+		y[i] = float64(k)
+		x[i*2] = centers[k][0] + 0.5*rng.NormFloat64()
+		x[i*2+1] = centers[k][1] + 0.5*rng.NormFloat64()
+	}
+	ds, _ := NewDataset(x, n, 2, y, Classification, 3)
+	m := FitMLP(ds, MLPConfig{Seed: 4, Epochs: 60})
+	if acc := accuracyOf(m, ds); acc < 0.95 {
+		t.Fatalf("mlp multiclass accuracy = %v", acc)
+	}
+}
+
+func TestMLPDeterministic(t *testing.T) {
+	ds := makeClassification(150, 2, 2, 74)
+	a := FitMLP(ds, MLPConfig{Seed: 9, Epochs: 10})
+	b := FitMLP(ds, MLPConfig{Seed: 9, Epochs: 10})
+	for i := 0; i < ds.N; i++ {
+		if a.Predict(ds.Row(i)) != b.Predict(ds.Row(i)) {
+			t.Fatal("same seed must train identical networks")
+		}
+	}
+}
+
+func TestMLPPredictionFinite(t *testing.T) {
+	ds := makeRegression(100, 1, 75)
+	m := FitMLP(ds, MLPConfig{Epochs: 20, Seed: 5})
+	for i := 0; i < ds.N; i++ {
+		if v := m.Predict(ds.Row(i)); math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite prediction %v", v)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package ml implements the learning models ARDA uses, from scratch on the
+// standard library: CART decision trees and random forests (classification
+// and regression, with impurity-based feature importances), ridge and lasso
+// linear models, logistic/softmax regression, linear and RBF-kernel SVMs,
+// k-nearest neighbours, and the ℓ2,1-norm sparse-regression solver that
+// powers half of RIFS's ranking ensemble.
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Task distinguishes regression from classification datasets.
+type Task int
+
+const (
+	// Regression predicts a continuous target.
+	Regression Task = iota
+	// Classification predicts one of Classes integer labels.
+	Classification
+)
+
+// String returns the lowercase task name.
+func (t Task) String() string {
+	if t == Classification {
+		return "classification"
+	}
+	return "regression"
+}
+
+// Dataset is a dense supervised learning problem: an N×D row-major design
+// matrix X and a target vector Y. For classification, Y holds integer class
+// codes in [0, Classes).
+type Dataset struct {
+	X       []float64
+	N, D    int
+	Y       []float64
+	Task    Task
+	Classes int
+}
+
+// NewDataset wraps the given storage, validating shape consistency.
+func NewDataset(x []float64, n, d int, y []float64, task Task, classes int) (*Dataset, error) {
+	if len(x) != n*d {
+		return nil, fmt.Errorf("ml: X has %d entries, want %d×%d=%d", len(x), n, d, n*d)
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("ml: Y has %d entries, want %d", len(y), n)
+	}
+	if task == Classification && classes < 2 {
+		return nil, fmt.Errorf("ml: classification dataset needs >= 2 classes, got %d", classes)
+	}
+	return &Dataset{X: x, N: n, D: d, Y: y, Task: task, Classes: classes}, nil
+}
+
+// Row returns sample i's feature vector as a subslice of the backing array.
+func (ds *Dataset) Row(i int) []float64 { return ds.X[i*ds.D : (i+1)*ds.D] }
+
+// At returns feature j of sample i.
+func (ds *Dataset) At(i, j int) float64 { return ds.X[i*ds.D+j] }
+
+// Label returns sample i's class code (classification only).
+func (ds *Dataset) Label(i int) int { return int(ds.Y[i]) }
+
+// Subset returns a dataset over the given sample indices; feature storage is
+// copied.
+func (ds *Dataset) Subset(idx []int) *Dataset {
+	x := make([]float64, len(idx)*ds.D)
+	y := make([]float64, len(idx))
+	for r, i := range idx {
+		copy(x[r*ds.D:(r+1)*ds.D], ds.Row(i))
+		y[r] = ds.Y[i]
+	}
+	return &Dataset{X: x, N: len(idx), D: ds.D, Y: y, Task: ds.Task, Classes: ds.Classes}
+}
+
+// SelectFeatures returns a dataset restricted to the given feature columns.
+func (ds *Dataset) SelectFeatures(cols []int) *Dataset {
+	x := make([]float64, ds.N*len(cols))
+	for i := 0; i < ds.N; i++ {
+		row := ds.Row(i)
+		for jj, j := range cols {
+			x[i*len(cols)+jj] = row[j]
+		}
+	}
+	return &Dataset{X: x, N: ds.N, D: len(cols), Y: ds.Y, Task: ds.Task, Classes: ds.Classes}
+}
+
+// CleanNaNs replaces NaN feature entries with the per-column mean of the
+// non-NaN entries (0 if a column is entirely NaN), in place. Models in this
+// package require NaN-free inputs.
+func (ds *Dataset) CleanNaNs() {
+	for j := 0; j < ds.D; j++ {
+		sum, cnt := 0.0, 0
+		for i := 0; i < ds.N; i++ {
+			v := ds.X[i*ds.D+j]
+			if !math.IsNaN(v) {
+				sum += v
+				cnt++
+			}
+		}
+		fill := 0.0
+		if cnt > 0 {
+			fill = sum / float64(cnt)
+		}
+		for i := 0; i < ds.N; i++ {
+			if math.IsNaN(ds.X[i*ds.D+j]) {
+				ds.X[i*ds.D+j] = fill
+			}
+		}
+	}
+}
+
+// Model is a fitted predictor. For classification models Predict returns the
+// predicted class code; for regression, the predicted value.
+type Model interface {
+	Predict(x []float64) float64
+}
+
+// PredictAll applies the model to every row of ds.
+func PredictAll(m Model, ds *Dataset) []float64 {
+	out := make([]float64, ds.N)
+	for i := 0; i < ds.N; i++ {
+		out[i] = m.Predict(ds.Row(i))
+	}
+	return out
+}
+
+// Standardization holds per-feature location/scale for z-scoring.
+type Standardization struct {
+	Mean, Scale []float64
+}
+
+// FitStandardization computes per-column mean and standard deviation of ds
+// (scale 1 for constant columns).
+func FitStandardization(ds *Dataset) *Standardization {
+	s := &Standardization{Mean: make([]float64, ds.D), Scale: make([]float64, ds.D)}
+	for j := 0; j < ds.D; j++ {
+		sum := 0.0
+		for i := 0; i < ds.N; i++ {
+			sum += ds.At(i, j)
+		}
+		mu := sum / float64(ds.N)
+		ss := 0.0
+		for i := 0; i < ds.N; i++ {
+			d := ds.At(i, j) - mu
+			ss += d * d
+		}
+		sd := math.Sqrt(ss / float64(ds.N))
+		if sd < 1e-12 {
+			sd = 1
+		}
+		s.Mean[j] = mu
+		s.Scale[j] = sd
+	}
+	return s
+}
+
+// Apply returns a standardized copy of ds.
+func (s *Standardization) Apply(ds *Dataset) *Dataset {
+	x := make([]float64, len(ds.X))
+	for i := 0; i < ds.N; i++ {
+		for j := 0; j < ds.D; j++ {
+			x[i*ds.D+j] = (ds.At(i, j) - s.Mean[j]) / s.Scale[j]
+		}
+	}
+	return &Dataset{X: x, N: ds.N, D: ds.D, Y: ds.Y, Task: ds.Task, Classes: ds.Classes}
+}
+
+// ApplyVec standardizes a single feature vector into a new slice.
+func (s *Standardization) ApplyVec(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.Mean[j]) / s.Scale[j]
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// makeClassification builds a linearly-separable-ish 2-class dataset with
+// informative features first and pure noise features after.
+func makeClassification(n, informative, noise int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := informative + noise
+	x := make([]float64, n*d)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		label := i % 2
+		y[i] = float64(label)
+		row := x[i*d : (i+1)*d]
+		for j := 0; j < informative; j++ {
+			row[j] = float64(label)*2.5 + rng.NormFloat64()
+		}
+		for j := informative; j < d; j++ {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	ds, err := NewDataset(x, n, d, y, Classification, 2)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// makeRegression builds y = 3x0 − 2x1 + ε with extra noise features.
+func makeRegression(n, noise int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := 2 + noise
+	x := make([]float64, n*d)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := x[i*d : (i+1)*d]
+		for j := 0; j < d; j++ {
+			row[j] = rng.NormFloat64()
+		}
+		y[i] = 3*row[0] - 2*row[1] + 0.1*rng.NormFloat64()
+	}
+	ds, err := NewDataset(x, n, d, y, Regression, 0)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// accuracyOf computes training accuracy of a fitted classifier.
+func accuracyOf(m Model, ds *Dataset) float64 {
+	hits := 0
+	for i := 0; i < ds.N; i++ {
+		if int(m.Predict(ds.Row(i))) == ds.Label(i) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(ds.N)
+}
+
+func TestNewDatasetValidation(t *testing.T) {
+	if _, err := NewDataset(make([]float64, 5), 2, 3, make([]float64, 2), Regression, 0); err == nil {
+		t.Fatal("X size mismatch should error")
+	}
+	if _, err := NewDataset(make([]float64, 6), 2, 3, make([]float64, 3), Regression, 0); err == nil {
+		t.Fatal("Y size mismatch should error")
+	}
+	if _, err := NewDataset(make([]float64, 6), 2, 3, make([]float64, 2), Classification, 1); err == nil {
+		t.Fatal("single-class classification should error")
+	}
+}
+
+func TestSubsetAndSelectFeatures(t *testing.T) {
+	ds := makeRegression(10, 1, 1)
+	sub := ds.Subset([]int{3, 7})
+	if sub.N != 2 || sub.At(0, 0) != ds.At(3, 0) || sub.Y[1] != ds.Y[7] {
+		t.Fatal("Subset copies wrong rows")
+	}
+	sel := ds.SelectFeatures([]int{2, 0})
+	if sel.D != 2 || sel.At(4, 1) != ds.At(4, 0) {
+		t.Fatal("SelectFeatures copies wrong columns")
+	}
+}
+
+func TestCleanNaNs(t *testing.T) {
+	// Rows: (2, NaN), (NaN, NaN), (6, NaN). Column 0 has mean 4; column 1 is
+	// entirely NaN and becomes 0.
+	x := []float64{2, math.NaN(), math.NaN(), math.NaN(), 6, math.NaN()}
+	ds, _ := NewDataset(x, 3, 2, []float64{0, 1, 0}, Regression, 0)
+	ds.CleanNaNs()
+	if ds.At(1, 0) != 4 {
+		t.Fatalf("NaN should become column mean 4, got %v", ds.At(1, 0))
+	}
+	for i := 0; i < 3; i++ {
+		if ds.At(i, 1) != 0 {
+			t.Fatalf("all-NaN column should clean to 0, got %v", ds.At(i, 1))
+		}
+	}
+}
+
+func TestStandardization(t *testing.T) {
+	ds := makeRegression(500, 0, 2)
+	std := FitStandardization(ds)
+	sds := std.Apply(ds)
+	for j := 0; j < sds.D; j++ {
+		sum, sq := 0.0, 0.0
+		for i := 0; i < sds.N; i++ {
+			v := sds.At(i, j)
+			sum += v
+			sq += v * v
+		}
+		mean := sum / float64(sds.N)
+		variance := sq/float64(sds.N) - mean*mean
+		if math.Abs(mean) > 1e-9 || math.Abs(variance-1) > 1e-9 {
+			t.Fatalf("col %d standardized to mean=%v var=%v", j, mean, variance)
+		}
+	}
+	// ApplyVec matches Apply on a row.
+	v := std.ApplyVec(ds.Row(3))
+	for j := range v {
+		if math.Abs(v[j]-sds.At(3, j)) > 1e-12 {
+			t.Fatal("ApplyVec disagrees with Apply")
+		}
+	}
+}
+
+func TestStandardizationConstantColumn(t *testing.T) {
+	x := []float64{5, 1, 5, 2, 5, 3}
+	ds, _ := NewDataset(x, 3, 2, []float64{0, 0, 0}, Regression, 0)
+	std := FitStandardization(ds)
+	if std.Scale[0] != 1 {
+		t.Fatalf("constant column scale = %v, want 1", std.Scale[0])
+	}
+}

@@ -1,0 +1,172 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestForestImportancesOnConstantTarget(t *testing.T) {
+	// A constant target gives no splits and therefore zero importances.
+	n := 50
+	x := make([]float64, n*2)
+	y := make([]float64, n)
+	rng := newTestRNG(81)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	ds, _ := NewDataset(x, n, 2, y, Regression, 0)
+	f := FitForest(ds, ForestConfig{NTrees: 5, Seed: 1})
+	for j, v := range f.Importances() {
+		if v != 0 {
+			t.Fatalf("importance[%d] = %v on constant target", j, v)
+		}
+	}
+	if got := f.Predict(ds.Row(0)); got != 0 {
+		t.Fatalf("constant-target prediction = %v", got)
+	}
+}
+
+func TestForestSingleSample(t *testing.T) {
+	ds, _ := NewDataset([]float64{1}, 1, 1, []float64{7}, Regression, 0)
+	f := FitForest(ds, ForestConfig{NTrees: 3, Seed: 1})
+	if got := f.Predict([]float64{5}); got != 7 {
+		t.Fatalf("single-sample forest predicts %v", got)
+	}
+}
+
+func TestTreeMTryOne(t *testing.T) {
+	ds := makeClassification(100, 2, 2, 82)
+	rng := newTestRNG(83)
+	tree := FitTree(ds, nil, TreeConfig{MTry: 1, MaxDepth: 6}, rng)
+	if tree.NumNodes() < 3 {
+		t.Fatal("MTry=1 tree failed to split at all")
+	}
+}
+
+func TestRBFSVMGammaDefault(t *testing.T) {
+	ds := makeClassification(80, 2, 2, 84)
+	m := FitRBFSVM(ds, RBFSVMConfig{Seed: 1, Epochs: 3})
+	if m.gamma != 1/float64(ds.D) {
+		t.Fatalf("default gamma = %v, want %v", m.gamma, 1/float64(ds.D))
+	}
+}
+
+func TestLogisticFeatureWeightsLength(t *testing.T) {
+	ds := makeClassification(60, 1, 3, 85)
+	m := FitLogistic(ds, LogisticConfig{MaxIter: 10})
+	if len(m.FeatureWeights()) != ds.D {
+		t.Fatal("feature weights length mismatch")
+	}
+}
+
+func TestPredictAllLength(t *testing.T) {
+	ds := makeRegression(30, 1, 86)
+	m, err := FitRidge(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := PredictAll(m, ds); len(got) != ds.N {
+		t.Fatalf("PredictAll length = %d", len(got))
+	}
+}
+
+// Property: forest classification predictions are valid class codes on
+// arbitrary (finite) inputs.
+func TestForestPredictionRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(40)
+		classes := 2 + rng.Intn(3)
+		d := 1 + rng.Intn(3)
+		x := make([]float64, n*d)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := 0; i < n; i++ {
+			y[i] = float64(rng.Intn(classes))
+		}
+		ds, err := NewDataset(x, n, d, y, Classification, classes)
+		if err != nil {
+			return false
+		}
+		forest := FitForest(ds, ForestConfig{NTrees: 5, MaxDepth: 4, Seed: seed})
+		for i := 0; i < n; i++ {
+			p := int(forest.Predict(ds.Row(i)))
+			if p < 0 || p >= classes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: lasso coefficients are finite for arbitrary (finite, non-empty)
+// regression data.
+func TestLassoFiniteProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		d := 1 + rng.Intn(5)
+		x := make([]float64, n*d)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * math.Exp(rng.NormFloat64())
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64() * math.Exp(rng.NormFloat64())
+		}
+		ds, err := NewDataset(x, n, d, y, Regression, 0)
+		if err != nil {
+			return false
+		}
+		m := FitLasso(ds, LassoConfig{Lambda: 0.1, MaxIter: 50})
+		for _, w := range m.Coefficients() {
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: standardization then ApplyVec is the identity on training rows
+// up to the z-scoring map (mean ~0 overall).
+func TestStandardizationRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		d := 1 + rng.Intn(4)
+		x := make([]float64, n*d)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 5
+		}
+		ds, err := NewDataset(x, n, d, make([]float64, n), Regression, 0)
+		if err != nil {
+			return false
+		}
+		std := FitStandardization(ds)
+		// Invert: x = z*scale + mean must reproduce the original.
+		for i := 0; i < n; i++ {
+			z := std.ApplyVec(ds.Row(i))
+			for j := 0; j < d; j++ {
+				back := z[j]*std.Scale[j] + std.Mean[j]
+				if math.Abs(back-ds.At(i, j)) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// newTestRNG builds a seeded RNG for tests.
+func newTestRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestSparse21RegressionRanking(t *testing.T) {
+	ds := makeRegression(150, 20, 21)
+	res, err := SolveSparse21(ds, Sparse21Config{Gamma: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RowNorms) != ds.D {
+		t.Fatalf("row norms length = %d", len(res.RowNorms))
+	}
+	// Signal features 0, 1 must outrank every noise feature.
+	noiseMax := 0.0
+	for j := 2; j < ds.D; j++ {
+		if res.RowNorms[j] > noiseMax {
+			noiseMax = res.RowNorms[j]
+		}
+	}
+	if res.RowNorms[0] <= noiseMax || res.RowNorms[1] <= noiseMax {
+		t.Fatalf("signal norms %v %v not above noise max %v",
+			res.RowNorms[0], res.RowNorms[1], noiseMax)
+	}
+	if res.Iterations < 2 {
+		t.Fatalf("IRLS converged suspiciously fast: %d iterations", res.Iterations)
+	}
+}
+
+func TestSparse21Classification(t *testing.T) {
+	ds := makeClassification(200, 2, 20, 22)
+	res, err := SolveSparse21(ds, Sparse21Config{Gamma: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noiseMax := 0.0
+	for j := 2; j < ds.D; j++ {
+		if res.RowNorms[j] > noiseMax {
+			noiseMax = res.RowNorms[j]
+		}
+	}
+	if res.RowNorms[0] <= noiseMax || res.RowNorms[1] <= noiseMax {
+		t.Fatalf("classification signal norms below noise: %v vs %v",
+			res.RowNorms[:2], noiseMax)
+	}
+}
+
+func TestSparse21WideProblem(t *testing.T) {
+	// More features than rows — the regime ARDA actually runs in; the dual
+	// Woodbury solve must stay stable.
+	ds := makeRegression(60, 200, 23)
+	res, err := SolveSparse21(ds, Sparse21Config{Gamma: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0
+	for j := range res.RowNorms {
+		if res.RowNorms[j] > res.RowNorms[best] {
+			best = j
+		}
+	}
+	if best > 1 {
+		t.Fatalf("top-ranked feature is %d, want 0 or 1", best)
+	}
+}
+
+func TestSparse21MaxRowsSubsample(t *testing.T) {
+	ds := makeRegression(500, 10, 24)
+	res, err := SolveSparse21(ds, Sparse21Config{Gamma: 0.5, MaxRows: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noiseMax := 0.0
+	for j := 2; j < ds.D; j++ {
+		if res.RowNorms[j] > noiseMax {
+			noiseMax = res.RowNorms[j]
+		}
+	}
+	if res.RowNorms[0] <= noiseMax {
+		t.Fatal("subsampled solve lost the signal")
+	}
+}
+
+func TestSparse21GammaShrinks(t *testing.T) {
+	ds := makeRegression(100, 5, 25)
+	small, err := SolveSparse21(ds, Sparse21Config{Gamma: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := SolveSparse21(ds, Sparse21Config{Gamma: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumSmall, sumBig := 0.0, 0.0
+	for j := range small.RowNorms {
+		sumSmall += small.RowNorms[j]
+		sumBig += big.RowNorms[j]
+	}
+	if sumBig >= sumSmall {
+		t.Fatalf("larger gamma should shrink norms: %v vs %v", sumBig, sumSmall)
+	}
+}
+
+func TestSparse21RobustLabels(t *testing.T) {
+	// Corrupt 10% of labels; the robust variant should still rank signal
+	// features on top.
+	ds := makeClassification(300, 2, 10, 26)
+	rng := newTestRNG(27)
+	for i := 0; i < ds.N; i += 10 {
+		ds.Y[i] = float64(1 - ds.Label(i))
+	}
+	_ = rng
+	res, err := SolveSparse21(ds, Sparse21Config{Gamma: 0.5, RobustLabels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noiseMax := 0.0
+	for j := 2; j < ds.D; j++ {
+		if res.RowNorms[j] > noiseMax {
+			noiseMax = res.RowNorms[j]
+		}
+	}
+	if res.RowNorms[0] <= noiseMax || res.RowNorms[1] <= noiseMax {
+		t.Fatal("robust-label solve lost the signal under corruption")
+	}
+}

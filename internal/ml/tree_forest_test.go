@@ -1,0 +1,152 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTreeFitsXOR(t *testing.T) {
+	// XOR is non-linear; a depth-2 tree must solve it exactly.
+	x := []float64{0, 0, 0, 1, 1, 0, 1, 1}
+	y := []float64{0, 1, 1, 0}
+	ds, _ := NewDataset(x, 4, 2, y, Classification, 2)
+	tree := FitTree(ds, nil, TreeConfig{}, rand.New(rand.NewSource(1)))
+	for i := 0; i < 4; i++ {
+		if int(tree.Predict(ds.Row(i))) != ds.Label(i) {
+			t.Fatalf("XOR row %d mispredicted", i)
+		}
+	}
+}
+
+func TestTreeRegression(t *testing.T) {
+	// Step function y = 10·1[x > 0.5].
+	n := 100
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = float64(i) / float64(n)
+		if x[i] > 0.5 {
+			y[i] = 10
+		}
+	}
+	ds, _ := NewDataset(x, n, 1, y, Regression, 0)
+	tree := FitTree(ds, nil, TreeConfig{MaxDepth: 3}, rand.New(rand.NewSource(1)))
+	if got := tree.Predict([]float64{0.9}); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("Predict(0.9) = %v, want 10", got)
+	}
+	if got := tree.Predict([]float64{0.1}); math.Abs(got) > 1e-9 {
+		t.Fatalf("Predict(0.1) = %v, want 0", got)
+	}
+}
+
+func TestTreeMinLeaf(t *testing.T) {
+	ds := makeClassification(40, 1, 0, 2)
+	tree := FitTree(ds, nil, TreeConfig{MinLeaf: 20}, rand.New(rand.NewSource(1)))
+	if tree.NumNodes() > 3 {
+		t.Fatalf("MinLeaf 20 on 40 rows should give <= 3 nodes, got %d", tree.NumNodes())
+	}
+}
+
+func TestTreeImportanceOnSignal(t *testing.T) {
+	ds := makeClassification(300, 1, 3, 3)
+	tree := FitTree(ds, nil, TreeConfig{MaxDepth: 4}, rand.New(rand.NewSource(1)))
+	imp := tree.Importance()
+	for j := 1; j < ds.D; j++ {
+		if imp[0] <= imp[j] {
+			t.Fatalf("signal importance %v not above noise %v", imp[0], imp[j])
+		}
+	}
+}
+
+func TestForestClassification(t *testing.T) {
+	ds := makeClassification(400, 3, 5, 4)
+	f := FitForest(ds, ForestConfig{NTrees: 30, MaxDepth: 8, Seed: 7, Parallel: true})
+	if acc := accuracyOf(f, ds); acc < 0.9 {
+		t.Fatalf("forest training accuracy = %v", acc)
+	}
+	imp := f.Importances()
+	sum := 0.0
+	for _, v := range imp {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importances sum = %v, want 1", sum)
+	}
+	// Informative features dominate.
+	noiseMax := 0.0
+	for j := 3; j < ds.D; j++ {
+		if imp[j] > noiseMax {
+			noiseMax = imp[j]
+		}
+	}
+	for j := 0; j < 3; j++ {
+		if imp[j] < noiseMax {
+			t.Fatalf("signal importance %v below noise max %v", imp[j], noiseMax)
+		}
+	}
+}
+
+func TestForestRegression(t *testing.T) {
+	ds := makeRegression(500, 3, 5)
+	f := FitForest(ds, ForestConfig{NTrees: 40, MaxDepth: 10, Seed: 7, Parallel: true})
+	// R² on training data should be high.
+	pred := PredictAll(f, ds)
+	var ssRes, ssTot, mean float64
+	for _, v := range ds.Y {
+		mean += v
+	}
+	mean /= float64(ds.N)
+	for i := range pred {
+		ssRes += (pred[i] - ds.Y[i]) * (pred[i] - ds.Y[i])
+		ssTot += (ds.Y[i] - mean) * (ds.Y[i] - mean)
+	}
+	if r2 := 1 - ssRes/ssTot; r2 < 0.8 {
+		t.Fatalf("forest regression R² = %v", r2)
+	}
+}
+
+func TestForestDeterminism(t *testing.T) {
+	ds := makeClassification(200, 2, 2, 6)
+	f1 := FitForest(ds, ForestConfig{NTrees: 10, Seed: 42, Parallel: true})
+	f2 := FitForest(ds, ForestConfig{NTrees: 10, Seed: 42, Parallel: false})
+	for i := 0; i < ds.N; i++ {
+		if f1.Predict(ds.Row(i)) != f2.Predict(ds.Row(i)) {
+			t.Fatal("same seed should give identical forests regardless of parallelism")
+		}
+	}
+}
+
+// Property: tree predictions for classification are always valid class codes.
+func TestTreePredictionRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(60)
+		classes := 2 + rng.Intn(3)
+		d := 1 + rng.Intn(4)
+		x := make([]float64, n*d)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := 0; i < n; i++ {
+			y[i] = float64(rng.Intn(classes))
+		}
+		ds, err := NewDataset(x, n, d, y, Classification, classes)
+		if err != nil {
+			return false
+		}
+		tree := FitTree(ds, nil, TreeConfig{MaxDepth: 5, MTry: 1}, rng)
+		for i := 0; i < n; i++ {
+			p := int(tree.Predict(ds.Row(i)))
+			if p < 0 || p >= classes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/arda-ml/arda/internal/dataframe"
+	"github.com/arda-ml/arda/internal/ml"
+)
+
+// schoolCorpus builds the school-performance classification corpus with the
+// requested number of irrelevant joinable tables. The target is a 3-class
+// grade derived from a latent score whose inputs live in foreign tables at
+// two key levels (school and district), including a cross-level co-predictor
+// (tutoring hours × district volunteer index).
+func schoolCorpus(name string, cfg Config, noiseTables int) *Corpus {
+	rng := cfg.rng()
+	schools := cfg.scale(1600)
+	districts := 80
+	schoolIDs := idStrings("school", schools)
+	districtIDs := idStrings("district", districts)
+
+	schoolDistrict := make([]string, schools)
+	avgExperience := make([]float64, schools)
+	certifiedRate := make([]float64, schools)
+	freeLunchRate := make([]float64, schools)
+	eslRate := make([]float64, schools)
+	tutoringHours := make([]float64, schools)
+	enrollment := make([]float64, schools)
+	ratio := make([]float64, schools)
+	for i := 0; i < schools; i++ {
+		schoolDistrict[i] = districtIDs[rng.Intn(districts)]
+		avgExperience[i] = 2 + 18*rng.Float64()
+		certifiedRate[i] = 0.5 + 0.5*rng.Float64()
+		freeLunchRate[i] = rng.Float64()
+		eslRate[i] = rng.Float64() * 0.4
+		tutoringHours[i] = rng.Float64() * 4
+		enrollment[i] = 100 + 1900*rng.Float64()
+		ratio[i] = 10 + 20*rng.Float64()
+	}
+	funding := make([]float64, districts)
+	volunteer := make([]float64, districts)
+	for d := 0; d < districts; d++ {
+		funding[d] = 6000 + 12000*rng.Float64()
+		volunteer[d] = rng.Float64() * 3
+	}
+	districtIdx := map[string]int{}
+	for d, id := range districtIDs {
+		districtIdx[id] = d
+	}
+
+	latent := make([]float64, schools)
+	for i := 0; i < schools; i++ {
+		d := districtIdx[schoolDistrict[i]]
+		latent[i] = 2*avgExperience[i] +
+			20*certifiedRate[i] -
+			25*freeLunchRate[i] +
+			0.002*funding[d] +
+			4*tutoringHours[i]*volunteer[d] -
+			0.3*ratio[i] +
+			3*rng.NormFloat64()
+	}
+	grades := classify(latent, 3, rng)
+
+	base := dataframe.MustNewTable(name,
+		dataframe.NewCategorical("school_id", append([]string{}, schoolIDs...)),
+		dataframe.NewCategorical("district", append([]string{}, schoolDistrict...)),
+		dataframe.NewNumeric("enrollment", enrollment),
+		dataframe.NewNumeric("student_teacher_ratio", ratio),
+		dataframe.NewCategorical("performance", grades),
+	)
+	c := &Corpus{
+		Name:           name,
+		Base:           base,
+		Target:         "performance",
+		Task:           ml.Classification,
+		Classes:        3,
+		RelevantTables: map[string]bool{},
+	}
+
+	teachers := dataframe.MustNewTable("teacher_stats",
+		dataframe.NewCategorical("school_id", append([]string{}, schoolIDs...)),
+		dataframe.NewNumeric("avg_experience", avgExperience),
+		dataframe.NewNumeric("certified_rate", certifiedRate),
+	)
+	c.addRelevant(teachers)
+	demo := dataframe.MustNewTable("demographics",
+		dataframe.NewCategorical("school_id", append([]string{}, schoolIDs...)),
+		dataframe.NewNumeric("free_lunch_rate", freeLunchRate),
+		dataframe.NewNumeric("esl_rate", eslRate),
+	)
+	c.addRelevant(demo)
+	fundingT := dataframe.MustNewTable("district_funding",
+		dataframe.NewCategorical("district", append([]string{}, districtIDs...)),
+		dataframe.NewNumeric("per_pupil_funding", funding),
+	)
+	c.addRelevant(fundingT)
+	programs := dataframe.MustNewTable("programs",
+		dataframe.NewCategorical("school_id", append([]string{}, schoolIDs...)),
+		dataframe.NewNumeric("tutoring_hours", tutoringHours),
+	)
+	c.addRelevant(programs)
+	community := dataframe.MustNewTable("community",
+		dataframe.NewCategorical("district", append([]string{}, districtIDs...)),
+		dataframe.NewNumeric("volunteer_index", volunteer),
+	)
+	c.addRelevant(community)
+
+	addSchoolNoise(c, rng, noiseTables, schoolIDs, districtIDs)
+	return c
+}
+
+// addSchoolNoise appends irrelevant joinable tables keyed by school or
+// district, plus a small number of unrelated tables.
+func addSchoolNoise(c *Corpus, rng *rand.Rand, count int, schoolIDs, districtIDs []string) {
+	for i := 0; i < count; i++ {
+		switch i % 3 {
+		case 0, 1:
+			c.Repo = append(c.Repo, noiseTableID(rng, fmt.Sprintf("edu_table_%03d", i), "school_id", schoolIDs, 2+rng.Intn(3)))
+		default:
+			c.Repo = append(c.Repo, noiseTableID(rng, fmt.Sprintf("district_table_%03d", i), "district", districtIDs, 2+rng.Intn(3)))
+		}
+	}
+	for i := 0; i < 2; i++ {
+		c.Repo = append(c.Repo, unrelatedTable(rng, fmt.Sprintf("misc_%02d", i), 200, 3))
+	}
+}
+
+// SchoolS generates the small school corpus (paper: base + 16 joinable
+// tables from the DataMart API).
+func SchoolS(cfg Config) *Corpus { return schoolCorpus("school-s", cfg, 11) }
+
+// SchoolL generates the large school corpus (paper: base + 350 joinable
+// tables) — the stress test for join planning and table filtering.
+func SchoolL(cfg Config) *Corpus { return schoolCorpus("school-l", cfg, 345) }

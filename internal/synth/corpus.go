@@ -1,0 +1,213 @@
+// Package synth generates the synthetic evaluation corpora that substitute
+// for the paper's real-world datasets (Taxi, Pickup, Poverty, School S/L
+// from NYC Open Data / DARPA D3M, plus the Kraken and Digits micro
+// benchmarks). Each corpus is a base table with a prediction target and a
+// repository of joinable candidate tables in which a known subset carries
+// planted signal — the target is a function of features reachable only
+// through the right joins — while the rest are irrelevant or only
+// coincidentally joinable, exactly the noisy-discovery regime ARDA is
+// designed for. The plant includes cross-table co-predictors (features
+// useful only in combination), which drive the paper's Table 5 results.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/arda-ml/arda/internal/dataframe"
+	"github.com/arda-ml/arda/internal/ml"
+)
+
+// Corpus is a generated benchmark dataset: a base table, its prediction
+// target, and a repository of candidate tables.
+type Corpus struct {
+	// Name identifies the corpus ("taxi", "pickup", …).
+	Name string
+	// Base is the user's base table.
+	Base *dataframe.Table
+	// Target is the prediction column in Base.
+	Target string
+	// Task is the learning task implied by the target.
+	Task ml.Task
+	// Classes is the number of classes for classification corpora.
+	Classes int
+	// Repo is the data repository the discovery system searches.
+	Repo []*dataframe.Table
+	// RelevantTables is the ground-truth set of repo table names that carry
+	// planted signal (used only for analysis, never by the pipeline).
+	RelevantTables map[string]bool
+}
+
+// Config controls corpus generation.
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Scale multiplies row counts (default 1.0); benchmarks use < 1 for
+	// speed.
+	Scale float64
+}
+
+func (c Config) scale(n int) int {
+	s := c.Scale
+	if s <= 0 {
+		s = 1
+	}
+	out := int(float64(n) * s)
+	if out < 16 {
+		out = 16
+	}
+	return out
+}
+
+func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
+
+// day is one day in seconds.
+const day = int64(86400)
+
+// epoch2018 is 2018-01-01T00:00:00Z, the start of the synthetic timelines.
+const epoch2018 = int64(1514764800)
+
+// dailyTimes returns n consecutive daily timestamps.
+func dailyTimes(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = epoch2018 + int64(i)*day
+	}
+	return out
+}
+
+// smoothSeries generates a zero-mean AR(1) series of length n with the given
+// amplitude — a cheap stand-in for weather-like signals.
+func smoothSeries(rng *rand.Rand, n int, amplitude float64) []float64 {
+	out := make([]float64, n)
+	v := 0.0
+	for i := range out {
+		v = 0.92*v + rng.NormFloat64()*0.4
+		out[i] = v * amplitude
+	}
+	return out
+}
+
+// seasonal returns amplitude·sin(2π·i/period + phase) for i in [0, n).
+func seasonal(n int, period, amplitude, phase float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = amplitude * math.Sin(2*math.Pi*float64(i)/period+phase)
+	}
+	return out
+}
+
+// addVec returns the element-wise sum of the given equal-length series.
+func addVec(series ...[]float64) []float64 {
+	out := make([]float64, len(series[0]))
+	for _, s := range series {
+		for i, v := range s {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// idStrings returns n ids "prefix-0000".."prefix-n-1".
+func idStrings(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s-%04d", prefix, i)
+	}
+	return out
+}
+
+// noiseColumns appends k random numeric columns named like real attributes.
+func noiseColumns(t *dataframe.Table, rng *rand.Rand, k int, nameSeed string) {
+	n := t.NumRows()
+	for j := 0; j < k; j++ {
+		vals := make([]float64, n)
+		scale := math.Exp(rng.NormFloat64())
+		off := rng.NormFloat64() * 10
+		for i := range vals {
+			vals[i] = off + scale*rng.NormFloat64()
+		}
+		name := fmt.Sprintf("%s_%d", nameSeed, j)
+		if err := t.AddColumn(dataframe.NewNumeric(name, vals)); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// noiseTableTime builds an irrelevant table keyed by a time column that
+// overlaps the base timeline, with k random feature columns.
+func noiseTableTime(rng *rand.Rand, name, keyName string, times []int64, k int) *dataframe.Table {
+	// Subsample and jitter the timeline so containment is partial.
+	rows := len(times) * (60 + rng.Intn(40)) / 100
+	idx := rng.Perm(len(times))[:rows]
+	unix := make([]int64, rows)
+	for i, p := range idx {
+		unix[i] = times[p]
+	}
+	t := dataframe.MustNewTable(name, dataframe.NewTime(keyName, unix))
+	noiseColumns(t, rng, k, "metric")
+	return t
+}
+
+// noiseTableID builds an irrelevant table keyed by a categorical id column
+// drawn from ids (possibly partially overlapping), with k random features.
+func noiseTableID(rng *rand.Rand, name, keyName string, ids []string, k int) *dataframe.Table {
+	rows := len(ids) * (50 + rng.Intn(50)) / 100
+	if rows < 4 {
+		rows = len(ids)
+	}
+	idx := rng.Perm(len(ids))[:rows]
+	vals := make([]string, rows)
+	for i, p := range idx {
+		vals[i] = ids[p]
+	}
+	t := dataframe.MustNewTable(name, dataframe.NewCategorical(keyName, vals))
+	noiseColumns(t, rng, k, "stat")
+	return t
+}
+
+// unrelatedTable builds a table that shares no keys with the base — pure
+// repository noise that discovery should mostly skip.
+func unrelatedTable(rng *rand.Rand, name string, rows, k int) *dataframe.Table {
+	ids := make([]string, rows)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("x%06d", rng.Intn(1<<30))
+	}
+	t := dataframe.MustNewTable(name, dataframe.NewCategorical("code", ids))
+	noiseColumns(t, rng, k, "value")
+	return t
+}
+
+// classify buckets a latent continuous score into k quantile classes
+// ("grade-0".."grade-k-1").
+func classify(latent []float64, k int, rng *rand.Rand) []string {
+	sorted := append([]float64{}, latent...)
+	// insertion of small noise prevents exact-tie pathologies at the cuts.
+	for i := range sorted {
+		sorted[i] += rng.NormFloat64() * 1e-9
+	}
+	tmp := append([]float64{}, sorted...)
+	sort.Float64s(tmp)
+	cuts := make([]float64, k-1)
+	for c := 1; c < k; c++ {
+		cuts[c-1] = tmp[c*len(tmp)/k]
+	}
+	out := make([]string, len(latent))
+	for i, v := range latent {
+		g := 0
+		for g < k-1 && v >= cuts[g] {
+			g++
+		}
+		out[i] = fmt.Sprintf("grade-%d", g)
+	}
+	return out
+}
+
+// mustAdd panics on AddColumn errors (generator shapes are static).
+func mustAdd(t *dataframe.Table, c dataframe.Column) {
+	if err := t.AddColumn(c); err != nil {
+		panic(err)
+	}
+}

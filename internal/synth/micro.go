@@ -1,0 +1,133 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/arda-ml/arda/internal/ml"
+	"github.com/arda-ml/arda/internal/stats"
+)
+
+// Kraken generates the supercomputer-failure micro benchmark (paper §7.2):
+// ~1000 samples of anonymized sensor/usage statistics with binary labels
+// split 568/432, a noisy nonlinear decision boundary, and many weak or dead
+// sensor channels. Only a subset of features carries signal — the benchmark
+// measures how well selectors filter appended noise.
+func Kraken(cfg Config) *ml.Dataset {
+	rng := cfg.rng()
+	n := 1000
+	d := 56 // 12 informative sensors, 44 dead/weak channels
+	x := make([]float64, n*d)
+	latent := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := x[i*d : (i+1)*d]
+		for j := 0; j < d; j++ {
+			row[j] = rng.NormFloat64()
+		}
+		// Failure risk: thermal overload (nonlinear), load×fan interaction,
+		// error-count drift, plus noise.
+		latent[i] = 1.4*row[0]*row[0] +
+			1.1*row[1]*row[2] +
+			0.9*row[3] -
+			0.8*row[4] +
+			0.7*math.Abs(row[5]) +
+			0.6*row[6]*row[7] +
+			0.5*(row[8]+row[9]+row[10]+row[11]) +
+			0.8*rng.NormFloat64()
+	}
+	// Threshold so 432 samples are positive (the paper's 568/432 split).
+	sorted := append([]float64{}, latent...)
+	sort.Float64s(sorted)
+	cut := sorted[568]
+	y := make([]float64, n)
+	for i, v := range latent {
+		if v >= cut {
+			y[i] = 1
+		}
+	}
+	ds, err := ml.NewDataset(x, n, d, y, ml.Classification, 2)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// Digits generates the handwritten-digits micro benchmark substitute:
+// 10 anisotropic Gaussian clusters in 64 dimensions with ~180 samples per
+// class, quantized to the 0–16 intensity range of the sklearn original.
+func Digits(cfg Config) *ml.Dataset {
+	rng := cfg.rng()
+	classes := 10
+	perClass := 180
+	d := 64
+	n := classes * perClass
+	// Per-class mean pattern and per-dimension spread.
+	means := make([][]float64, classes)
+	spreads := make([][]float64, classes)
+	for k := 0; k < classes; k++ {
+		means[k] = make([]float64, d)
+		spreads[k] = make([]float64, d)
+		for j := 0; j < d; j++ {
+			means[k][j] = rng.Float64() * 16
+			spreads[k][j] = 0.5 + 2.5*rng.Float64()
+		}
+	}
+	x := make([]float64, n*d)
+	y := make([]float64, n)
+	r := 0
+	for k := 0; k < classes; k++ {
+		for s := 0; s < perClass; s++ {
+			row := x[r*d : (r+1)*d]
+			for j := 0; j < d; j++ {
+				v := means[k][j] + spreads[k][j]*rng.NormFloat64()
+				// Quantize and clamp to the 0–16 intensity range.
+				v = math.Round(v)
+				if v < 0 {
+					v = 0
+				}
+				if v > 16 {
+					v = 16
+				}
+				row[j] = v
+			}
+			y[r] = float64(k)
+			r++
+		}
+	}
+	ds, err := ml.NewDataset(x, n, d, y, ml.Classification, classes)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// InjectNoise appends factor×d synthetic noise columns drawn from standard
+// distributions with randomly-initialized parameters (the paper's extreme
+// noise regime uses factor 10). It returns the augmented dataset and a mask
+// marking which columns are original.
+func InjectNoise(ds *ml.Dataset, factor int, seed int64) (*ml.Dataset, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	t := factor * ds.D
+	d2 := ds.D + t
+	x := make([]float64, ds.N*d2)
+	for i := 0; i < ds.N; i++ {
+		copy(x[i*d2:], ds.Row(i))
+	}
+	for c := 0; c < t; c++ {
+		dist := stats.Distribution(rng.Intn(4))
+		col := stats.SampleColumn(dist, ds.N, rng)
+		for i := 0; i < ds.N; i++ {
+			x[i*d2+ds.D+c] = col[i]
+		}
+	}
+	out, err := ml.NewDataset(x, ds.N, d2, ds.Y, ds.Task, ds.Classes)
+	if err != nil {
+		panic(err)
+	}
+	mask := make([]bool, d2)
+	for j := 0; j < ds.D; j++ {
+		mask[j] = true
+	}
+	return out, mask
+}

@@ -1,0 +1,116 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"github.com/arda-ml/arda/internal/dataframe"
+	"github.com/arda-ml/arda/internal/join"
+	"github.com/arda-ml/arda/internal/stats"
+)
+
+func TestTaxiTimeGranularities(t *testing.T) {
+	c := Taxi(Config{Seed: 30, Scale: 0.1})
+	base := c.Base.Column("date").(*dataframe.TimeColumn)
+	if g := join.Granularity(base.Unix); g != 86400 {
+		t.Fatalf("base granularity = %d, want daily", g)
+	}
+	for _, tab := range c.Repo {
+		if tab.Name() == "weather" {
+			w := tab.Column("date").(*dataframe.TimeColumn)
+			if g := join.Granularity(w.Unix); g != 3600 {
+				t.Fatalf("weather granularity = %d, want hourly", g)
+			}
+		}
+	}
+}
+
+func TestPickupWeatherOffsetBreaksHardJoin(t *testing.T) {
+	// The minute-level weather readings are deliberately offset from hour
+	// boundaries, so a hard join on unmodified keys must not match.
+	c := Pickup(Config{Seed: 31, Scale: 0.1})
+	var weather *dataframe.Table
+	for _, tab := range c.Repo {
+		if tab.Name() == "weather" {
+			weather = tab
+		}
+	}
+	if weather == nil {
+		t.Fatal("weather table missing")
+	}
+	w := weather.Column("time").(*dataframe.TimeColumn)
+	for _, ts := range w.Unix {
+		if ts%3600 == 0 {
+			t.Fatalf("weather reading %d falls exactly on an hour boundary", ts)
+		}
+	}
+	spec := &join.Spec{
+		Keys:   []join.KeyPair{{BaseColumn: "time", ForeignColumn: "time", Kind: join.Soft}},
+		Method: join.HardExact,
+	}
+	res, err := join.Execute(c.Base, weather, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matched != 0 {
+		t.Fatalf("hard join matched %d offset rows, want 0", res.Matched)
+	}
+	// Time-resampling repairs it.
+	spec.TimeResample = true
+	res, err = join.Execute(c.Base, weather, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matched != c.Base.NumRows() {
+		t.Fatalf("resampled join matched %d of %d", res.Matched, c.Base.NumRows())
+	}
+}
+
+func TestCoPredictorsAreIndividuallyWeak(t *testing.T) {
+	// The planted co-predictor pair (fuel price × transit load) should be
+	// nearly uncorrelated with the target individually.
+	c := Taxi(Config{Seed: 32, Scale: 0.3})
+	target, _ := c.Base.TargetVector(c.Target)
+	var fuel, transit *dataframe.Table
+	for _, tab := range c.Repo {
+		switch tab.Name() {
+		case "fuel":
+			fuel = tab
+		case "transit":
+			transit = tab
+		}
+	}
+	spec := func() *join.Spec {
+		return &join.Spec{
+			Keys:         []join.KeyPair{{BaseColumn: "date", ForeignColumn: "date", Kind: join.Soft}},
+			Method:       join.HardExact,
+			TimeResample: true,
+		}
+	}
+	r1, err := join.Execute(c.Base, fuel, spec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := join.Execute(r1.Table, transit, spec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := r2.Table.Column("fuel.fuel_price").(*dataframe.NumericColumn).Values
+	tl := r2.Table.Column("transit.transit_load").(*dataframe.NumericColumn).Values
+	product := make([]float64, len(fp))
+	for i := range product {
+		product[i] = fp[i] * tl[i]
+	}
+	corrProduct := absPearson(product, target)
+	corrFuel := absPearson(fp, target)
+	corrTransit := absPearson(tl, target)
+	if corrProduct < 2*corrFuel || corrProduct < 2*corrTransit {
+		t.Fatalf("co-predictor not dominated by the product: |r|=%.3f vs fuel %.3f, transit %.3f",
+			corrProduct, corrFuel, corrTransit)
+	}
+}
+
+// absPearson is |Pearson correlation|.
+func absPearson(x, y []float64) float64 {
+	return math.Abs(stats.Pearson(x, y))
+}

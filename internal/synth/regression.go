@@ -1,0 +1,415 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"math/rand"
+
+	"github.com/arda-ml/arda/internal/dataframe"
+	"github.com/arda-ml/arda/internal/ml"
+)
+
+// Taxi generates the vehicle-collision regression corpus (paper §7.1: NYC
+// Open Data base table + 29 joinable tables found via Auctus). The base has
+// one row per (day, borough); the target depends on daily weather (stored at
+// hourly granularity — exercising time resampling), city events, per-borough
+// statistics, and a cross-table co-predictor pair (fuel price × transit
+// load).
+func Taxi(cfg Config) *Corpus {
+	rng := cfg.rng()
+	days := cfg.scale(365)
+	boroughs := []string{"bronx", "brooklyn", "manhattan", "queens", "staten-island"}
+	times := dailyTimes(days)
+
+	// Planted daily signals.
+	tempDay := addVec(seasonal(days, 365, 10, 0), smoothSeries(rng, days, 3))
+	precipDay := make([]float64, days)
+	precipSeries := smoothSeries(rng, days, 1.5)
+	for i := range precipDay {
+		precipDay[i] = maxf(precipSeries[i], 0)
+	}
+	attendance := make([]float64, days)
+	for i := range attendance {
+		attendance[i] = 500 + 1500*rng.Float64()
+	}
+	fuelPrice := smoothSeries(rng, days, 2)
+	transitLoad := smoothSeries(rng, days, 2)
+	population := map[string]float64{}
+	roadMiles := map[string]float64{}
+	for _, b := range boroughs {
+		population[b] = 4e5 + rng.Float64()*2e6
+		roadMiles[b] = 500 + rng.Float64()*1500
+	}
+
+	// Base table: one row per (day, borough).
+	n := days * len(boroughs)
+	date := make([]int64, n)
+	borough := make([]string, n)
+	patrols := make([]float64, n)
+	roadClosures := make([]float64, n)
+	target := make([]float64, n)
+	r := 0
+	for d := 0; d < days; d++ {
+		weekday := float64((d % 7))
+		weekdayEffect := 5 * math.Sin(2*math.Pi*weekday/7)
+		for _, b := range boroughs {
+			date[r] = times[d]
+			borough[r] = b
+			patrols[r] = 20 + 10*rng.Float64()
+			roadClosures[r] = float64(rng.Intn(6))
+			target[r] = 120 +
+				0.9*patrols[r] +
+				2.2*tempDay[d] -
+				9*precipDay[d] +
+				0.015*attendance[d] +
+				4e-5*population[b] +
+				1.8*fuelPrice[d]*transitLoad[d] +
+				weekdayEffect +
+				6*rng.NormFloat64()
+			r++
+		}
+	}
+	base := dataframe.MustNewTable("taxi",
+		dataframe.NewTime("date", date),
+		dataframe.NewCategorical("borough", borough),
+		dataframe.NewNumeric("patrols", patrols),
+		dataframe.NewNumeric("road_closures", roadClosures),
+		dataframe.NewNumeric("collisions", target),
+	)
+
+	c := &Corpus{
+		Name:           "taxi",
+		Base:           base,
+		Target:         "collisions",
+		Task:           ml.Regression,
+		RelevantTables: map[string]bool{},
+	}
+
+	// Relevant table 1: hourly weather (finer granularity than the base —
+	// the join must resample it back to days).
+	c.addRelevant(weatherHourly(rng, "weather", times, tempDay, precipDay))
+	// Relevant table 2: daily city events.
+	events := dataframe.MustNewTable("city_events",
+		dataframe.NewTime("date", append([]int64{}, times...)),
+		dataframe.NewNumeric("attendance", append([]float64{}, attendance...)),
+	)
+	noiseColumns(events, rng, 2, "event_stat")
+	c.addRelevant(events)
+	// Relevant table 3: per-borough statistics (hard categorical key).
+	binfo := dataframe.MustNewTable("borough_info",
+		dataframe.NewCategorical("borough", append([]string{}, boroughs...)),
+		dataframe.NewNumeric("population", perKey(boroughs, population)),
+		dataframe.NewNumeric("road_miles", perKey(boroughs, roadMiles)),
+	)
+	c.addRelevant(binfo)
+	// Relevant tables 4 & 5: the co-predictor pair — individually weak,
+	// jointly predictive.
+	fuel := dataframe.MustNewTable("fuel",
+		dataframe.NewTime("date", append([]int64{}, times...)),
+		dataframe.NewNumeric("fuel_price", append([]float64{}, fuelPrice...)),
+	)
+	noiseColumns(fuel, rng, 1, "fuel_stat")
+	c.addRelevant(fuel)
+	transit := dataframe.MustNewTable("transit",
+		dataframe.NewTime("date", append([]int64{}, times...)),
+		dataframe.NewNumeric("transit_load", append([]float64{}, transitLoad...)),
+	)
+	noiseColumns(transit, rng, 1, "transit_stat")
+	c.addRelevant(transit)
+
+	// 24 irrelevant joinable tables + a few fully unrelated ones.
+	for i := 0; i < 12; i++ {
+		c.Repo = append(c.Repo, noiseTableTime(rng, fmt.Sprintf("open_data_%02d", i), "date", times, 2+rng.Intn(4)))
+	}
+	for i := 0; i < 12; i++ {
+		c.Repo = append(c.Repo, noiseTableID(rng, fmt.Sprintf("city_table_%02d", i), "borough", boroughs, 2+rng.Intn(4)))
+	}
+	for i := 0; i < 3; i++ {
+		c.Repo = append(c.Repo, unrelatedTable(rng, fmt.Sprintf("misc_%02d", i), 200, 3))
+	}
+	return c
+}
+
+// Pickup generates the hourly airport-pickup regression corpus (paper §7.1:
+// LGA Yellow-cab pickups, Jan–Jun 2018, 23 joinable tables). The base is an
+// hourly series; foreign tables live at hourly, minute (finer — resampled)
+// and daily (coarser — matched by soft join) granularity, plus an hourly
+// co-predictor pair (average fare × congestion).
+func Pickup(cfg Config) *Corpus {
+	rng := cfg.rng()
+	days := cfg.scale(120)
+	hours := days * 24
+	times := make([]int64, hours)
+	for i := range times {
+		times[i] = epoch2018 + int64(i)*3600
+	}
+
+	arrivals := make([]float64, hours)
+	tempHour := addVec(seasonal(hours, 24, 4, 0), smoothSeries(rng, hours, 2))
+	precipHour := smoothSeries(rng, hours, 1)
+	fare := smoothSeries(rng, hours, 1.5)
+	congestion := smoothSeries(rng, hours, 1.5)
+	attendanceDay := make([]float64, days)
+	for d := range attendanceDay {
+		attendanceDay[d] = 400 + 1600*rng.Float64()
+	}
+	for t := range arrivals {
+		hod := t % 24
+		arrivals[t] = 800 + 600*math.Sin(2*math.Pi*float64(hod)/24) + 120*rng.NormFloat64()
+		if arrivals[t] < 0 {
+			arrivals[t] = 0
+		}
+	}
+
+	target := make([]float64, hours)
+	weak := make([]float64, hours)
+	for t := 0; t < hours; t++ {
+		hod := float64(t % 24)
+		weak[t] = rng.NormFloat64() * 2
+		target[t] = 80 +
+			0.04*arrivals[t] +
+			1.5*tempHour[t] -
+			6*maxf(precipHour[t], 0) +
+			0.008*attendanceDay[t/24] +
+			1.2*fare[t]*congestion[t] +
+			10*math.Sin(2*math.Pi*hod/24) +
+			0.3*weak[t] +
+			4*rng.NormFloat64()
+	}
+	base := dataframe.MustNewTable("pickup",
+		dataframe.NewTime("time", append([]int64{}, times...)),
+		dataframe.NewNumeric("staff_on_shift", weak),
+		dataframe.NewNumeric("pickups", target),
+	)
+	c := &Corpus{
+		Name:           "pickup",
+		Base:           base,
+		Target:         "pickups",
+		Task:           ml.Regression,
+		RelevantTables: map[string]bool{},
+	}
+
+	// Relevant: hourly flight arrivals (same granularity).
+	fl := dataframe.MustNewTable("flights",
+		dataframe.NewTime("time", append([]int64{}, times...)),
+		dataframe.NewNumeric("arrivals", append([]float64{}, arrivals...)),
+	)
+	noiseColumns(fl, rng, 2, "flight_stat")
+	c.addRelevant(fl)
+	// Relevant: minute-granularity weather (finer — must resample).
+	c.addRelevant(weatherMinutes(rng, "weather", times, tempHour, precipHour))
+	// Relevant: daily events (coarser — soft join matches nearest day).
+	dayTimes := dailyTimes(days)
+	ev := dataframe.MustNewTable("events",
+		dataframe.NewTime("time", append([]int64{}, dayTimes...)),
+		dataframe.NewNumeric("attendance", append([]float64{}, attendanceDay...)),
+	)
+	c.addRelevant(ev)
+	// Relevant co-predictor pair.
+	fares := dataframe.MustNewTable("fares",
+		dataframe.NewTime("time", append([]int64{}, times...)),
+		dataframe.NewNumeric("avg_fare", append([]float64{}, fare...)),
+	)
+	c.addRelevant(fares)
+	cong := dataframe.MustNewTable("congestion",
+		dataframe.NewTime("time", append([]int64{}, times...)),
+		dataframe.NewNumeric("congestion_index", append([]float64{}, congestion...)),
+	)
+	c.addRelevant(cong)
+
+	for i := 0; i < 16; i++ {
+		c.Repo = append(c.Repo, noiseTableTime(rng, fmt.Sprintf("feed_%02d", i), "time", times, 2+rng.Intn(3)))
+	}
+	for i := 0; i < 2; i++ {
+		c.Repo = append(c.Repo, unrelatedTable(rng, fmt.Sprintf("misc_%02d", i), 300, 3))
+	}
+	return c
+}
+
+// Poverty generates the county socio-economic regression corpus (paper §7.1:
+// poverty indicators across US counties, 39 joinable tables). Joins are hard
+// categorical keys at two levels (county and state), including a cross-level
+// co-predictor (county manufacturing share × state tariff exposure).
+func Poverty(cfg Config) *Corpus {
+	rng := cfg.rng()
+	counties := cfg.scale(1500)
+	states := 50
+	countyIDs := idStrings("county", counties)
+	stateIDs := idStrings("state", states)
+
+	countyState := make([]string, counties)
+	unemployment := make([]float64, counties)
+	collegeRate := make([]float64, counties)
+	hsRate := make([]float64, counties)
+	manufacturing := make([]float64, counties)
+	for i := 0; i < counties; i++ {
+		countyState[i] = stateIDs[rng.Intn(states)]
+		unemployment[i] = 3 + 6*rng.Float64()
+		collegeRate[i] = 0.15 + 0.4*rng.Float64()
+		hsRate[i] = 0.6 + 0.35*rng.Float64()
+		manufacturing[i] = rng.Float64() * 0.5
+	}
+	gdpGrowth := make([]float64, states)
+	tariffExposure := make([]float64, states)
+	minWage := make([]float64, states)
+	for s := 0; s < states; s++ {
+		gdpGrowth[s] = -1 + 5*rng.Float64()
+		tariffExposure[s] = rng.Float64() * 2
+		minWage[s] = 7 + 8*rng.Float64()
+	}
+	stateIdx := map[string]int{}
+	for s, id := range stateIDs {
+		stateIdx[id] = s
+	}
+
+	population := make([]float64, counties)
+	target := make([]float64, counties)
+	for i := 0; i < counties; i++ {
+		s := stateIdx[countyState[i]]
+		population[i] = 1e4 + rng.Float64()*9e5
+		target[i] = 14 -
+			22*(collegeRate[i]-0.3) +
+			1.6*unemployment[i] -
+			0.9*gdpGrowth[s] +
+			7*manufacturing[i]*tariffExposure[s] -
+			2e-6*population[i] +
+			1.2*rng.NormFloat64()
+	}
+	base := dataframe.MustNewTable("poverty",
+		dataframe.NewCategorical("county_id", append([]string{}, countyIDs...)),
+		dataframe.NewCategorical("state", append([]string{}, countyState...)),
+		dataframe.NewNumeric("population", population),
+		dataframe.NewNumeric("poverty_rate", target),
+	)
+	c := &Corpus{
+		Name:           "poverty",
+		Base:           base,
+		Target:         "poverty_rate",
+		Task:           ml.Regression,
+		RelevantTables: map[string]bool{},
+	}
+
+	un := dataframe.MustNewTable("unemployment",
+		dataframe.NewCategorical("county_id", append([]string{}, countyIDs...)),
+		dataframe.NewNumeric("unemployment_rate", unemployment),
+	)
+	noiseColumns(un, rng, 2, "labor_stat")
+	c.addRelevant(un)
+	edu := dataframe.MustNewTable("education",
+		dataframe.NewCategorical("county_id", append([]string{}, countyIDs...)),
+		dataframe.NewNumeric("college_rate", collegeRate),
+		dataframe.NewNumeric("hs_grad_rate", hsRate),
+	)
+	c.addRelevant(edu)
+	econ := dataframe.MustNewTable("state_economy",
+		dataframe.NewCategorical("state", append([]string{}, stateIDs...)),
+		dataframe.NewNumeric("gdp_growth", gdpGrowth),
+		dataframe.NewNumeric("min_wage", minWage),
+	)
+	c.addRelevant(econ)
+	ind := dataframe.MustNewTable("industry",
+		dataframe.NewCategorical("county_id", append([]string{}, countyIDs...)),
+		dataframe.NewNumeric("manufacturing_share", manufacturing),
+	)
+	c.addRelevant(ind)
+	trade := dataframe.MustNewTable("trade",
+		dataframe.NewCategorical("state", append([]string{}, stateIDs...)),
+		dataframe.NewNumeric("tariff_exposure", tariffExposure),
+	)
+	c.addRelevant(trade)
+
+	for i := 0; i < 22; i++ {
+		c.Repo = append(c.Repo, noiseTableID(rng, fmt.Sprintf("census_%02d", i), "county_id", countyIDs, 2+rng.Intn(4)))
+	}
+	for i := 0; i < 12; i++ {
+		c.Repo = append(c.Repo, noiseTableID(rng, fmt.Sprintf("state_table_%02d", i), "state", stateIDs, 2+rng.Intn(3)))
+	}
+	for i := 0; i < 3; i++ {
+		c.Repo = append(c.Repo, unrelatedTable(rng, fmt.Sprintf("misc_%02d", i), 250, 3))
+	}
+	return c
+}
+
+// addRelevant registers a repo table carrying planted signal.
+func (c *Corpus) addRelevant(t *dataframe.Table) {
+	c.Repo = append(c.Repo, t)
+	c.RelevantTables[t.Name()] = true
+}
+
+// weatherHourly expands daily weather signals into an hourly table (24 rows
+// per day with small intra-day noise), forcing the join layer to resample.
+func weatherHourly(rng *rand.Rand, name string, dayStarts []int64, tempDay, precipDay []float64) *dataframe.Table {
+	n := len(dayStarts) * 24
+	unix := make([]int64, n)
+	temp := make([]float64, n)
+	precip := make([]float64, n)
+	wind := make([]float64, n)
+	r := 0
+	for d, start := range dayStarts {
+		for h := 0; h < 24; h++ {
+			unix[r] = start + int64(h)*3600
+			temp[r] = tempDay[d] + rng.NormFloat64()*0.8
+			p := precipDay[d] + rng.NormFloat64()*0.2
+			if p < 0 {
+				p = 0
+			}
+			precip[r] = p
+			wind[r] = 5 + rng.Float64()*20
+			r++
+		}
+	}
+	return dataframe.MustNewTable(name,
+		dataframe.NewTime("date", unix),
+		dataframe.NewNumeric("temp", temp),
+		dataframe.NewNumeric("precip", precip),
+		dataframe.NewNumeric("wind", wind),
+	)
+}
+
+// weatherMinutes expands hourly weather into a minute-granularity table
+// (sampling every 10 minutes to bound size). Readings are offset from the
+// hour boundary — like real sensor feeds — so a hard join on unmodified keys
+// finds no exact matches and loses the signal (the paper's Figure 5 setup).
+func weatherMinutes(rng *rand.Rand, name string, hourStarts []int64, tempHour, precipHour []float64) *dataframe.Table {
+	per := 6 // every 10 minutes
+	n := len(hourStarts) * per
+	unix := make([]int64, n)
+	temp := make([]float64, n)
+	precip := make([]float64, n)
+	r := 0
+	for h, start := range hourStarts {
+		for m := 0; m < per; m++ {
+			unix[r] = start + int64(m)*600 + 300
+			temp[r] = tempHour[h] + rng.NormFloat64()*0.3
+			p := precipHour[h] + rng.NormFloat64()*0.1
+			if p < 0 {
+				p = 0
+			}
+			precip[r] = p
+			r++
+		}
+	}
+	return dataframe.MustNewTable(name,
+		dataframe.NewTime("time", unix),
+		dataframe.NewNumeric("temp", temp),
+		dataframe.NewNumeric("precip", precip),
+	)
+}
+
+// perKey maps ordered keys through a value map into a column slice.
+func perKey(keys []string, vals map[string]float64) []float64 {
+	out := make([]float64, len(keys))
+	for i, k := range keys {
+		out[i] = vals[k]
+	}
+	return out
+}
+
+// maxf returns the larger of a and b.
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

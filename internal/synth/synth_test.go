@@ -1,0 +1,168 @@
+package synth
+
+import (
+	"testing"
+
+	"github.com/arda-ml/arda/internal/ml"
+)
+
+func checkCorpus(t *testing.T, c *Corpus, wantRepoMin int) {
+	t.Helper()
+	if c.Base == nil || c.Base.NumRows() == 0 {
+		t.Fatal("empty base table")
+	}
+	if c.Base.Column(c.Target) == nil {
+		t.Fatalf("target %q missing from base", c.Target)
+	}
+	if len(c.Repo) < wantRepoMin {
+		t.Fatalf("repo has %d tables, want >= %d", len(c.Repo), wantRepoMin)
+	}
+	names := map[string]bool{}
+	for _, tab := range c.Repo {
+		if names[tab.Name()] {
+			t.Fatalf("duplicate repo table name %q", tab.Name())
+		}
+		names[tab.Name()] = true
+		if tab.NumRows() == 0 {
+			t.Fatalf("repo table %q is empty", tab.Name())
+		}
+	}
+	for name := range c.RelevantTables {
+		if !names[name] {
+			t.Fatalf("relevant table %q not in repo", name)
+		}
+	}
+	if len(c.RelevantTables) < 3 {
+		t.Fatalf("only %d relevant tables planted", len(c.RelevantTables))
+	}
+}
+
+func TestTaxiCorpus(t *testing.T) {
+	c := Taxi(Config{Seed: 1, Scale: 0.2})
+	checkCorpus(t, c, 29)
+	if c.Task != ml.Regression {
+		t.Fatal("taxi should be regression")
+	}
+	if !c.RelevantTables["weather"] || !c.RelevantTables["borough_info"] {
+		t.Fatalf("relevant set = %v", c.RelevantTables)
+	}
+	// Weather lives at hourly granularity while the base is daily.
+	var weatherRows int
+	for _, tab := range c.Repo {
+		if tab.Name() == "weather" {
+			weatherRows = tab.NumRows()
+		}
+	}
+	days := 0
+	for i := 0; i < c.Base.NumRows(); i++ {
+		days++
+	}
+	if weatherRows == 0 || weatherRows%24 != 0 {
+		t.Fatalf("weather rows = %d, want a multiple of 24", weatherRows)
+	}
+}
+
+func TestPickupCorpus(t *testing.T) {
+	c := Pickup(Config{Seed: 2, Scale: 0.2})
+	checkCorpus(t, c, 23)
+	if c.Task != ml.Regression {
+		t.Fatal("pickup should be regression")
+	}
+}
+
+func TestPovertyCorpus(t *testing.T) {
+	c := Poverty(Config{Seed: 3, Scale: 0.2})
+	checkCorpus(t, c, 39)
+}
+
+func TestSchoolCorpora(t *testing.T) {
+	s := SchoolS(Config{Seed: 4, Scale: 0.2})
+	checkCorpus(t, s, 16)
+	if s.Task != ml.Classification || s.Classes != 3 {
+		t.Fatalf("school task = %v classes = %d", s.Task, s.Classes)
+	}
+	// Classes should be roughly balanced (quantile cuts).
+	col := s.Base.Column(s.Target)
+	counts := map[string]int{}
+	for i := 0; i < col.Len(); i++ {
+		counts[col.StringAt(i)]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("classes = %v", counts)
+	}
+	n := s.Base.NumRows()
+	for g, cnt := range counts {
+		if cnt < n/5 || cnt > n/2 {
+			t.Fatalf("class %s count %d not balanced (n=%d)", g, cnt, n)
+		}
+	}
+	l := SchoolL(Config{Seed: 5, Scale: 0.1})
+	checkCorpus(t, l, 350)
+}
+
+func TestKrakenShape(t *testing.T) {
+	ds := Kraken(Config{Seed: 6})
+	if ds.N != 1000 || ds.Classes != 2 {
+		t.Fatalf("kraken shape n=%d classes=%d", ds.N, ds.Classes)
+	}
+	ones := 0
+	for i := 0; i < ds.N; i++ {
+		if ds.Label(i) == 1 {
+			ones++
+		}
+	}
+	if ones != 432 {
+		t.Fatalf("positive labels = %d, want 432 (paper's split)", ones)
+	}
+}
+
+func TestDigitsShape(t *testing.T) {
+	ds := Digits(Config{Seed: 7})
+	if ds.Classes != 10 || ds.D != 64 {
+		t.Fatalf("digits shape d=%d classes=%d", ds.D, ds.Classes)
+	}
+	// Values quantized to 0..16.
+	for i := 0; i < ds.N*ds.D; i++ {
+		v := ds.X[i]
+		if v < 0 || v > 16 || v != float64(int(v)) {
+			t.Fatalf("unquantized digit value %v", v)
+		}
+	}
+}
+
+func TestInjectNoise(t *testing.T) {
+	ds := Kraken(Config{Seed: 8})
+	aug, mask := InjectNoise(ds, 10, 9)
+	if aug.D != ds.D*11 {
+		t.Fatalf("augmented d = %d, want %d", aug.D, ds.D*11)
+	}
+	origs := 0
+	for _, m := range mask {
+		if m {
+			origs++
+		}
+	}
+	if origs != ds.D {
+		t.Fatalf("mask marks %d originals, want %d", origs, ds.D)
+	}
+	// Original features are preserved verbatim.
+	for i := 0; i < 20; i++ {
+		for j := 0; j < ds.D; j++ {
+			if aug.At(i, j) != ds.At(i, j) {
+				t.Fatal("injection altered original features")
+			}
+		}
+	}
+}
+
+func TestCorpusDeterminism(t *testing.T) {
+	a := Taxi(Config{Seed: 10, Scale: 0.1})
+	b := Taxi(Config{Seed: 10, Scale: 0.1})
+	av, _ := a.Base.TargetVector(a.Target)
+	bv, _ := b.Base.TargetVector(b.Target)
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatal("same seed must generate identical corpora")
+		}
+	}
+}
