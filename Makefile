@@ -1,0 +1,32 @@
+# Development targets. `make check` is the gate every PR must pass: vet,
+# build, and the full test suite under the race detector (the parallel
+# execution layer makes -race mandatory, not optional).
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-parallel
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The experiments harness runs full pipelines; under -race (5-20x slowdown)
+# it can exceed Go's default 10m per-package timeout on small machines.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+# Paper-evaluation benchmarks (reduced scale).
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Parallel-kernel micro-benchmarks: report speedup_x at 1 worker vs all cores.
+bench-parallel:
+	$(GO) test -bench='Mul|MulABt|Transpose|RStar|LeverageIndices' -benchtime=1x -run=^$$ \
+		./internal/linalg/ ./internal/featsel/ ./internal/coreset/

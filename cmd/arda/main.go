@@ -43,6 +43,7 @@ func main() {
 		transitive = flag.Bool("transitive", false, "also discover two-hop (transitive) join candidates")
 		knnImpute  = flag.Int("knn-impute", 0, "use k-nearest-neighbour imputation with this k (0 = median/random)")
 		sig        = flag.Int("significance", 0, "bootstrap resamples for the augmentation significance test (0 = off)")
+		workers    = flag.Int("workers", 0, "max parallel workers (0 = all cores); results are identical for any value")
 		verbose    = flag.Bool("v", false, "log pipeline progress")
 	)
 	flag.Parse()
@@ -82,6 +83,7 @@ func main() {
 		Seed:          *seed,
 		KNNImpute:     *knnImpute,
 		Significance:  *sig,
+		Workers:       *workers,
 	}
 	if *verbose {
 		opts.Logf = func(format string, args ...any) {

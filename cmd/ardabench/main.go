@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/arda-ml/arda/internal/experiments"
+	"github.com/arda-ml/arda/internal/parallel"
 )
 
 func main() {
@@ -31,8 +32,10 @@ func main() {
 		quick   = flag.Bool("quick", false, "run at reduced scale")
 		seed    = flag.Int64("seed", 1, "random seed")
 		out     = flag.String("out", "", "also write the report to this file")
+		workers = flag.Int("workers", 0, "max parallel workers (0 = all cores); results are identical for any value")
 	)
 	flag.Parse()
+	parallel.SetMaxWorkers(*workers)
 
 	scale := experiments.Full
 	if *quick {

@@ -74,8 +74,16 @@ type Options struct {
 	DisableTimeResample bool
 	// Tolerance bounds soft-key nearest-neighbour distance (0 = unbounded).
 	Tolerance float64
-	// Seed drives every random choice in the run.
+	// Seed drives every random choice in the run. Each stage (coreset
+	// sampling, each join, each imputation, selection) derives its own RNG
+	// from the seed by deterministic splitting, so results depend only on the
+	// seed — never on execution order or the worker count.
 	Seed int64
+	// Workers caps the process-wide worker pool used by the parallel stages
+	// (RIFS repetitions, forests, leverage scores, kNN imputation, linalg
+	// kernels); 0 keeps the current cap (GOMAXPROCS by default). The cap only
+	// affects speed: a run's output is bit-identical for any value.
+	Workers int
 	// KeepScores records per-batch selection scores in the result when true.
 	KeepScores bool
 	// KNNImpute switches imputation from the paper's simple median/random

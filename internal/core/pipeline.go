@@ -14,7 +14,32 @@ import (
 	"github.com/arda-ml/arda/internal/eval"
 	"github.com/arda-ml/arda/internal/join"
 	"github.com/arda-ml/arda/internal/ml"
+	"github.com/arda-ml/arda/internal/parallel"
 )
+
+// Seed-splitting stage tags: every randomized pipeline stage derives its own
+// rand.Rand from (Options.Seed, stage, ids...) instead of advancing one
+// shared stream. A shared *rand.Rand threaded through the stages was a latent
+// hazard — any reordering, skipped candidate, or concurrency silently changed
+// every downstream draw — whereas derived per-stage RNGs keep each stage's
+// randomness independent of what ran before it.
+const (
+	seedStageCoreset int64 = iota + 1
+	seedStageJoin
+	seedStageImpute
+	seedStageSketch
+	seedStageMaterialize
+	seedStageFinal
+)
+
+// stageRNG derives an independent RNG from the run seed and a stage/id path
+// via repeated seed splitting.
+func stageRNG(seed int64, ids ...int64) *rand.Rand {
+	for _, id := range ids {
+		seed = parallel.SplitSeed(seed, id)
+	}
+	return rand.New(rand.NewSource(seed))
+}
 
 // Augment runs the full ARDA pipeline: prefilter and plan the candidate
 // joins, execute them batch-by-batch against the coreset, select features
@@ -32,7 +57,9 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 	if !opts.Selector.Supports(task) {
 		return nil, fmt.Errorf("core: selector %q does not support %s tasks", opts.Selector.Name(), task)
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	if opts.Workers > 0 {
+		parallel.SetMaxWorkers(opts.Workers)
+	}
 	estimator := opts.Estimator
 	if estimator == nil {
 		estimator = automl.DefaultEstimator(opts.Seed)
@@ -58,6 +85,7 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 	// caller's table.
 	joinBase := base.Clone()
 	if opts.CoresetStrategy != coreset.Sketch && size < base.NumRows() {
+		rng := stageRNG(opts.Seed, seedStageCoreset)
 		var idx []int
 		switch {
 		case opts.CoresetStrategy == coreset.Stratified && task == ml.Classification:
@@ -116,7 +144,8 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 			ord := candIndex[fmt.Sprintf("%d/%d", bi, ci)]
 			prefix := prefixOf[ord]
 			spec := specFor(cand, opts, prefix)
-			jr, err := join.Execute(work, cand.Table, spec, rng)
+			jr, err := join.Execute(work, cand.Table, spec,
+				stageRNG(opts.Seed, seedStageJoin, int64(bi), int64(ci)))
 			if err != nil {
 				// A malformed candidate (discovery is noisy by design) is
 				// skipped, not fatal.
@@ -130,7 +159,7 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 		if len(joinedCands) == 0 {
 			continue
 		}
-		imputeTable(work, opts, rng)
+		imputeTable(work, opts, stageRNG(opts.Seed, seedStageImpute, int64(bi)))
 
 		view := work.ToNumericView(opts.Target)
 		y, err := work.TargetVector(opts.Target)
@@ -143,7 +172,7 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 		}
 		ds.CleanNaNs()
 		if opts.CoresetStrategy == coreset.Sketch {
-			ds = coreset.SketchDataset(ds, size, rng)
+			ds = coreset.SketchDataset(ds, size, stageRNG(opts.Seed, seedStageSketch, int64(bi)))
 		}
 
 		selStart := time.Now()
@@ -199,7 +228,8 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 			}
 			prefix := prefixOf[ord]
 			spec := specFor(cand, opts, prefix)
-			jr, err := join.Execute(final, cand.Table, spec, rng)
+			jr, err := join.Execute(final, cand.Table, spec,
+				stageRNG(opts.Seed, seedStageMaterialize, int64(ord)))
 			if err != nil {
 				continue
 			}
@@ -219,7 +249,7 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 			res.KeptTables = append(res.KeptTables, cand.Table.Name())
 		}
 	}
-	imputeTable(final, opts, rng)
+	imputeTable(final, opts, stageRNG(opts.Seed, seedStageFinal))
 	res.Table = final
 	opts.logf("materialized %d kept columns from %d tables over %d rows",
 		len(res.KeptColumns), len(res.KeptTables), final.NumRows())

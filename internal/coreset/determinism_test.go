@@ -1,0 +1,53 @@
+package coreset
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/arda-ml/arda/internal/parallel"
+)
+
+// TestLeverageWorkersDeterminism asserts that the parallelized Gram build and
+// per-row solves leave LeverageScores — and the sampled indices — bit-identical
+// across worker counts.
+func TestLeverageWorkersDeterminism(t *testing.T) {
+	defer parallel.SetMaxWorkers(0)
+	rng := rand.New(rand.NewSource(9))
+	n, d := 400, 6
+	x := make([]float64, n*d)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+
+	parallel.SetMaxWorkers(1)
+	scores1, err := LeverageScores(x, n, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx1, err := LeverageIndices(x, n, d, 50, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parallel.SetMaxWorkers(8)
+	scores8, err := LeverageScores(x, n, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx8, err := LeverageIndices(x, n, d, 50, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range scores1 {
+		if scores1[i] != scores8[i] {
+			t.Fatalf("leverage score %d differs across worker counts: %v vs %v",
+				i, scores1[i], scores8[i])
+		}
+	}
+	for i := range idx1 {
+		if idx1[i] != idx8[i] {
+			t.Fatalf("sampled indices differ across worker counts: %v vs %v", idx1, idx8)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/arda-ml/arda/internal/linalg"
 	"github.com/arda-ml/arda/internal/ml"
+	"github.com/arda-ml/arda/internal/parallel"
 )
 
 // Leverage-score sampling is one of the "specialized coreset constructions"
@@ -18,20 +19,23 @@ import (
 // LeverageScores computes ridge leverage scores for an n×d row-major matrix.
 // lambda <= 0 selects a small scale-based default. Cost is O(nd² + d³).
 func LeverageScores(x []float64, n, d int, lambda float64) ([]float64, error) {
+	// Each worker owns one Gram row: entry (a, b) accumulates over rows i in
+	// ascending order exactly as the sequential kernel did, so the Gram — and
+	// everything downstream — is bit-identical for any worker count.
 	gram := linalg.NewMatrix(d, d)
-	for i := 0; i < n; i++ {
-		row := x[i*d : (i+1)*d]
-		for a := 0; a < d; a++ {
+	parallel.ForEach(0, d, func(a int) {
+		g := gram.Row(a)
+		for i := 0; i < n; i++ {
+			row := x[i*d : (i+1)*d]
 			va := row[a]
 			if va == 0 {
 				continue
 			}
-			g := gram.Row(a)
 			for b := a; b < d; b++ {
 				g[b] += va * row[b]
 			}
 		}
-	}
+	})
 	for a := 0; a < d; a++ {
 		for b := 0; b < a; b++ {
 			gram.Set(a, b, gram.At(b, a))
@@ -54,15 +58,19 @@ func LeverageScores(x []float64, n, d int, lambda float64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The per-row solves dominate (O(nd²)) and are independent: each row's
+	// leverage lands in its own slot, so they fan out across the pool.
 	scores := make([]float64, n)
-	for i := 0; i < n; i++ {
-		row := x[i*d : (i+1)*d]
-		sol := linalg.SolveCholesky(l, row)
-		scores[i] = linalg.Dot(row, sol)
-		if scores[i] < 0 {
-			scores[i] = 0
+	parallel.Blocks(0, n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := x[i*d : (i+1)*d]
+			sol := linalg.SolveCholesky(l, row)
+			scores[i] = linalg.Dot(row, sol)
+			if scores[i] < 0 {
+				scores[i] = 0
+			}
 		}
-	}
+	})
 	return scores, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"github.com/arda-ml/arda/internal/eval"
 	"github.com/arda-ml/arda/internal/linalg"
 	"github.com/arda-ml/arda/internal/ml"
+	"github.com/arda-ml/arda/internal/parallel"
 	"github.com/arda-ml/arda/internal/stats"
 )
 
@@ -55,6 +56,12 @@ type RIFSConfig struct {
 	Forest ForestRanker
 	// Sparse configures the ℓ2,1 half of the ranking ensemble.
 	Sparse ml.Sparse21Config
+	// Workers bounds the goroutines used for the K injection repetitions,
+	// the ranking ensemble, and the threshold sweep; 0 uses the process-wide
+	// parallel.MaxWorkers. Every repetition derives its RNGs from
+	// (seed, repetition) and counts merge in repetition order, so the
+	// selected features are identical for any worker count.
+	Workers int
 }
 
 func (c *RIFSConfig) defaults() {
@@ -108,16 +115,22 @@ func (r *RIFS) Select(ds *ml.Dataset, est eval.Fitter, seed int64) ([]int, error
 	cfg := r.Config
 	cfg.defaults()
 	scorer := newSubsetScorer(ds, est, seed)
-	return sweepThresholds(rstar, cfg.Thresholds, scorer.score), nil
+	return sweepThresholds(rstar, cfg.Thresholds, cfg.Workers, scorer.score), nil
 }
 
 // sweepThresholds is Algorithm 3's wrapper: walk the increasing threshold
 // set, keeping the subset {j : r*_j ≥ τ} while its holdout score stays
 // monotone, and return the last subset before the score decreases (nil when
 // even the loosest threshold selects nothing).
-func sweepThresholds(rstar, thresholds []float64, score func([]int) float64) []int {
-	var prev []int
-	prevScore := math.Inf(-1)
+//
+// The candidate subsets are nested — a tighter threshold always selects a
+// subset of a looser one — so the list ends at the first empty subset and a
+// subset is identified by its size. Distinct subsets are scored concurrently
+// (speculatively past the sequential stopping point; scoring is deterministic
+// on a fixed holdout split) and the monotone walk then replays over the
+// precomputed scores, returning exactly what the sequential sweep would.
+func sweepThresholds(rstar, thresholds []float64, workers int, score func([]int) float64) []int {
+	var subsets [][]int
 	for _, tau := range thresholds {
 		var subset []int
 		for j, v := range rstar {
@@ -128,7 +141,27 @@ func sweepThresholds(rstar, thresholds []float64, score func([]int) float64) []i
 		if len(subset) == 0 {
 			break
 		}
-		sc := score(subset)
+		subsets = append(subsets, subset)
+	}
+	if len(subsets) == 0 {
+		return nil
+	}
+	var uniq [][]int
+	for _, s := range subsets {
+		if len(uniq) == 0 || len(uniq[len(uniq)-1]) != len(s) {
+			uniq = append(uniq, s)
+		}
+	}
+	scores := make([]float64, len(uniq))
+	parallel.ForEach(workers, len(uniq), func(i int) { scores[i] = score(uniq[i]) })
+	bySize := make(map[int]float64, len(uniq))
+	for i, s := range uniq {
+		bySize[len(s)] = scores[i]
+	}
+	var prev []int
+	prevScore := math.Inf(-1)
+	for _, subset := range subsets {
+		sc := bySize[len(subset)]
 		if sc < prevScore {
 			break
 		}
@@ -152,28 +185,44 @@ func (r *RIFS) RStar(ds *ml.Dataset, seed int64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	counts := make([]float64, d)
-	for rep := 0; rep < cfg.K; rep++ {
-		repSeed := seed + int64(rep+1)*104729
-		aug, err := injectColumns(ds, t, inject, repSeed)
-		if err != nil {
-			return nil, err
-		}
-		agg, err := r.aggregateRanking(aug, repSeed)
-		if err != nil {
-			return nil, err
-		}
-		maxNoise := math.Inf(-1)
-		for j := d; j < d+t; j++ {
-			if agg[j] > maxNoise {
-				maxNoise = agg[j]
+	// The K repetitions are independent: each derives every RNG it touches
+	// from (seed, rep) and produces a private outranked-noise indicator
+	// vector. Repetitions run concurrently on the worker pool and the counts
+	// merge in repetition order, so r* is identical for any worker count.
+	counts, err := parallel.MapReduce(cfg.Workers, cfg.K,
+		func(rep int) ([]float64, error) {
+			repSeed := parallel.SplitSeed(seed, int64(rep))
+			aug, err := injectColumns(ds, t, inject, repSeed)
+			if err != nil {
+				return nil, err
 			}
-		}
-		for j := 0; j < d; j++ {
-			if agg[j] > maxNoise {
-				counts[j]++
+			agg, err := r.aggregateRanking(aug, repSeed)
+			if err != nil {
+				return nil, err
 			}
-		}
+			maxNoise := math.Inf(-1)
+			for j := d; j < d+t; j++ {
+				if agg[j] > maxNoise {
+					maxNoise = agg[j]
+				}
+			}
+			beats := make([]float64, d)
+			for j := 0; j < d; j++ {
+				if agg[j] > maxNoise {
+					beats[j] = 1
+				}
+			}
+			return beats, nil
+		},
+		make([]float64, d),
+		func(acc, beats []float64) []float64 {
+			for j := range acc {
+				acc[j] += beats[j]
+			}
+			return acc
+		})
+	if err != nil {
+		return nil, err
 	}
 	for j := range counts {
 		counts[j] /= float64(cfg.K)
@@ -187,14 +236,23 @@ func (r *RIFS) RStar(ds *ml.Dataset, seed int64) ([]float64, error) {
 func (r *RIFS) aggregateRanking(aug *ml.Dataset, seed int64) ([]float64, error) {
 	cfg := r.Config
 	cfg.defaults()
-	rfScores, err := cfg.Forest.Rank(aug, seed)
-	if err != nil {
-		return nil, fmt.Errorf("featsel: rifs forest ranking: %w", err)
+	// The two ensemble halves are independent; run them as two concurrent
+	// work items (each seeded identically to the sequential path).
+	var rfScores, srScores []float64
+	var rfErr, srErr error
+	parallel.ForEach(cfg.Workers, 2, func(half int) {
+		if half == 0 {
+			rfScores, rfErr = cfg.Forest.Rank(aug, seed)
+		} else {
+			sr := &SparseRegressionRanker{Config: cfg.Sparse}
+			srScores, srErr = sr.Rank(aug, seed)
+		}
+	})
+	if rfErr != nil {
+		return nil, fmt.Errorf("featsel: rifs forest ranking: %w", rfErr)
 	}
-	sr := &SparseRegressionRanker{Config: cfg.Sparse}
-	srScores, err := sr.Rank(aug, seed)
-	if err != nil {
-		return nil, fmt.Errorf("featsel: rifs sparse ranking: %w", err)
+	if srErr != nil {
+		return nil, fmt.Errorf("featsel: rifs sparse ranking: %w", srErr)
 	}
 	rfRank := RanksOf(rfScores)
 	srRank := RanksOf(srScores)
@@ -214,7 +272,7 @@ func (r *RIFS) newInjector(ds *ml.Dataset, seed int64) (injector, error) {
 	cfg.defaults()
 	if cfg.Injection == SimpleDistributions {
 		return func(repSeed int64, col int) []float64 {
-			rng := newRNG(repSeed*31 + int64(col))
+			rng := parallel.RNG(repSeed, int64(col))
 			dist := stats.Distribution(col % 4)
 			return stats.SampleColumn(dist, ds.N, rng)
 		}, nil
@@ -262,32 +320,25 @@ func (r *RIFS) newInjector(ds *ml.Dataset, seed int64) (injector, error) {
 		}
 	}
 	linalg.Scale(mu, 1/float64(d))
-	sigma := linalg.NewMatrix(n, n)
-	diff := make([]float64, n)
-	for j := 0; j < d; j++ {
-		for i := 0; i < n; i++ {
-			diff[i] = std[i*d+j] - mu[i]
-		}
-		for a := 0; a < n; a++ {
-			if diff[a] == 0 {
-				continue
-			}
-			row := sigma.Row(a)
-			for b := 0; b < n; b++ {
-				row[b] += diff[a] * diff[b]
-			}
+	// Σ = C·Cᵀ/d where C is the row-centered standardized matrix; MulABt
+	// computes the n×n Gram on the worker pool by row blocks. std is not
+	// needed afterwards, so centering happens in place.
+	centered := &linalg.Matrix{Rows: n, Cols: d, Data: std}
+	for i := 0; i < n; i++ {
+		row := centered.Row(i)
+		for j := range row {
+			row[j] -= mu[i]
 		}
 	}
-	for i := range sigma.Data {
-		sigma.Data[i] /= float64(d)
-	}
+	sigma := linalg.MulABt(centered, centered)
+	linalg.Scale(sigma.Data, 1/float64(d))
 	sampler, err := linalg.NewMVNSampler(mu, sigma)
 	if err != nil {
 		return nil, fmt.Errorf("featsel: rifs moment-matched sampler: %w", err)
 	}
 	full := rows == ds.N
 	return func(repSeed int64, col int) []float64 {
-		rng := newRNG(repSeed*37 + int64(col))
+		rng := parallel.RNG(repSeed, int64(col))
 		s := sampler.Sample(rng)
 		if full {
 			return s

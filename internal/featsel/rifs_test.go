@@ -151,7 +151,7 @@ func TestSweepThresholdsMonotoneStop(t *testing.T) {
 			return 0.75
 		}
 	}
-	got := sweepThresholds(rstar, thresholds, score)
+	got := sweepThresholds(rstar, thresholds, 2, score)
 	if len(got) != 3 {
 		t.Fatalf("sweep returned %d features, want 3 (stop before the drop)", len(got))
 	}
@@ -159,7 +159,7 @@ func TestSweepThresholdsMonotoneStop(t *testing.T) {
 
 func TestSweepThresholdsEmpty(t *testing.T) {
 	rstar := []float64{0.1, 0.05}
-	got := sweepThresholds(rstar, []float64{0.5, 0.9}, func([]int) float64 { return 1 })
+	got := sweepThresholds(rstar, []float64{0.5, 0.9}, 2, func([]int) float64 { return 1 })
 	if got != nil {
 		t.Fatalf("no feature clears the thresholds, want nil, got %v", got)
 	}
@@ -172,7 +172,9 @@ func TestSweepThresholdsMonotoneImprovementGoesToEnd(t *testing.T) {
 		calls++
 		return 1 - float64(len(cols))*0.1 // fewer features always better
 	}
-	got := sweepThresholds(rstar, []float64{0.3, 0.5, 0.7, 0.9}, score)
+	// workers=1: the calls counter below is unsynchronized, and the count
+	// assertion checks that duplicate subsets are scored once.
+	got := sweepThresholds(rstar, []float64{0.3, 0.5, 0.7, 0.9}, 1, score)
 	if len(got) != 1 {
 		t.Fatalf("monotone improvement should reach the tightest threshold, got %d features", len(got))
 	}

@@ -2,10 +2,10 @@ package featsel
 
 import (
 	"fmt"
-	"sync"
 
 	"github.com/arda-ml/arda/internal/eval"
 	"github.com/arda-ml/arda/internal/ml"
+	"github.com/arda-ml/arda/internal/parallel"
 )
 
 // VoteSelector runs several feature-selection methods simultaneously (§3:
@@ -48,26 +48,18 @@ func (s *VoteSelector) Select(ds *ml.Dataset, est eval.Fitter, seed int64) ([]in
 	if len(members) == 0 {
 		return nil, fmt.Errorf("featsel: vote ensemble has no member supporting %s", ds.Task)
 	}
+	// Members run on the shared worker pool: each writes only its own result
+	// slot and derives its seed from its member index, so the vote is
+	// identical for any worker count.
 	results := make([][]int, len(members))
 	errs := make([]error, len(members))
-	runMember := func(i int) {
+	workers := 1
+	if s.Parallel {
+		workers = 0 // process-wide maximum
+	}
+	parallel.ForEach(workers, len(members), func(i int) {
 		results[i], errs[i] = members[i].Select(ds, est, seed+int64(i)*31)
-	}
-	if s.Parallel && len(members) > 1 {
-		var wg sync.WaitGroup
-		for i := range members {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				runMember(i)
-			}(i)
-		}
-		wg.Wait()
-	} else {
-		for i := range members {
-			runMember(i)
-		}
-	}
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("featsel: vote member %s: %w", members[i].Name(), err)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/arda-ml/arda/internal/dataframe"
+	"github.com/arda-ml/arda/internal/parallel"
 )
 
 // KNNImpute fills missing values using the k most similar rows (the
@@ -91,16 +92,27 @@ func KNNImpute(t *dataframe.Table, k int) int {
 		return out
 	}
 
-	filled := 0
-	var cache []int
-	cachedRow := -1
-	nn := func(i int) []int {
-		if cachedRow != i {
-			cache = neighbours(i)
-			cachedRow = i
+	// Every row with a missing cell needs a neighbour list. The searches are
+	// independent and read only the table's pre-fill values, so they fan out
+	// across the worker pool before any cell is written — which also means
+	// every gap is filled from original data rather than from earlier fills.
+	var incomplete []int
+	for i := 0; i < n; i++ {
+		for _, c := range t.Columns() {
+			if c.IsMissing(i) {
+				incomplete = append(incomplete, i)
+				break
+			}
 		}
-		return cache
 	}
+	lists := make([][]int, len(incomplete))
+	parallel.ForEach(0, len(incomplete), func(p int) { lists[p] = neighbours(incomplete[p]) })
+	nnOf := make(map[int][]int, len(incomplete))
+	for p, i := range incomplete {
+		nnOf[i] = lists[p]
+	}
+	nn := func(i int) []int { return nnOf[i] }
+	filled := 0
 	for _, c := range t.Columns() {
 		switch col := c.(type) {
 		case *dataframe.NumericColumn:

@@ -9,7 +9,25 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"github.com/arda-ml/arda/internal/parallel"
 )
+
+// kernelBlockRows sizes the row blocks handed to the worker pool so each
+// block carries roughly kernelBlockFlops multiply-adds: tiny matrices stay on
+// one goroutine (block covers all rows), large ones split. The partition
+// depends only on the matrix shape, keeping results worker-count independent.
+func kernelBlockRows(rowCost int) int {
+	const kernelBlockFlops = 1 << 14
+	if rowCost < 1 {
+		rowCost = 1
+	}
+	rows := kernelBlockFlops / rowCost
+	if rows < 1 {
+		rows = 1
+	}
+	return rows
+}
 
 // Matrix is a dense row-major matrix.
 type Matrix struct {
@@ -53,37 +71,66 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
-// T returns the transpose as a new matrix.
+// T returns the transpose as a new matrix. Input rows are scattered into
+// output columns concurrently; every input row writes a disjoint stride, so
+// the result is independent of the worker count.
 func (m *Matrix) T() *Matrix {
 	out := NewMatrix(m.Cols, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		for j, v := range row {
-			out.Data[j*m.Rows+i] = v
+	parallel.Blocks(0, m.Rows, kernelBlockRows(m.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			for j, v := range row {
+				out.Data[j*m.Rows+i] = v
+			}
 		}
-	}
+	})
 	return out
 }
 
-// Mul returns the product a·b.
+// Mul returns the product a·b. Output rows are computed concurrently by row
+// blocks; each row's accumulation order is the same as the sequential kernel,
+// so results are bit-identical for any worker count.
 func Mul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("linalg: mul dims %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := NewMatrix(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
+	parallel.Blocks(0, a.Rows, kernelBlockRows(a.Cols*b.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
 			}
 		}
+	})
+	return out
+}
+
+// MulABt returns the product a·bᵀ without materializing the transpose:
+// out[i][j] = ⟨a.Row(i), b.Row(j)⟩. Output rows are computed concurrently;
+// each entry is a single ordered dot product, so results are bit-identical
+// for any worker count.
+func MulABt(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: mulabt dims %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
+	out := NewMatrix(a.Rows, b.Rows)
+	parallel.Blocks(0, a.Rows, kernelBlockRows(a.Cols*b.Rows), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := range orow {
+				orow[j] = Dot(arow, b.Row(j))
+			}
+		}
+	})
 	return out
 }
 
@@ -93,9 +140,11 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 		panic(fmt.Sprintf("linalg: mulvec dims %dx%d · %d", m.Rows, m.Cols, len(x)))
 	}
 	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		out[i] = Dot(m.Row(i), x)
-	}
+	parallel.Blocks(0, m.Rows, kernelBlockRows(m.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = Dot(m.Row(i), x)
+		}
+	})
 	return out
 }
 

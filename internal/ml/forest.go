@@ -3,8 +3,8 @@ package ml
 import (
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
+
+	"github.com/arda-ml/arda/internal/parallel"
 )
 
 // ForestConfig controls random-forest training.
@@ -21,7 +21,9 @@ type ForestConfig struct {
 	MTry int
 	// Seed seeds the per-tree RNGs.
 	Seed int64
-	// Parallel enables concurrent tree growth across GOMAXPROCS workers.
+	// Parallel enables concurrent tree growth on the shared worker pool
+	// (bounded by parallel.MaxWorkers). Per-tree RNGs derive from Seed and
+	// the tree index, so the fitted forest is identical either way.
 	Parallel bool
 }
 
@@ -70,32 +72,14 @@ func FitForest(ds *Dataset, cfg ForestConfig) *Forest {
 		}
 		f.Trees[t] = FitTree(ds, idx, tc, rng)
 	}
-	if cfg.Parallel && cfg.NTrees > 1 {
-		workers := runtime.GOMAXPROCS(0)
-		if workers > cfg.NTrees {
-			workers = cfg.NTrees
-		}
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for t := range next {
-					fit(t)
-				}
-			}()
-		}
-		for t := 0; t < cfg.NTrees; t++ {
-			next <- t
-		}
-		close(next)
-		wg.Wait()
-	} else {
-		for t := 0; t < cfg.NTrees; t++ {
-			fit(t)
-		}
+	// Tree growth runs on the shared worker pool: when a forest fits inside
+	// an already-parallel stage (e.g. a RIFS repetition), the pool's global
+	// cap keeps the total worker count bounded instead of multiplying.
+	workers := 1
+	if cfg.Parallel {
+		workers = 0 // process-wide maximum
 	}
+	parallel.ForEach(workers, cfg.NTrees, fit)
 	// Aggregate importances: mean of per-tree normalized importances.
 	f.imp = make([]float64, ds.D)
 	for _, tree := range f.Trees {

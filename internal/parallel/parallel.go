@@ -1,0 +1,195 @@
+// Package parallel is the repo-wide deterministic parallel execution
+// substrate: a bounded worker pool with ForEach/Map/MapReduce/Blocks helpers
+// plus seed splitting, so every work item derives its own rand.Rand from
+// (seed, index) and results are bit-identical regardless of worker count.
+//
+// Two invariants make that determinism contract hold:
+//
+//  1. Work items never share mutable state: each item writes only its own
+//     output slot (Map) or its own index range (Blocks), and any randomness
+//     comes from SplitSeed/RNG keyed by the item index, never from a shared
+//     stream.
+//  2. Reductions happen in index order on the calling goroutine after all
+//     items finish, and Blocks partitions depend only on (n, blockSize) —
+//     never on the worker count — so floating-point summation order is fixed.
+//
+// The pool is hierarchical-oversubscription safe: a process-wide cap
+// (MaxWorkers, default GOMAXPROCS) bounds the total number of concurrently
+// running workers across all nested ForEach calls. A nested call that cannot
+// acquire helper slots simply runs inline on its caller's goroutine, so
+// forests growing inside parallel RIFS repetitions never explode the
+// goroutine count and the pool can never deadlock.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkers is the process-wide cap on concurrently running workers; helpers
+// beyond it are not spawned and work runs inline instead.
+var maxWorkers atomic.Int64
+
+// inFlight counts helper goroutines currently running across all ForEach
+// calls (the calling goroutines themselves are not counted).
+var inFlight atomic.Int64
+
+func init() { maxWorkers.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// SetMaxWorkers caps the total number of concurrently working goroutines
+// process-wide; n <= 0 resets the cap to GOMAXPROCS. It only affects
+// scheduling, never results.
+func SetMaxWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	maxWorkers.Store(int64(n))
+}
+
+// MaxWorkers returns the current process-wide worker cap.
+func MaxWorkers() int { return int(maxWorkers.Load()) }
+
+// Workers resolves a requested worker count: values <= 0 select the
+// process-wide maximum.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return MaxWorkers()
+	}
+	return requested
+}
+
+// acquire reserves one helper slot if the process-wide cap allows another
+// concurrent worker beyond the caller; it never blocks.
+func acquire() bool {
+	for {
+		cur := inFlight.Load()
+		if cur+1 >= maxWorkers.Load() {
+			return false
+		}
+		if inFlight.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// release returns a helper slot.
+func release() { inFlight.Add(-1) }
+
+// ForEach runs fn(i) for every i in [0, n), using at most `workers`
+// goroutines (workers <= 0 selects the process-wide maximum). The calling
+// goroutine always participates, so ForEach makes progress even when the
+// pool is saturated by outer calls; helper goroutines are only spawned while
+// the process-wide cap has room. fn must confine its writes to per-index
+// state for the results to be deterministic.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for h := 0; h < w-1 && acquire(); h++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer release()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}
+
+// Map runs fn for every index and returns the results in index order. If any
+// invocations fail, the error of the lowest failing index is returned (a
+// deterministic choice regardless of scheduling).
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEach(workers, n, func(i int) { out[i], errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// MapReduce maps every index concurrently and folds the results into acc in
+// strict index order on the calling goroutine, so non-associative reductions
+// (floating-point sums) are bit-identical for any worker count.
+func MapReduce[T, A any](workers, n int, fn func(i int) (T, error), acc A, reduce func(A, T) A) (A, error) {
+	vals, err := Map(workers, n, fn)
+	if err != nil {
+		return acc, err
+	}
+	for _, v := range vals {
+		acc = reduce(acc, v)
+	}
+	return acc, nil
+}
+
+// Blocks partitions [0, n) into contiguous blocks of blockSize indices (the
+// last block may be short; blockSize <= 0 selects 64) and runs fn(lo, hi) for
+// each block, concurrently. The partition depends only on n and blockSize —
+// never on the worker count — so per-block partial results combined in block
+// order are deterministic.
+func Blocks(workers, n, blockSize int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if blockSize <= 0 {
+		blockSize = 64
+	}
+	nb := (n + blockSize - 1) / blockSize
+	ForEach(workers, nb, func(b int) {
+		lo := b * blockSize
+		hi := lo + blockSize
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}
+
+// MapBlocks partitions [0, n) like Blocks and returns one result per block in
+// block order, for reductions that must combine per-block partials
+// deterministically.
+func MapBlocks[T any](workers, n, blockSize int, fn func(lo, hi int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if blockSize <= 0 {
+		blockSize = 64
+	}
+	nb := (n + blockSize - 1) / blockSize
+	out := make([]T, nb)
+	ForEach(workers, nb, func(b int) {
+		lo := b * blockSize
+		hi := lo + blockSize
+		if hi > n {
+			hi = n
+		}
+		out[b] = fn(lo, hi)
+	})
+	return out
+}

@@ -1,0 +1,223 @@
+package parallel
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	defer SetMaxWorkers(0)
+	for _, workers := range []int{0, 1, 2, 8} {
+		n := 1000
+		seen := make([]int32, n)
+		ForEach(workers, n, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	calls := 0
+	ForEach(4, 0, func(int) { calls++ })
+	ForEach(4, -3, func(int) { calls++ })
+	if calls != 0 {
+		t.Fatalf("ForEach on empty range made %d calls", calls)
+	}
+}
+
+// TestForEachNestedBounded exercises the oversubscription guard: nested
+// ForEach calls from many concurrent parents must complete, cover every
+// index, and never exceed the process-wide worker cap (parents + helpers).
+func TestForEachNestedBounded(t *testing.T) {
+	defer SetMaxWorkers(0)
+	const cap = 4
+	SetMaxWorkers(cap)
+	var running, peak atomic.Int64
+	track := func() func() {
+		cur := running.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		return func() { running.Add(-1) }
+	}
+	const parents, children = 6, 50
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < parents; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ForEach(0, children, func(int) {
+				done := track()
+				defer done()
+				ForEach(0, 4, func(int) { total.Add(1) })
+			})
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != parents*children*4 {
+		t.Fatalf("nested ForEach ran %d leaf items, want %d", got, parents*children*4)
+	}
+	// Each of the `parents` goroutines works inline regardless of the cap;
+	// only helpers are capped, so the hard bound is parents + cap.
+	if p := peak.Load(); p > parents+cap {
+		t.Fatalf("peak concurrent workers %d exceeds bound %d", p, parents+cap)
+	}
+}
+
+func TestMapOrderedResultsAndFirstError(t *testing.T) {
+	defer SetMaxWorkers(0)
+	SetMaxWorkers(8)
+	vals, err := Map(0, 100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != i*i {
+			t.Fatalf("vals[%d] = %d", i, v)
+		}
+	}
+	errA, errB := errors.New("a"), errors.New("b")
+	_, err = Map(0, 100, func(i int) (int, error) {
+		switch i {
+		case 97:
+			return 0, errB
+		case 13:
+			return 0, errA
+		}
+		return i, nil
+	})
+	if err != errA {
+		t.Fatalf("Map error = %v, want lowest-index error %v", err, errA)
+	}
+}
+
+func TestMapReduceIndexOrder(t *testing.T) {
+	defer SetMaxWorkers(0)
+	SetMaxWorkers(8)
+	got, err := MapReduce(0, 50, func(i int) (int, error) { return i, nil },
+		[]int(nil), func(acc []int, v int) []int { return append(acc, v) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("reduction out of order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestBlocksFixedPartition(t *testing.T) {
+	defer SetMaxWorkers(0)
+	// The partition must depend only on (n, blockSize), not on workers.
+	collect := func(workers int) [][2]int {
+		var mu sync.Mutex
+		var spans [][2]int
+		Blocks(workers, 103, 10, func(lo, hi int) {
+			mu.Lock()
+			spans = append(spans, [2]int{lo, hi})
+			mu.Unlock()
+		})
+		return spans
+	}
+	SetMaxWorkers(1)
+	one := collect(1)
+	SetMaxWorkers(8)
+	eight := collect(0)
+	if len(one) != 11 || len(eight) != 11 {
+		t.Fatalf("block counts %d/%d, want 11", len(one), len(eight))
+	}
+	covered := make([]bool, 103)
+	for _, s := range one {
+		for i := s[0]; i < s[1]; i++ {
+			if covered[i] {
+				t.Fatalf("index %d covered twice", i)
+			}
+			covered[i] = true
+		}
+	}
+	for i, c := range covered {
+		if !c {
+			t.Fatalf("index %d not covered", i)
+		}
+	}
+}
+
+func TestMapBlocksOrderedPartials(t *testing.T) {
+	defer SetMaxWorkers(0)
+	SetMaxWorkers(8)
+	parts := MapBlocks(0, 1000, 64, func(lo, hi int) int {
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += i
+		}
+		return s
+	})
+	total := 0
+	for _, p := range parts {
+		total += p
+	}
+	if total != 999*1000/2 {
+		t.Fatalf("MapBlocks sum = %d", total)
+	}
+}
+
+func TestSplitSeedDeterministicAndDistinct(t *testing.T) {
+	if SplitSeed(42, 7) != SplitSeed(42, 7) {
+		t.Fatal("SplitSeed is not deterministic")
+	}
+	seen := map[int64]bool{}
+	for i := int64(0); i < 10000; i++ {
+		s := SplitSeed(1, i)
+		if seen[s] {
+			t.Fatalf("seed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	if SplitSeed(1, 0) == SplitSeed(2, 0) {
+		t.Fatal("different parents must derive different children")
+	}
+	a, b := RNG(5, 3), RNG(5, 3)
+	for i := 0; i < 10; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("RNG(seed, index) must be reproducible")
+		}
+	}
+}
+
+// TestForEachRaceStress drives many overlapping pools so `go test -race`
+// exercises the slot accounting and index dispatch under contention.
+func TestForEachRaceStress(t *testing.T) {
+	defer SetMaxWorkers(0)
+	SetMaxWorkers(8)
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				out := make([]int64, 64)
+				ForEach(0, 64, func(i int) { out[i] = int64(i) })
+				for i, v := range out {
+					if v != int64(i) {
+						panic("lost write")
+					}
+					total.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if total.Load() != 16*20*64 {
+		t.Fatal("stress iterations incomplete")
+	}
+}

@@ -1,0 +1,26 @@
+package parallel
+
+import "math/rand"
+
+// SplitSeed deterministically derives an independent child seed from a parent
+// seed and a work-item index using the SplitMix64 finalizer. Distinct indexes
+// under the same parent produce decorrelated streams, and the derivation is a
+// pure function of (seed, index), so seeded pipelines stay reproducible no
+// matter how work items are scheduled across workers. Chain calls to derive
+// deeper hierarchies: SplitSeed(SplitSeed(seed, batch), candidate).
+func SplitSeed(seed, index int64) int64 {
+	z := uint64(seed) + (uint64(index)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// RNG returns a fresh rand.Rand seeded by SplitSeed(seed, index) — the
+// per-work-item generator of the determinism contract: every parallel work
+// item owns its own stream and no two items ever share one.
+func RNG(seed, index int64) *rand.Rand {
+	return rand.New(rand.NewSource(SplitSeed(seed, index)))
+}
