@@ -1,12 +1,14 @@
 # Development targets. `make check` is the gate every PR must pass: vet,
-# build, and the full test suite under the race detector (the parallel
-# execution layer makes -race mandatory, not optional).
+# build, the full test suite under the race detector (the parallel execution
+# layer makes -race mandatory, not optional), and the allocation-regression
+# tests without -race (AllocsPerRun is unreliable under the detector, so
+# those tests skip themselves in the race run).
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-parallel
+.PHONY: check vet build test race alloc bench bench-parallel bench-dataplane
 
-check: vet build race
+check: vet build race alloc
 
 vet:
 	$(GO) vet ./...
@@ -30,3 +32,16 @@ bench:
 bench-parallel:
 	$(GO) test -bench='Mul|MulABt|Transpose|RStar|LeverageIndices' -benchtime=1x -run=^$$ \
 		./internal/linalg/ ./internal/featsel/ ./internal/coreset/
+
+# Allocation-regression gate: the AllocsPerRun tests that skip under -race.
+alloc:
+	$(GO) test -run 'Allocs' ./internal/join/ ./internal/dataframe/ ./internal/eval/
+
+# Data-plane benchmarks: hashed vs string join keys, cached vs cold encode,
+# pooled vs materialized subset scoring. Writes a benchstat-comparable JSON
+# report (raw lines preserved under .raw).
+bench-dataplane:
+	$(GO) test -bench='Dataplane' -benchmem -benchtime=3x -run=^$$ \
+		./internal/join/ ./internal/dataframe/ ./internal/eval/ \
+		| $(GO) run ./cmd/benchjson > BENCH_dataplane.json
+	@grep -c '"op"' BENCH_dataplane.json >/dev/null && echo "wrote BENCH_dataplane.json"

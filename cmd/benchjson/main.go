@@ -1,0 +1,148 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin into
+// a JSON report on stdout. The raw benchmark lines are preserved verbatim (so
+// the report stays benchstat-comparable: `jq -r '.raw[]' BENCH_dataplane.json
+// | benchstat /dev/stdin`), and paired new-vs-old variants of the same
+// operation are reduced to headline speedup and allocation-reduction ratios.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// comparison reduces a new-vs-old benchmark pair to headline ratios.
+type comparison struct {
+	Op               string  `json:"op"`
+	New              string  `json:"new"`
+	Old              string  `json:"old"`
+	SpeedupX         float64 `json:"speedup_x"`
+	AllocsReductionX float64 `json:"allocs_reduction_x"`
+	BytesReductionX  float64 `json:"bytes_reduction_x"`
+	NewAllocsPerOp   float64 `json:"new_allocs_per_op"`
+	OldAllocsPerOp   float64 `json:"old_allocs_per_op"`
+}
+
+// report is the emitted document.
+type report struct {
+	GeneratedBy string       `json:"generated_by"`
+	Results     []result     `json:"results"`
+	Comparisons []comparison `json:"comparisons"`
+	Raw         []string     `json:"raw"`
+}
+
+// variantPairs maps each new-plane sub-benchmark name to the old-plane
+// variant it replaces.
+var variantPairs = map[string]string{
+	"hashed": "string",
+	"cached": "uncached",
+	"pooled": "materialized",
+}
+
+// parseLine parses one `go test -bench` result line; ok is false for
+// non-benchmark lines (headers, PASS, ok, etc.).
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	name := fields[0]
+	// Trim the GOMAXPROCS suffix ("-8") so pairing is machine-independent.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := result{Name: name, Iters: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	return r, true
+}
+
+// ratio returns old/new, guarding zero denominators.
+func ratio(old, new float64) float64 {
+	if new <= 0 {
+		return 0
+	}
+	return old / new
+}
+
+func main() {
+	rep := report{GeneratedBy: "make bench-dataplane"}
+	byName := map[string]result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		r, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		rep.Raw = append(rep.Raw, line)
+		rep.Results = append(rep.Results, r)
+		byName[r.Name] = r
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	for _, r := range rep.Results {
+		i := strings.LastIndex(r.Name, "/")
+		if i < 0 {
+			continue
+		}
+		op, variant := r.Name[:i], r.Name[i+1:]
+		oldVariant, isNew := variantPairs[variant]
+		if !isNew {
+			continue
+		}
+		old, ok := byName[op+"/"+oldVariant]
+		if !ok {
+			continue
+		}
+		rep.Comparisons = append(rep.Comparisons, comparison{
+			Op:               strings.TrimPrefix(op, "Benchmark"),
+			New:              variant,
+			Old:              oldVariant,
+			SpeedupX:         ratio(old.NsPerOp, r.NsPerOp),
+			AllocsReductionX: ratio(old.AllocsPerOp, r.AllocsPerOp),
+			BytesReductionX:  ratio(old.BytesPerOp, r.BytesPerOp),
+			NewAllocsPerOp:   r.AllocsPerOp,
+			OldAllocsPerOp:   old.AllocsPerOp,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -156,7 +156,7 @@ type Result struct {
 	// KeptColumns lists the augmentation columns in Table beyond the base.
 	KeptColumns []string
 	// KeptTables lists foreign tables that contributed at least one kept
-	// column.
+	// column, deduplicated, in first-contribution order.
 	KeptTables []string
 	// BaseScore and FinalScore are holdout scores of the final estimator on
 	// the base table alone and on the augmented table.

@@ -113,23 +113,29 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 	opts.logf("plan: %s, %d candidates in %d batches (budget %d features, coreset %d rows)",
 		opts.Plan, len(cands), len(plan), budget, joinBase.NumRows())
 
-	// prefixOf assigns each candidate a stable unique column prefix.
-	prefixOf := make(map[int]string, len(cands))
-	candIndex := make(map[string]int, len(cands))
-	for i := range cands {
+	// prefixOf assigns each candidate a stable unique column prefix. Plan
+	// batches partition the candidate list in order, so the ordinal of batch
+	// bi, slot ci is batchOffset[bi]+ci — plain arithmetic instead of a map
+	// keyed by formatted "bi/ci" strings.
+	prefixOf := make([]string, len(cands))
+	for i := range prefixOf {
 		prefixOf[i] = fmt.Sprintf("t%d.", i)
 	}
-	ordinal := 0
+	batchOffset := make([]int, len(plan)+1)
 	for bi := range plan {
-		for ci := range plan[bi].Candidates {
-			key := fmt.Sprintf("%d/%d", bi, ci)
-			candIndex[key] = ordinal
-			ordinal++
-		}
+		batchOffset[bi+1] = batchOffset[bi] + len(plan[bi].Candidates)
 	}
 
+	// Per-run caches: foreign-table preparations (aggregation/resampling) are
+	// reused between the batch phase and materialization, and binarize plans
+	// are reused across the batch loop's re-encodings of carried-forward
+	// columns. Both are valid because candidate tables are never mutated and
+	// work tables are only encoded fully imputed.
+	prepCache := join.NewPrepCache()
+	encCache := dataframe.NewEncodeCache()
+
 	accum := dataframe.MustNewTable(joinBase.Name(), joinBase.Columns()...)
-	keptByCandidate := make(map[int][]string) // candidate ordinal -> kept source columns (unprefixed)
+	keptByCandidate := make([][]string, len(cands)) // candidate ordinal -> kept source columns (unprefixed)
 
 	for bi, batch := range plan {
 		work := dataframe.MustNewTable(accum.Name(), accum.Columns()...)
@@ -141,11 +147,11 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 		var tables []string
 		newCols := 0
 		for ci, cand := range batch.Candidates {
-			ord := candIndex[fmt.Sprintf("%d/%d", bi, ci)]
+			ord := batchOffset[bi] + ci
 			prefix := prefixOf[ord]
 			spec := specFor(cand, opts, prefix)
-			jr, err := join.Execute(work, cand.Table, spec,
-				stageRNG(opts.Seed, seedStageJoin, int64(bi), int64(ci)))
+			jr, err := join.ExecuteCached(work, cand.Table, spec,
+				stageRNG(opts.Seed, seedStageJoin, int64(bi), int64(ci)), prepCache)
 			if err != nil {
 				// A malformed candidate (discovery is noisy by design) is
 				// skipped, not fatal.
@@ -161,7 +167,7 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 		}
 		imputeTable(work, opts, stageRNG(opts.Seed, seedStageImpute, int64(bi)))
 
-		view := work.ToNumericView(opts.Target)
+		view := work.ToNumericViewCached(encCache, opts.Target)
 		y, err := work.TargetVector(opts.Target)
 		if err != nil {
 			return nil, err
@@ -219,17 +225,18 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 	// Materialize kept features over the full base table. Clone so the
 	// final imputation cannot mutate the caller's table.
 	final := base.Clone()
+	seenTables := make(map[string]bool)
 	for bi, batch := range plan {
 		for ci, cand := range batch.Candidates {
-			ord := candIndex[fmt.Sprintf("%d/%d", bi, ci)]
+			ord := batchOffset[bi] + ci
 			kept := keptByCandidate[ord]
 			if len(kept) == 0 {
 				continue
 			}
 			prefix := prefixOf[ord]
 			spec := specFor(cand, opts, prefix)
-			jr, err := join.Execute(final, cand.Table, spec,
-				stageRNG(opts.Seed, seedStageMaterialize, int64(ord)))
+			jr, err := join.ExecuteCached(final, cand.Table, spec,
+				stageRNG(opts.Seed, seedStageMaterialize, int64(ord)), prepCache)
 			if err != nil {
 				continue
 			}
@@ -246,7 +253,10 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 				}
 			}
 			final = next
-			res.KeptTables = append(res.KeptTables, cand.Table.Name())
+			if !seenTables[cand.Table.Name()] {
+				seenTables[cand.Table.Name()] = true
+				res.KeptTables = append(res.KeptTables, cand.Table.Name())
+			}
 		}
 	}
 	imputeTable(final, opts, stageRNG(opts.Seed, seedStageFinal))

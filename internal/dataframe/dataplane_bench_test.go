@@ -1,0 +1,25 @@
+package dataframe
+
+import "testing"
+
+// BenchmarkDataplaneEncode compares the cached typed-fill encode path against
+// cold encoding (which recomputes every binarize plan). Collected into
+// BENCH_dataplane.json by `make bench-dataplane`.
+func BenchmarkDataplaneEncode(b *testing.B) {
+	tbl := encodeFixture(5000)
+	b.Run("cached", func(b *testing.B) {
+		cache := NewEncodeCache()
+		tbl.ToNumericViewCached(cache, "target")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tbl.ToNumericViewCached(cache, "target")
+		}
+	})
+	b.Run("uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tbl.ToNumericView("target")
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // MaxOneHotCardinality bounds the number of indicator columns produced when
@@ -12,11 +13,12 @@ import (
 // high-cardinality key column cannot explode the feature space.
 const MaxOneHotCardinality = 32
 
-// Binarize converts a categorical column into a set of 0/1 numeric indicator
-// columns named "<col>=<value>". Rows with missing values are 0 in every
-// indicator. At most MaxOneHotCardinality indicators are produced; rarer
-// categories share an "<col>=<other>" indicator.
-func Binarize(c *CategoricalColumn) []*NumericColumn {
+// binarizePlan computes the one-hot layout of a categorical column: the
+// produced indicator names and remap, where remap[code] is the indicator
+// index the code contributes to (-1 for codes absent from the data). The plan
+// is a pure function of the column's codes and dictionary, which is what
+// makes it cacheable across repeated encodings of an unchanged column.
+func binarizePlan(c *CategoricalColumn) (names []string, remap []int) {
 	counts := make([]int, len(c.Dict))
 	for _, code := range c.Codes {
 		if code >= 0 {
@@ -29,9 +31,8 @@ func Binarize(c *CategoricalColumn) []*NumericColumn {
 	}
 	sort.SliceStable(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
 
-	// remap[code] is the indicator index the code contributes to.
-	remap := make([]int, len(c.Dict))
-	names := make([]string, 0, MaxOneHotCardinality)
+	remap = make([]int, len(c.Dict))
+	names = make([]string, 0, MaxOneHotCardinality)
 	other := -1
 	for rank, code := range order {
 		if counts[code] == 0 {
@@ -49,6 +50,15 @@ func Binarize(c *CategoricalColumn) []*NumericColumn {
 			remap[code] = other
 		}
 	}
+	return names, remap
+}
+
+// Binarize converts a categorical column into a set of 0/1 numeric indicator
+// columns named "<col>=<value>". Rows with missing values are 0 in every
+// indicator. At most MaxOneHotCardinality indicators are produced; rarer
+// categories share an "<col>=<other>" indicator.
+func Binarize(c *CategoricalColumn) []*NumericColumn {
+	names, remap := binarizePlan(c)
 	out := make([]*NumericColumn, len(names))
 	for j := range out {
 		out[j] = NewNumeric(names[j], make([]float64, c.Len()))
@@ -62,6 +72,58 @@ func Binarize(c *CategoricalColumn) []*NumericColumn {
 		}
 	}
 	return out
+}
+
+// EncodeCache memoizes binarize plans per categorical column across
+// ToNumericView calls. The ARDA batch loop re-encodes its work table every
+// batch, and carried-forward columns are unchanged between batches, so their
+// count/sort/format work can be done once. Entries are keyed by column
+// identity (pointer), which is only valid while columns are not mutated after
+// first being encoded; the pipeline guarantees that by encoding only fully
+// imputed tables. Create one cache per Augment run.
+type EncodeCache struct {
+	mu sync.Mutex
+	m  map[*CategoricalColumn]*binPlan
+}
+
+// binPlan is one cached binarize layout.
+type binPlan struct {
+	names []string
+	remap []int
+}
+
+// NewEncodeCache returns an empty encode cache.
+func NewEncodeCache() *EncodeCache {
+	return &EncodeCache{m: make(map[*CategoricalColumn]*binPlan)}
+}
+
+// plan returns the (possibly cached) binarize plan for col. A nil cache
+// computes without memoizing.
+func (c *EncodeCache) plan(col *CategoricalColumn) ([]string, []int) {
+	if c == nil {
+		return binarizePlan(col)
+	}
+	c.mu.Lock()
+	p := c.m[col]
+	c.mu.Unlock()
+	if p != nil {
+		return p.names, p.remap
+	}
+	names, remap := binarizePlan(col)
+	c.mu.Lock()
+	c.m[col] = &binPlan{names: names, remap: remap}
+	c.mu.Unlock()
+	return names, remap
+}
+
+// Len returns the number of cached plans.
+func (c *EncodeCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
 }
 
 // NumericView is a table rendered as a dense design matrix: time columns
@@ -94,49 +156,82 @@ func (v *NumericView) Col(j int, dst []float64) []float64 {
 // ToNumericView converts the table into a design matrix, excluding the named
 // columns (typically the target and join keys).
 func (t *Table) ToNumericView(exclude ...string) *NumericView {
+	return t.toNumericView(nil, exclude)
+}
+
+// ToNumericViewCached is ToNumericView with binarize plans memoized in cache,
+// for callers that re-encode tables sharing column storage (the batch loop).
+func (t *Table) ToNumericViewCached(cache *EncodeCache, exclude ...string) *NumericView {
+	return t.toNumericView(cache, exclude)
+}
+
+// toNumericView lays out the matrix columns in one pass over the table's
+// columns, then fills each block with a direct typed loop — no per-element
+// closure dispatch, and categorical blocks write only their 1s into the
+// zeroed matrix instead of materializing indicator columns first.
+func (t *Table) toNumericView(cache *EncodeCache, exclude []string) *NumericView {
 	skip := make(map[string]bool, len(exclude))
 	for _, n := range exclude {
 		skip[n] = true
 	}
-	type source struct {
-		name string
-		get  func(i int) float64
+	type block struct {
+		col   Column
+		name  string   // single-column blocks
+		names []string // categorical blocks (indicator names)
+		remap []int    // categorical blocks
+		off   int      // first matrix column of the block
 	}
-	var sources []source
+	var blocks []block
+	d := 0
 	for _, c := range t.cols {
 		if skip[c.Name()] {
 			continue
 		}
 		switch col := c.(type) {
-		case *NumericColumn:
-			vals := col.Values
-			sources = append(sources, source{col.Name(), func(i int) float64 { return vals[i] }})
-		case *TimeColumn:
-			vals := col.Unix
-			sources = append(sources, source{col.Name(), func(i int) float64 {
-				if vals[i] == MissingTime {
-					return math.NaN()
-				}
-				return float64(vals[i])
-			}})
+		case *NumericColumn, *TimeColumn:
+			blocks = append(blocks, block{col: c, name: c.Name(), off: d})
+			d++
 		case *CategoricalColumn:
-			for _, ind := range Binarize(col) {
-				vals := ind.Values
-				sources = append(sources, source{ind.Name(), func(i int) float64 { return vals[i] }})
-			}
+			names, remap := cache.plan(col)
+			blocks = append(blocks, block{col: c, names: names, remap: remap, off: d})
+			d += len(names)
 		}
 	}
-	n, d := t.NumRows(), len(sources)
+	n := t.NumRows()
 	view := &NumericView{
 		Names: make([]string, d),
 		Data:  make([]float64, n*d),
 		Rows:  n,
 		Cols:  d,
 	}
-	for j, s := range sources {
-		view.Names[j] = s.name
-		for i := 0; i < n; i++ {
-			view.Data[i*d+j] = s.get(i)
+	for _, b := range blocks {
+		switch col := b.col.(type) {
+		case *NumericColumn:
+			view.Names[b.off] = b.name
+			j := b.off
+			for i, v := range col.Values {
+				view.Data[i*d+j] = v
+			}
+		case *TimeColumn:
+			view.Names[b.off] = b.name
+			j := b.off
+			for i, v := range col.Unix {
+				if v == MissingTime {
+					view.Data[i*d+j] = math.NaN()
+				} else {
+					view.Data[i*d+j] = float64(v)
+				}
+			}
+		case *CategoricalColumn:
+			copy(view.Names[b.off:], b.names)
+			for i, code := range col.Codes {
+				if code < 0 {
+					continue
+				}
+				if k := b.remap[code]; k >= 0 {
+					view.Data[i*d+b.off+k] = 1
+				}
+			}
 		}
 	}
 	return view

@@ -1,0 +1,126 @@
+package dataframe
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/arda-ml/arda/internal/testenv"
+)
+
+// encodeFixture builds a table exercising every encoded column type: numeric,
+// time with missing entries, low-cardinality categorical with missing
+// entries, and a categorical wide enough to trigger the <other> pooling.
+func encodeFixture(rows int) *Table {
+	num := make([]float64, rows)
+	unix := make([]int64, rows)
+	lo := make([]string, rows)
+	hi := make([]string, rows)
+	for i := 0; i < rows; i++ {
+		num[i] = float64(i) * 1.5
+		if i%7 == 0 {
+			unix[i] = MissingTime
+		} else {
+			unix[i] = int64(i) * 3600
+		}
+		if i%5 == 0 {
+			lo[i] = ""
+		} else {
+			lo[i] = fmt.Sprintf("c%d", i%3)
+		}
+		hi[i] = fmt.Sprintf("v%d", i%(MaxOneHotCardinality+8))
+	}
+	return MustNewTable("t",
+		NewNumeric("num", num),
+		NewTime("ts", unix),
+		NewCategorical("lo", lo),
+		NewCategorical("hi", hi),
+		NewNumeric("target", num))
+}
+
+// viewsIdentical asserts two numeric views agree bit-for-bit.
+func viewsIdentical(t *testing.T, a, b *NumericView) {
+	t.Helper()
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		t.Fatalf("shape: %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	for j := range a.Names {
+		if a.Names[j] != b.Names[j] {
+			t.Fatalf("name %d: %q vs %q", j, a.Names[j], b.Names[j])
+		}
+	}
+	for i := range a.Data {
+		if math.Float64bits(a.Data[i]) != math.Float64bits(b.Data[i]) {
+			t.Fatalf("entry %d: %v vs %v", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+// TestToNumericViewCachedEquivalence proves the cached encode path (both the
+// cold first call that fills the cache and warm reuse) is bit-identical to
+// the uncached path.
+func TestToNumericViewCachedEquivalence(t *testing.T) {
+	tbl := encodeFixture(100)
+	plain := tbl.ToNumericView("target")
+	cache := NewEncodeCache()
+	cold := tbl.ToNumericViewCached(cache, "target")
+	if cache.Len() != 2 {
+		t.Fatalf("cache has %d plans, want 2 (one per categorical column)", cache.Len())
+	}
+	warm := tbl.ToNumericViewCached(cache, "target")
+	if cache.Len() != 2 {
+		t.Fatalf("cache grew to %d plans on reuse", cache.Len())
+	}
+	viewsIdentical(t, plain, cold)
+	viewsIdentical(t, plain, warm)
+}
+
+// TestBinarizeMatchesPlan pins Binarize to the shared plan so the two encode
+// paths cannot drift.
+func TestBinarizeMatchesPlan(t *testing.T) {
+	tbl := encodeFixture(64)
+	col := tbl.Column("hi").(*CategoricalColumn)
+	names, remap := binarizePlan(col)
+	inds := Binarize(col)
+	if len(inds) != len(names) {
+		t.Fatalf("Binarize made %d columns, plan has %d", len(inds), len(names))
+	}
+	for j, ind := range inds {
+		if ind.Name() != names[j] {
+			t.Fatalf("indicator %d named %q, plan says %q", j, ind.Name(), names[j])
+		}
+	}
+	for i, code := range col.Codes {
+		for j := range inds {
+			want := 0.0
+			if code >= 0 && remap[code] == j {
+				want = 1
+			}
+			if inds[j].Values[i] != want {
+				t.Fatalf("row %d indicator %d = %v, want %v", i, j, inds[j].Values[i], want)
+			}
+		}
+	}
+}
+
+// TestToNumericViewAllocs is the allocation-regression gate for the encode
+// hot loop: the typed fill must allocate O(columns) blocks, not O(cells) —
+// the closure-per-element path it replaced also materialized every indicator
+// column before copying it into the matrix.
+func TestToNumericViewAllocs(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("AllocsPerRun is unreliable under -race")
+	}
+	tbl := encodeFixture(2000)
+	cache := NewEncodeCache()
+	tbl.ToNumericViewCached(cache, "target") // warm the plan cache
+	allocs := testing.AllocsPerRun(10, func() {
+		tbl.ToNumericViewCached(cache, "target")
+	})
+	// Expected: matrix + names + blocks slice + small fixed overhead. The
+	// bound is loose on purpose — the regression being guarded against is
+	// per-row/per-cell allocation (thousands per call).
+	if allocs > 40 {
+		t.Fatalf("cached encode allocates %.0f times per call, want O(columns)", allocs)
+	}
+}

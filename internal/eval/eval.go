@@ -7,6 +7,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"github.com/arda-ml/arda/internal/ml"
 )
@@ -219,6 +220,48 @@ func HoldoutScore(ds *ml.Dataset, sp Split, fit Fitter) float64 {
 	m := fit(train)
 	pred := ml.PredictAll(m, test)
 	return Score(ds.Task, ds.Classes, pred, test.Y)
+}
+
+// subsetScratch pools the gather buffers HoldoutSubsetScore fills on every
+// call, so repeated subset evaluations (the RIFS threshold sweep scores
+// hundreds of feature subsets over the same dataset) stop allocating a fresh
+// design matrix each time. Buffers are fully overwritten before use, and the
+// fitted model is discarded before the buffers return to the pool, so reuse
+// never leaks state between evaluations.
+var subsetScratch = sync.Pool{New: func() any { return new(subsetBufs) }}
+
+// subsetBufs is one reusable pair of gather buffers.
+type subsetBufs struct {
+	x, y []float64
+}
+
+// HoldoutSubsetScore is HoldoutScore restricted to the given feature columns,
+// without materializing the column subset: train and test matrices are
+// gathered straight from ds (through any view indirection) into pooled
+// scratch. It returns exactly what
+// HoldoutScore(ds.SelectFeatures(cols), sp, fit) would, allocation-light.
+func HoldoutSubsetScore(ds *ml.Dataset, sp Split, fit Fitter, cols []int) float64 {
+	d := len(cols)
+	nTr, nTe := len(sp.Train), len(sp.Test)
+	sb := subsetScratch.Get().(*subsetBufs)
+	defer subsetScratch.Put(sb)
+	if need := (nTr + nTe) * d; cap(sb.x) < need {
+		sb.x = make([]float64, need)
+	}
+	if need := nTr + nTe; cap(sb.y) < need {
+		sb.y = make([]float64, need)
+	}
+	x := sb.x[: (nTr+nTe)*d : (nTr+nTe)*d]
+	y := sb.y[: nTr+nTe : nTr+nTe]
+	trainX, testX := x[:nTr*d], x[nTr*d:]
+	trainY, testY := y[:nTr], y[nTr:]
+	ds.GatherSubsetInto(sp.Train, cols, trainX, trainY)
+	ds.GatherSubsetInto(sp.Test, cols, testX, testY)
+	train := &ml.Dataset{X: trainX, N: nTr, D: d, Y: trainY, Task: ds.Task, Classes: ds.Classes}
+	test := &ml.Dataset{X: testX, N: nTe, D: d, Y: testY, Task: ds.Task, Classes: ds.Classes}
+	m := fit(train)
+	pred := ml.PredictAll(m, test)
+	return Score(ds.Task, ds.Classes, pred, testY)
 }
 
 // HoldoutError trains on sp.Train and returns the MAE on sp.Test (regression

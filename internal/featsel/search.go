@@ -36,13 +36,14 @@ func newSubsetScorer(ds *ml.Dataset, est eval.Fitter, seed int64) *subsetScorer 
 }
 
 // score trains est on the training side restricted to cols and returns the
-// holdout task score.
+// holdout task score. Scoring gathers the subset straight from the dataset
+// into pooled scratch (eval.HoldoutSubsetScore) instead of materializing a
+// fresh matrix per candidate subset.
 func (s *subsetScorer) score(cols []int) float64 {
 	if len(cols) == 0 {
 		return math.Inf(-1)
 	}
-	sub := s.ds.SelectFeatures(cols)
-	return eval.HoldoutScore(sub, s.split, s.est)
+	return eval.HoldoutSubsetScore(s.ds, s.split, s.est, cols)
 }
 
 // ExponentialSearch implements the paper's §6.3 subset search over a feature
@@ -329,7 +330,7 @@ func (s *RFESelector) Select(ds *ml.Dataset, est eval.Fitter, seed int64) ([]int
 	round := 0
 	for len(selected) > minF {
 		round++
-		sub := ds.SelectFeatures(selected)
+		sub := ds.View(selected)
 		scores, err := ranker.Rank(sub, seed+int64(round))
 		if err != nil {
 			return nil, fmt.Errorf("featsel: rfe round %d: %w", round, err)

@@ -146,6 +146,8 @@ func aggregateGroups(t *dataframe.Table, groups [][]int) *dataframe.Table {
 // AggregateByKey groups the table by the composite key over keyCols and
 // collapses each group to one row, reducing one-to-many joins to one-to-one
 // (§4 "Join Cardinality"). Rows with a missing key component are dropped.
+// Grouping runs on the hashed-key plane, with the string composite key as
+// the collision/unsupported-type fallback.
 func AggregateByKey(t *dataframe.Table, keyCols []string) (*dataframe.Table, error) {
 	cols := make([]dataframe.Column, len(keyCols))
 	for i, name := range keyCols {
@@ -155,9 +157,22 @@ func AggregateByKey(t *dataframe.Table, keyCols []string) (*dataframe.Table, err
 		}
 		cols[i] = c
 	}
+	return aggregateGroups(t, groupRowsByKey(cols, t.NumRows())), nil
+}
+
+// groupRowsByKey groups rows by composite key in first-appearance order,
+// preferring the hashed plane and falling back to string keys.
+func groupRowsByKey(cols []dataframe.Column, n int) [][]int {
+	if hashJoinKeys {
+		if kcs := newGroupHasher(cols); kcs != nil {
+			if groups, ok := hashGroups(kcs, n); ok {
+				return groups
+			}
+		}
+	}
 	index := make(map[string]int)
 	var groups [][]int
-	for i := 0; i < t.NumRows(); i++ {
+	for i := 0; i < n; i++ {
 		key, ok := compositeKey(cols, i)
 		if !ok {
 			continue
@@ -170,7 +185,7 @@ func AggregateByKey(t *dataframe.Table, keyCols []string) (*dataframe.Table, err
 		}
 		groups[g] = append(groups[g], i)
 	}
-	return aggregateGroups(t, groups), nil
+	return groups
 }
 
 // ResampleTime buckets the named time (or numeric) column of t to the given

@@ -152,20 +152,10 @@ func geoJoin(base, foreign *dataframe.Table, spec *Spec, prefix string) (*Result
 	fx := foreign.Column(softPairs[0].ForeignColumn).(*dataframe.NumericColumn)
 	fy := foreign.Column(softPairs[1].ForeignColumn).(*dataframe.NumericColumn)
 
-	groups := map[string][]geoPoint{}
-	for i := 0; i < foreign.NumRows(); i++ {
-		if fx.IsMissing(i) || fy.IsMissing(i) {
-			continue
-		}
-		hk, ok := compositeKey(foreignHard, i)
-		if !ok && len(hard) > 0 {
-			continue
-		}
-		groups[hk] = append(groups[hk], geoPoint{x: fx.Values[i], y: fy.Values[i], row: i})
-	}
-	grids := make(map[string]*geoGrid, len(groups))
-	for hk, pts := range groups {
-		grids[hk] = newGeoGrid(pts, spec.Tolerance)
+	lookup, groups := buildGeoGroups(baseHard, foreignHard, fx, fy, foreign.NumRows())
+	grids := make([]*geoGrid, len(groups))
+	for g, pts := range groups {
+		grids[g] = newGeoGrid(pts, spec.Tolerance)
 	}
 
 	match := make([]int, base.NumRows())
@@ -175,14 +165,11 @@ func geoJoin(base, foreign *dataframe.Table, spec *Spec, prefix string) (*Result
 		if bx.IsMissing(i) || by.IsMissing(i) {
 			continue
 		}
-		hk, ok := compositeKey(baseHard, i)
-		if !ok && len(hard) > 0 {
+		g := lookup(i)
+		if g < 0 {
 			continue
 		}
-		grid := grids[hk]
-		if grid == nil {
-			continue
-		}
+		grid := grids[g]
 		row, dist, found := grid.nearest(bx.Values[i], by.Values[i])
 		if found && (spec.Tolerance <= 0 || dist <= spec.Tolerance) {
 			match[i] = row
@@ -190,4 +177,82 @@ func geoJoin(base, foreign *dataframe.Table, spec *Spec, prefix string) (*Result
 		}
 	}
 	return assemble(base, foreign.Gather(match), spec, prefix, matched)
+}
+
+// buildGeoGroups partitions present foreign coordinate rows by hard composite
+// key (hashed plane first, string keys on collision or unmodeled columns) and
+// returns the point groups plus a base-row lookup resolving each base row to
+// its group index (-1 when the base key is missing or unmatched). With no
+// hard keys every row lands in one group.
+func buildGeoGroups(baseHard, foreignHard []dataframe.Column, fx, fy *dataframe.NumericColumn, nForeign int) (lookup func(int) int, groups [][]geoPoint) {
+	nHard := len(foreignHard)
+	if hashJoinKeys {
+		if h := newJoinHasher(baseHard, foreignHard); h != nil {
+			index := make(map[uint64]int)
+			rep := make([]int, 0, 8) // group -> representative foreign row
+			collision := false
+			for i := 0; i < nForeign; i++ {
+				if fx.IsMissing(i) || fy.IsMissing(i) {
+					continue
+				}
+				hk, ok := h.foreignKey(i)
+				if !ok && nHard > 0 {
+					continue
+				}
+				g, seen := index[hk]
+				if !seen {
+					g = len(groups)
+					index[hk] = g
+					groups = append(groups, nil)
+					rep = append(rep, i)
+				} else if !h.eqFF(i, rep[g]) {
+					collision = true
+					break
+				}
+				groups[g] = append(groups[g], geoPoint{x: fx.Values[i], y: fy.Values[i], row: i})
+			}
+			if !collision {
+				return func(i int) int {
+					hk, ok := h.baseKey(i)
+					if !ok && nHard > 0 {
+						return -1
+					}
+					g, seen := index[hk]
+					if !seen || !h.eqBF(i, rep[g]) {
+						return -1
+					}
+					return g
+				}, groups
+			}
+			groups = nil
+		}
+	}
+	index := make(map[string]int)
+	for i := 0; i < nForeign; i++ {
+		if fx.IsMissing(i) || fy.IsMissing(i) {
+			continue
+		}
+		hk, ok := compositeKey(foreignHard, i)
+		if !ok && nHard > 0 {
+			continue
+		}
+		g, seen := index[hk]
+		if !seen {
+			g = len(groups)
+			index[hk] = g
+			groups = append(groups, nil)
+		}
+		groups[g] = append(groups[g], geoPoint{x: fx.Values[i], y: fy.Values[i], row: i})
+	}
+	return func(i int) int {
+		hk, ok := compositeKey(baseHard, i)
+		if !ok && nHard > 0 {
+			return -1
+		}
+		g, seen := index[hk]
+		if !seen {
+			return -1
+		}
+		return g
+	}, groups
 }

@@ -27,6 +27,14 @@ type Result struct {
 // rng drives categorical tie-breaking in two-way-nearest interpolation; it
 // may be nil when the method is not TwoWayNearest.
 func Execute(base, foreign *dataframe.Table, spec *Spec, rng *rand.Rand) (*Result, error) {
+	return ExecuteCached(base, foreign, spec, rng, nil)
+}
+
+// ExecuteCached is Execute with a preparation cache: when the same foreign
+// table was already aggregated/resampled under the same key set and
+// granularity, the prepared table is reused instead of recomputed. A nil
+// cache behaves exactly like Execute.
+func ExecuteCached(base, foreign *dataframe.Table, spec *Spec, rng *rand.Rand, cache *PrepCache) (*Result, error) {
 	if err := spec.Validate(base, foreign); err != nil {
 		return nil, err
 	}
@@ -43,7 +51,9 @@ func Execute(base, foreign *dataframe.Table, spec *Spec, rng *rand.Rand) (*Resul
 	}
 
 	// Pre-aggregate the foreign table so every key is unique (reduces
-	// one-to-many and many-to-many joins to the *-to-one case).
+	// one-to-many and many-to-many joins to the *-to-one case). The
+	// preparation depends only on (foreign, keys, granularity) — never on the
+	// base rows — so it is memoizable across batches and the materialize pass.
 	var prepared *dataframe.Table
 	var err error
 	if hasSoft && spec.TimeResample && spec.Method != GeoNearest {
@@ -52,9 +62,21 @@ func Execute(base, foreign *dataframe.Table, spec *Spec, rng *rand.Rand) (*Resul
 		for _, kp := range hard {
 			hardCols = append(hardCols, kp.ForeignColumn)
 		}
-		prepared, err = ResampleTime(foreign, soft.ForeignColumn, gran, hardCols)
+		ck := prepSpec("resample", append([]string{soft.ForeignColumn}, hardCols...), gran)
+		if prepared = cache.get(foreign, ck); prepared == nil {
+			prepared, err = ResampleTime(foreign, soft.ForeignColumn, gran, hardCols)
+			if err == nil {
+				cache.put(foreign, ck, prepared)
+			}
+		}
 	} else {
-		prepared, err = AggregateByKey(foreign, foreignKeyCols)
+		ck := prepSpec("aggregate", foreignKeyCols, 0)
+		if prepared = cache.get(foreign, ck); prepared == nil {
+			prepared, err = AggregateByKey(foreign, foreignKeyCols)
+			if err == nil {
+				cache.put(foreign, ck, prepared)
+			}
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -80,7 +102,8 @@ func baseGranularity(c dataframe.Column) int64 {
 }
 
 // hardJoin matches base rows to prepared foreign rows on exact composite-key
-// equality.
+// equality, hashing keys when the key columns support it and falling back to
+// string composite keys otherwise.
 func hardJoin(base, foreign *dataframe.Table, spec *Spec, prefix string) (*Result, error) {
 	baseCols := make([]dataframe.Column, len(spec.Keys))
 	foreignCols := make([]dataframe.Column, len(spec.Keys))
@@ -88,14 +111,23 @@ func hardJoin(base, foreign *dataframe.Table, spec *Spec, prefix string) (*Resul
 		baseCols[i] = base.Column(kp.BaseColumn)
 		foreignCols[i] = foreign.Column(kp.ForeignColumn)
 	}
-	index := make(map[string]int, foreign.NumRows())
-	for i := 0; i < foreign.NumRows(); i++ {
+	match, matched, ok := hashHardMatch(baseCols, foreignCols, base.NumRows(), foreign.NumRows())
+	if !ok {
+		match, matched = stringHardMatch(baseCols, foreignCols, base.NumRows(), foreign.NumRows())
+	}
+	return assemble(base, foreign.Gather(match), spec, prefix, matched)
+}
+
+// stringHardMatch is the string-composite-key match path, used when the
+// hashed plane cannot model the key columns or detected a hash collision.
+func stringHardMatch(baseCols, foreignCols []dataframe.Column, nBase, nForeign int) (match []int, matched int) {
+	index := make(map[string]int, nForeign)
+	for i := 0; i < nForeign; i++ {
 		if key, ok := compositeKey(foreignCols, i); ok {
 			index[key] = i
 		}
 	}
-	match := make([]int, base.NumRows())
-	matched := 0
+	match = make([]int, nBase)
 	for i := range match {
 		match[i] = -1
 		if key, ok := compositeKey(baseCols, i); ok {
@@ -105,13 +137,90 @@ func hardJoin(base, foreign *dataframe.Table, spec *Spec, prefix string) (*Resul
 			}
 		}
 	}
-	return assemble(base, foreign.Gather(match), spec, prefix, matched)
+	return match, matched
 }
 
 // softGroup holds a hard-key group's foreign rows sorted by soft-key value.
 type softGroup struct {
 	rows []int
 	keys []float64
+}
+
+// buildSoftGroups groups foreign rows by hard composite key (hashed plane
+// first, string keys on collision or unmodeled columns) and returns the
+// groups plus a base-row lookup resolving each base row to its group.
+func buildSoftGroups(baseHard, foreignHard []dataframe.Column, foreignSoftKey func(int) (float64, bool), nForeign int) (lookup func(int) *softGroup, all []*softGroup) {
+	if hashJoinKeys {
+		if h := newJoinHasher(baseHard, foreignHard); h != nil {
+			groups := make(map[uint64]*softGroup)
+			rep := make(map[uint64]int) // group hash -> representative foreign row
+			collision := false
+			for i := 0; i < nForeign; i++ {
+				hk, ok := h.foreignKey(i)
+				if !ok {
+					continue
+				}
+				sk, ok := foreignSoftKey(i)
+				if !ok {
+					continue
+				}
+				g := groups[hk]
+				if g == nil {
+					g = &softGroup{}
+					groups[hk] = g
+					rep[hk] = i
+					all = append(all, g)
+				} else if !h.eqFF(i, rep[hk]) {
+					collision = true
+					break
+				}
+				g.rows = append(g.rows, i)
+				g.keys = append(g.keys, sk)
+			}
+			if !collision {
+				return func(i int) *softGroup {
+					hk, ok := h.baseKey(i)
+					if !ok {
+						return nil
+					}
+					g := groups[hk]
+					if g == nil || !h.eqBF(i, rep[hk]) {
+						// A hit failing verification means the base key is
+						// absent (no second group can own this hash).
+						return nil
+					}
+					return g
+				}, all
+			}
+			all = nil
+		}
+	}
+	groups := make(map[string]*softGroup)
+	for i := 0; i < nForeign; i++ {
+		hk, ok := compositeKey(foreignHard, i)
+		if !ok {
+			continue
+		}
+		sk, ok := foreignSoftKey(i)
+		if !ok {
+			continue
+		}
+		g := groups[hk]
+		if g == nil {
+			g = &softGroup{}
+			groups[hk] = g
+			all = append(all, g)
+		}
+		g.rows = append(g.rows, i)
+		g.keys = append(g.keys, sk)
+	}
+	return func(i int) *softGroup {
+		hk, ok := compositeKey(baseHard, i)
+		if !ok {
+			return nil
+		}
+		return groups[hk]
+	}, all
 }
 
 // softJoin matches base rows by hard-key equality plus soft-key proximity.
@@ -131,25 +240,8 @@ func softJoin(base, foreign *dataframe.Table, spec *Spec, soft KeyPair, hard []K
 		return nil, err
 	}
 
-	groups := make(map[string]*softGroup)
-	for i := 0; i < foreign.NumRows(); i++ {
-		hk, ok := compositeKey(foreignHard, i)
-		if !ok {
-			continue
-		}
-		sk, ok := foreignSoftKey(i)
-		if !ok {
-			continue
-		}
-		g := groups[hk]
-		if g == nil {
-			g = &softGroup{}
-			groups[hk] = g
-		}
-		g.rows = append(g.rows, i)
-		g.keys = append(g.keys, sk)
-	}
-	for _, g := range groups {
+	lookup, all := buildSoftGroups(baseHard, foreignHard, foreignSoftKey, foreign.NumRows())
+	for _, g := range all {
 		order := make([]int, len(g.rows))
 		for i := range order {
 			order[i] = i
@@ -171,15 +263,11 @@ func softJoin(base, foreign *dataframe.Table, spec *Spec, soft KeyPair, hard []K
 	matched := 0
 	for i := 0; i < n; i++ {
 		low[i], high[i] = -1, -1
-		hk, ok := compositeKey(baseHard, i)
-		if !ok {
-			continue
-		}
 		x, ok := baseSoftKey(i)
 		if !ok {
 			continue
 		}
-		g := groups[hk]
+		g := lookup(i)
 		if g == nil || len(g.rows) == 0 {
 			continue
 		}

@@ -1,0 +1,81 @@
+package join
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/arda-ml/arda/internal/dataframe"
+)
+
+// PrepCache memoizes Execute's foreign-table preparation (key aggregation or
+// time resampling). The ARDA pipeline prepares the same candidate table at
+// least twice — once while scoring batches against the coreset and again when
+// materializing kept features over the full base table — and the preparation
+// depends only on the foreign table, the key set, and the resample
+// granularity, never on the base rows. Entries are keyed by the foreign
+// table's identity (pointer), so the cache is only valid while candidate
+// tables are not mutated; the pipeline guarantees that by joining into
+// fresh/cloned work tables. Create one cache per Augment run and drop it with
+// the run.
+type PrepCache struct {
+	mu sync.Mutex
+	m  map[prepKey]*dataframe.Table
+}
+
+// prepKey identifies one preparation of one foreign table.
+type prepKey struct {
+	table *dataframe.Table
+	spec  string // mode + key columns + granularity
+}
+
+// NewPrepCache returns an empty preparation cache.
+func NewPrepCache() *PrepCache {
+	return &PrepCache{m: make(map[prepKey]*dataframe.Table)}
+}
+
+// prepSpec renders the preparation parameters as a cache-key string. Column
+// names are length-prefixed so arbitrary names cannot alias two key sets.
+func prepSpec(mode string, keyCols []string, gran int64) string {
+	var b strings.Builder
+	b.WriteString(mode)
+	b.WriteByte(0)
+	b.WriteString(strconv.FormatInt(gran, 10))
+	for _, k := range keyCols {
+		b.WriteByte(0)
+		b.WriteString(strconv.Itoa(len(k)))
+		b.WriteByte(':')
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// get returns the cached preparation, or nil. A nil cache always misses.
+func (c *PrepCache) get(t *dataframe.Table, spec string) *dataframe.Table {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[prepKey{t, spec}]
+}
+
+// put stores a preparation. A nil cache drops it.
+func (c *PrepCache) put(t *dataframe.Table, spec string, prepared *dataframe.Table) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[prepKey{t, spec}] = prepared
+}
+
+// Len returns the number of cached preparations.
+func (c *PrepCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

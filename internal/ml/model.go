@@ -32,12 +32,24 @@ func (t Task) String() string {
 // Dataset is a dense supervised learning problem: an N×D row-major design
 // matrix X and a target vector Y. For classification, Y holds integer class
 // codes in [0, Classes).
+//
+// A Dataset may also be a column-subset *view* over another dataset's
+// storage (see View): X then holds the full backing matrix, stride is its
+// row width, and cols maps view column j to backing column cols[j]. Views
+// cost O(1) to create and read through At/RowTo without copying; Subset and
+// SelectFeatures materialize dense storage, so models — which train on
+// Subset outputs — never pay per-element indirection in their hot loops.
 type Dataset struct {
 	X       []float64
 	N, D    int
 	Y       []float64
 	Task    Task
 	Classes int
+
+	// cols is nil for dense datasets; for views it maps view columns to
+	// backing columns, and stride is the backing row width.
+	cols   []int
+	stride int
 }
 
 // NewDataset wraps the given storage, validating shape consistency.
@@ -54,47 +66,158 @@ func NewDataset(x []float64, n, d int, y []float64, task Task, classes int) (*Da
 	return &Dataset{X: x, N: n, D: d, Y: y, Task: task, Classes: classes}, nil
 }
 
-// Row returns sample i's feature vector as a subslice of the backing array.
-func (ds *Dataset) Row(i int) []float64 { return ds.X[i*ds.D : (i+1)*ds.D] }
+// IsView reports whether the dataset reads through column indirection.
+func (ds *Dataset) IsView() bool { return ds.cols != nil }
+
+// xIndex returns the backing-array index of entry (i, j).
+func (ds *Dataset) xIndex(i, j int) int {
+	if ds.cols == nil {
+		return i*ds.D + j
+	}
+	return i*ds.stride + ds.cols[j]
+}
+
+// Row returns sample i's feature vector. For dense datasets it is a subslice
+// of the backing array; for views it gathers into a fresh slice — hot loops
+// should use RowTo with a reused scratch buffer instead.
+func (ds *Dataset) Row(i int) []float64 {
+	if ds.cols == nil {
+		return ds.X[i*ds.D : (i+1)*ds.D]
+	}
+	return ds.RowTo(i, nil)
+}
+
+// RowTo gathers sample i's feature vector into dst (allocated when nil or too
+// short) and returns it. It is the index-indirection row accessor for views;
+// on dense datasets it copies.
+func (ds *Dataset) RowTo(i int, dst []float64) []float64 {
+	if cap(dst) < ds.D {
+		dst = make([]float64, ds.D)
+	}
+	dst = dst[:ds.D]
+	if ds.cols == nil {
+		copy(dst, ds.X[i*ds.D:(i+1)*ds.D])
+		return dst
+	}
+	row := ds.X[i*ds.stride : (i+1)*ds.stride]
+	for j, c := range ds.cols {
+		dst[j] = row[c]
+	}
+	return dst
+}
 
 // At returns feature j of sample i.
-func (ds *Dataset) At(i, j int) float64 { return ds.X[i*ds.D+j] }
+func (ds *Dataset) At(i, j int) float64 {
+	if ds.cols == nil {
+		return ds.X[i*ds.D+j]
+	}
+	return ds.X[i*ds.stride+ds.cols[j]]
+}
 
 // Label returns sample i's class code (classification only).
 func (ds *Dataset) Label(i int) int { return int(ds.Y[i]) }
 
-// Subset returns a dataset over the given sample indices; feature storage is
-// copied.
+// View returns an O(1) column-subset view sharing this dataset's storage:
+// no matrix is materialized and writes to the backing dataset show through.
+// Composing views composes the index maps, so a view of a view still does a
+// single indirection per access.
+func (ds *Dataset) View(cols []int) *Dataset {
+	mapped := make([]int, len(cols))
+	stride := ds.D
+	if ds.cols == nil {
+		copy(mapped, cols)
+	} else {
+		stride = ds.stride
+		for j, c := range cols {
+			mapped[j] = ds.cols[c]
+		}
+	}
+	return &Dataset{
+		X: ds.X, N: ds.N, D: len(cols), Y: ds.Y,
+		Task: ds.Task, Classes: ds.Classes,
+		cols: mapped, stride: stride,
+	}
+}
+
+// Subset returns a dense dataset over the given sample indices; feature
+// storage is copied (gathered through the column indirection for views).
 func (ds *Dataset) Subset(idx []int) *Dataset {
 	x := make([]float64, len(idx)*ds.D)
 	y := make([]float64, len(idx))
-	for r, i := range idx {
-		copy(x[r*ds.D:(r+1)*ds.D], ds.Row(i))
-		y[r] = ds.Y[i]
+	if ds.cols == nil {
+		for r, i := range idx {
+			copy(x[r*ds.D:(r+1)*ds.D], ds.X[i*ds.D:(i+1)*ds.D])
+			y[r] = ds.Y[i]
+		}
+	} else {
+		for r, i := range idx {
+			ds.RowTo(i, x[r*ds.D:(r+1)*ds.D])
+			y[r] = ds.Y[i]
+		}
 	}
 	return &Dataset{X: x, N: len(idx), D: ds.D, Y: y, Task: ds.Task, Classes: ds.Classes}
 }
 
-// SelectFeatures returns a dataset restricted to the given feature columns.
+// GatherSubsetInto fills x (row-major, len(rows)×len(cols)) and y with the
+// given samples restricted to cols, without allocating. It is the pooled-
+// scratch gather under copy-free subset scoring: callers own the buffers and
+// reuse them across evaluations.
+func (ds *Dataset) GatherSubsetInto(rows, cols []int, x, y []float64) {
+	d := len(cols)
+	if ds.cols == nil {
+		for r, i := range rows {
+			src := ds.X[i*ds.D : (i+1)*ds.D]
+			dst := x[r*d : (r+1)*d]
+			for jj, j := range cols {
+				dst[jj] = src[j]
+			}
+			y[r] = ds.Y[i]
+		}
+		return
+	}
+	for r, i := range rows {
+		src := ds.X[i*ds.stride : (i+1)*ds.stride]
+		dst := x[r*d : (r+1)*d]
+		for jj, j := range cols {
+			dst[jj] = src[ds.cols[j]]
+		}
+		y[r] = ds.Y[i]
+	}
+}
+
+// SelectFeatures returns a dense dataset restricted to the given feature
+// columns. Use View for an O(1) non-copying subset.
 func (ds *Dataset) SelectFeatures(cols []int) *Dataset {
 	x := make([]float64, ds.N*len(cols))
 	for i := 0; i < ds.N; i++ {
-		row := ds.Row(i)
 		for jj, j := range cols {
-			x[i*len(cols)+jj] = row[j]
+			x[i*len(cols)+jj] = ds.X[ds.xIndex(i, j)]
 		}
 	}
 	return &Dataset{X: x, N: ds.N, D: len(cols), Y: ds.Y, Task: ds.Task, Classes: ds.Classes}
 }
 
+// Materialize returns a dense copy of a view (itself when already dense).
+func (ds *Dataset) Materialize() *Dataset {
+	if ds.cols == nil {
+		return ds
+	}
+	cols := make([]int, ds.D)
+	for j := range cols {
+		cols[j] = j
+	}
+	return ds.SelectFeatures(cols)
+}
+
 // CleanNaNs replaces NaN feature entries with the per-column mean of the
 // non-NaN entries (0 if a column is entirely NaN), in place. Models in this
-// package require NaN-free inputs.
+// package require NaN-free inputs. On a view the fills write through to the
+// backing storage of the selected columns.
 func (ds *Dataset) CleanNaNs() {
 	for j := 0; j < ds.D; j++ {
 		sum, cnt := 0.0, 0
 		for i := 0; i < ds.N; i++ {
-			v := ds.X[i*ds.D+j]
+			v := ds.X[ds.xIndex(i, j)]
 			if !math.IsNaN(v) {
 				sum += v
 				cnt++
@@ -105,8 +228,8 @@ func (ds *Dataset) CleanNaNs() {
 			fill = sum / float64(cnt)
 		}
 		for i := 0; i < ds.N; i++ {
-			if math.IsNaN(ds.X[i*ds.D+j]) {
-				ds.X[i*ds.D+j] = fill
+			if k := ds.xIndex(i, j); math.IsNaN(ds.X[k]) {
+				ds.X[k] = fill
 			}
 		}
 	}

@@ -1,0 +1,137 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+// viewFixture is a 4×4 dense dataset with distinct entries.
+func viewFixture() *Dataset {
+	x := make([]float64, 16)
+	y := make([]float64, 4)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	for i := range y {
+		y[i] = float64(i)
+	}
+	ds, err := NewDataset(x, 4, 4, y, Regression, 0)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+func TestViewReadsThroughIndirection(t *testing.T) {
+	ds := viewFixture()
+	v := ds.View([]int{2, 0})
+	if !v.IsView() || ds.IsView() {
+		t.Fatal("IsView flags wrong")
+	}
+	if v.N != 4 || v.D != 2 {
+		t.Fatalf("view shape %dx%d", v.N, v.D)
+	}
+	for i := 0; i < 4; i++ {
+		if v.At(i, 0) != ds.At(i, 2) || v.At(i, 1) != ds.At(i, 0) {
+			t.Fatalf("row %d: At mismatch", i)
+		}
+	}
+	row := v.Row(1)
+	if row[0] != 6 || row[1] != 4 {
+		t.Fatalf("Row(1) = %v", row)
+	}
+	scratch := make([]float64, 2)
+	got := v.RowTo(2, scratch)
+	if &got[0] != &scratch[0] {
+		t.Fatal("RowTo did not reuse the scratch buffer")
+	}
+	if got[0] != 10 || got[1] != 8 {
+		t.Fatalf("RowTo(2) = %v", got)
+	}
+	// Writes to the backing dataset show through the view.
+	ds.X[1*4+2] = 99
+	if v.At(1, 0) != 99 {
+		t.Fatal("view did not observe backing write")
+	}
+}
+
+func TestViewComposes(t *testing.T) {
+	ds := viewFixture()
+	v := ds.View([]int{3, 1, 0})
+	vv := v.View([]int{2, 0}) // -> backing columns 0, 3
+	for i := 0; i < 4; i++ {
+		if vv.At(i, 0) != ds.At(i, 0) || vv.At(i, 1) != ds.At(i, 3) {
+			t.Fatalf("composed view row %d mismatch", i)
+		}
+	}
+}
+
+func TestViewSubsetAndSelectFeaturesMaterializeDense(t *testing.T) {
+	ds := viewFixture()
+	v := ds.View([]int{1, 3})
+	sub := v.Subset([]int{2, 0})
+	if sub.IsView() {
+		t.Fatal("Subset of a view must be dense")
+	}
+	want := []float64{9, 11, 1, 3}
+	for i, w := range want {
+		if sub.X[i] != w {
+			t.Fatalf("Subset X = %v, want %v", sub.X, want)
+		}
+	}
+	sel := v.SelectFeatures([]int{1})
+	if sel.IsView() {
+		t.Fatal("SelectFeatures of a view must be dense")
+	}
+	for i := 0; i < 4; i++ {
+		if sel.X[i] != ds.At(i, 3) {
+			t.Fatalf("SelectFeatures X = %v", sel.X)
+		}
+	}
+	mat := v.Materialize()
+	if mat.IsView() || mat.D != 2 || mat.At(2, 1) != v.At(2, 1) {
+		t.Fatal("Materialize broken")
+	}
+	if ds.Materialize() != ds {
+		t.Fatal("Materialize of dense dataset must be identity")
+	}
+}
+
+func TestViewGatherSubsetInto(t *testing.T) {
+	ds := viewFixture()
+	rows := []int{3, 1}
+	cols := []int{2, 0}
+	x := make([]float64, 4)
+	y := make([]float64, 2)
+	ds.GatherSubsetInto(rows, cols, x, y)
+	want := []float64{14, 12, 6, 4}
+	for i, w := range want {
+		if x[i] != w {
+			t.Fatalf("dense gather = %v, want %v", x, want)
+		}
+	}
+	if y[0] != 3 || y[1] != 1 {
+		t.Fatalf("dense gather y = %v", y)
+	}
+	v := ds.View([]int{2, 0, 1})
+	v.GatherSubsetInto(rows, []int{0, 1}, x, y)
+	for i, w := range want {
+		if x[i] != w {
+			t.Fatalf("view gather = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestViewCleanNaNsWritesThrough(t *testing.T) {
+	ds := viewFixture()
+	ds.X[0*4+1] = math.NaN() // column 1: NaN, 5, 9, 13 -> mean 9
+	ds.X[2*4+3] = math.NaN() // column 3 untouched by the view below
+	v := ds.View([]int{1})
+	v.CleanNaNs()
+	if ds.At(0, 1) != 9 {
+		t.Fatalf("CleanNaNs fill = %v, want column mean 9", ds.At(0, 1))
+	}
+	if !math.IsNaN(ds.At(2, 3)) {
+		t.Fatal("CleanNaNs on a view must not touch unselected columns")
+	}
+}

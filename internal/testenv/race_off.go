@@ -1,0 +1,6 @@
+//go:build !race
+
+package testenv
+
+// RaceEnabled reports whether the race detector is compiled into the binary.
+const RaceEnabled = false

@@ -1,0 +1,5 @@
+// Package testenv exposes build-environment facts tests adapt to. The main
+// consumer is the allocation-regression suite: testing.AllocsPerRun counts
+// the race detector's own bookkeeping allocations, so alloc tests skip when
+// RaceEnabled is true and run in the dedicated non-race `make alloc` gate.
+package testenv
