@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race alloc bench bench-parallel bench-dataplane
+.PHONY: check vet build test race alloc bench bench-parallel bench-dataplane trace-smoke bench-stages
 
-check: vet build race alloc
+check: vet build race alloc trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,7 +35,24 @@ bench-parallel:
 
 # Allocation-regression gate: the AllocsPerRun tests that skip under -race.
 alloc:
-	$(GO) test -run 'Allocs' ./internal/join/ ./internal/dataframe/ ./internal/eval/
+	$(GO) test -run 'Allocs' ./internal/join/ ./internal/dataframe/ ./internal/eval/ ./internal/obs/
+
+# Observability smoke: generate a small corpus, run the full pipeline with
+# -v and -trace, then validate the NDJSON event stream covers every stage.
+trace-smoke:
+	@rm -rf /tmp/arda-trace-smoke && mkdir -p /tmp/arda-trace-smoke
+	$(GO) run ./cmd/datagen -corpus poverty -scale 0.2 -out /tmp/arda-trace-smoke/data
+	$(GO) run ./cmd/arda -dir /tmp/arda-trace-smoke/data -base poverty -target poverty_rate \
+		-size 192 -seed 1 -v -trace /tmp/arda-trace-smoke/trace.ndjson \
+		-out /tmp/arda-trace-smoke/augmented.csv
+	$(GO) run ./cmd/tracecheck \
+		-stages prefilter,coreset,join,impute,select,materialize,evaluate \
+		/tmp/arda-trace-smoke/trace.ndjson
+
+# Stage-cost breakdown over the five corpora via the tracing layer; writes
+# BENCH_stages.json.
+bench-stages:
+	$(GO) run ./cmd/ardabench -quick -exp stages -stages-out BENCH_stages.json
 
 # Data-plane benchmarks: hashed vs string join keys, cached vs cold encode,
 # pooled vs materialized subset scoring. Writes a benchstat-comparable JSON

@@ -20,6 +20,7 @@ package arda
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -32,6 +33,7 @@ import (
 	"github.com/arda-ml/arda/internal/discovery"
 	"github.com/arda-ml/arda/internal/featsel"
 	"github.com/arda-ml/arda/internal/join"
+	"github.com/arda-ml/arda/internal/obs"
 )
 
 // Table is a named, typed columnar table — the unit of data ARDA operates
@@ -173,6 +175,41 @@ type RIFSConfig = featsel.RIFSConfig
 // trade selection quality against speed (e.g. fewer repetitions K or smaller
 // ranking forests on very large repositories).
 func NewRIFS(cfg RIFSConfig) Selector { return &featsel.RIFS{Config: cfg} }
+
+// Trace is the observability root of one Augment run: hierarchical stage
+// spans plus run counters. Create one with NewTrace, set it on
+// Options.Trace, and read the finished snapshot from Result.Trace.
+type Trace = obs.Trace
+
+// RunStats is a finished trace's snapshot: the stage-cost span tree and the
+// final counter values. Render() draws the tree; StageTotals() aggregates
+// durations by stage name.
+type RunStats = obs.RunStats
+
+// TraceSink consumes a trace's event stream (spans as they end, counters at
+// the end of the run).
+type TraceSink = obs.Sink
+
+// TraceEvent is one record of the trace event stream — also the NDJSON line
+// schema written by NewTraceWriter.
+type TraceEvent = obs.Event
+
+// NewTrace starts an augmentation trace streaming to the given sinks (none
+// is fine: the in-memory tree in Result.Trace is always built). Create one
+// trace per Augment call.
+func NewTrace(sinks ...TraceSink) *Trace { return obs.New("augment", sinks...) }
+
+// NewTraceCollector returns a sink buffering every trace event in memory.
+func NewTraceCollector() *obs.Collector { return &obs.Collector{} }
+
+// NewTraceWriter returns a sink streaming trace events to w as NDJSON, one
+// event per line, written as spans end.
+func NewTraceWriter(w io.Writer) *obs.NDJSONSink { return obs.NewNDJSONSink(w) }
+
+// PublishTraceExpvar exports the trace's counters as the expvar variable
+// "arda.counters", served on /debug/vars by net/http servers using the
+// default mux (see cmd/arda's -pprof flag).
+func PublishTraceExpvar(t *Trace) { obs.PublishExpvar(t) }
 
 // Augment runs the ARDA pipeline and returns the augmented table together
 // with base-vs-augmented model scores. See Options for tuning knobs; the

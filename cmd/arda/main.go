@@ -10,22 +10,24 @@
 // Flags tune the pipeline: -selector picks the feature-selection method
 // (default RIFS), -plan the join plan (budget|table|full), -coreset the
 // row-reduction strategy (uniform|stratified|sketch), -tau enables the
-// Tuple-Ratio prefilter.
+// Tuple-Ratio prefilter. Observability: -v streams live stage progress to
+// stderr, -trace writes the run's span/counter event stream as NDJSON, and
+// -pprof serves net/http/pprof plus the run counters as the expvar
+// "arda.counters".
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"net/http"
+	_ "net/http/pprof" // register /debug/pprof on the default mux
 	"os"
 
 	"github.com/arda-ml/arda"
+	"github.com/arda-ml/arda/internal/cli"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("arda: ")
-
 	var (
 		mode       = flag.String("mode", "augment", "augment | discover (list candidate joins) | describe (profile tables)")
 		dir        = flag.String("dir", ".", "directory of CSV files (base table + repository)")
@@ -44,13 +46,16 @@ func main() {
 		knnImpute  = flag.Int("knn-impute", 0, "use k-nearest-neighbour imputation with this k (0 = median/random)")
 		sig        = flag.Int("significance", 0, "bootstrap resamples for the augmentation significance test (0 = off)")
 		workers    = flag.Int("workers", 0, "max parallel workers (0 = all cores); results are identical for any value")
-		verbose    = flag.Bool("v", false, "log pipeline progress")
+		verbose    = flag.Bool("v", false, "stream pipeline progress and the stage-cost tree to stderr")
+		traceFile  = flag.String("trace", "", "write the run's trace event stream to this file as NDJSON")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and expvar run counters on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	cli.Setup("arda", *verbose)
 
 	tables, err := arda.LoadCSVDir(*dir)
 	if err != nil {
-		log.Fatalf("loading %s: %v", *dir, err)
+		cli.Fatalf("loading %s: %v", *dir, err)
 	}
 	if *mode == "describe" {
 		for _, t := range tables {
@@ -72,7 +77,7 @@ func main() {
 		}
 	}
 	if base == nil {
-		log.Fatalf("base table %q not found in %s (%d tables loaded)", *baseName, *dir, len(tables))
+		cli.Fatalf("base table %q not found in %s (%d tables loaded)", *baseName, *dir, len(tables))
 	}
 
 	opts := arda.Options{
@@ -86,10 +91,34 @@ func main() {
 		Workers:       *workers,
 	}
 	if *verbose {
-		opts.Logf = func(format string, args ...any) {
-			fmt.Printf("  [arda] "+format+"\n", args...)
-		}
+		opts.Logf = cli.Progressf
 	}
+
+	// Observability: a trace is attached when anything will consume it — an
+	// NDJSON file, the verbose stage tree, or a pprof/expvar endpoint.
+	var sinks []arda.TraceSink
+	var traceOut *os.File
+	if *traceFile != "" {
+		traceOut, err = os.Create(*traceFile)
+		if err != nil {
+			cli.Fatalf("creating trace file: %v", err)
+		}
+		sinks = append(sinks, arda.NewTraceWriter(traceOut))
+	}
+	if *traceFile != "" || *verbose || *pprofAddr != "" {
+		opts.Trace = arda.NewTrace(sinks...)
+	}
+	if *pprofAddr != "" {
+		arda.PublishTraceExpvar(opts.Trace)
+		ln := *pprofAddr
+		go func() {
+			if err := http.ListenAndServe(ln, nil); err != nil {
+				cli.Errorf("pprof server: %v", err)
+			}
+		}()
+		cli.Noticef("pprof/expvar serving on http://%s/debug/pprof (counters at /debug/vars)", ln)
+	}
+
 	switch *plan {
 	case "budget":
 		opts.Plan = arda.BudgetJoin
@@ -98,7 +127,7 @@ func main() {
 	case "full":
 		opts.Plan = arda.FullMaterialization
 	default:
-		log.Fatalf("unknown plan %q", *plan)
+		cli.Fatalf("unknown plan %q", *plan)
 	}
 	switch *strategy {
 	case "uniform":
@@ -110,7 +139,7 @@ func main() {
 	case "leverage":
 		opts.CoresetStrategy = arda.CoresetLeverage
 	default:
-		log.Fatalf("unknown coreset strategy %q", *strategy)
+		cli.Fatalf("unknown coreset strategy %q", *strategy)
 	}
 	switch *softJoin {
 	case "2way":
@@ -120,11 +149,11 @@ func main() {
 	case "hard":
 		opts.SoftMethod = arda.HardExact
 	default:
-		log.Fatalf("unknown soft-join method %q", *softJoin)
+		cli.Fatalf("unknown soft-join method %q", *softJoin)
 	}
 	sel, err := arda.NewSelector(arda.Method(*selector))
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatalf("%v", err)
 	}
 	opts.Selector = sel
 
@@ -159,7 +188,7 @@ func main() {
 
 	res, err := arda.Augment(base, cands, opts)
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatalf("%v", err)
 	}
 
 	fmt.Printf("\nbase score:      %.4f\n", res.BaseScore)
@@ -168,19 +197,27 @@ func main() {
 	for _, name := range res.KeptTables {
 		fmt.Printf("  + %s\n", name)
 	}
-	if res.CandidatesFiltered > 0 {
-		fmt.Printf("TR prefilter removed %d tables\n", res.CandidatesFiltered)
-	}
+	fmt.Printf("candidates: %d considered → %d after dedupe → %d after tuple-ratio\n",
+		res.CandidatesConsidered, res.CandidatesDeduped, res.CandidatesDeduped-res.CandidatesFiltered)
 	if res.Significance != nil {
 		s := res.Significance
 		fmt.Printf("significance: Δ=%.4f  p=%.3f  95%% CI [%.4f, %.4f]\n",
 			s.MeanDelta, s.PValue, s.CI95[0], s.CI95[1])
 	}
 	fmt.Printf("elapsed: %s (selection %s)\n", res.Elapsed.Round(1e7), res.SelectionElapsed.Round(1e7))
+	if res.Trace != nil {
+		cli.Dump(res.Trace.Render())
+	}
+	if traceOut != nil {
+		if err := traceOut.Close(); err != nil {
+			cli.Fatalf("writing trace file: %v", err)
+		}
+		cli.Noticef("trace written to %s", *traceFile)
+	}
 
 	if *out != "" {
 		if err := res.Table.WriteCSVFile(*out); err != nil {
-			log.Fatalf("writing %s: %v", *out, err)
+			cli.Fatalf("writing %s: %v", *out, err)
 		}
 		fmt.Printf("augmented table written to %s (%d columns)\n", *out, res.Table.NumCols())
 	}

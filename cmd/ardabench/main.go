@@ -14,27 +14,27 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"strings"
 	"time"
 
+	"github.com/arda-ml/arda/internal/cli"
 	"github.com/arda-ml/arda/internal/experiments"
 	"github.com/arda-ml/arda/internal/parallel"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("ardabench: ")
-
 	var (
-		expList = flag.String("exp", "all", "comma-separated experiments: fig3, fig4, fig5, fig6, table1, table2, table3, table4, table5, table6, ablation, extensions, all")
-		quick   = flag.Bool("quick", false, "run at reduced scale")
-		seed    = flag.Int64("seed", 1, "random seed")
-		out     = flag.String("out", "", "also write the report to this file")
-		workers = flag.Int("workers", 0, "max parallel workers (0 = all cores); results are identical for any value")
+		expList   = flag.String("exp", "all", "comma-separated experiments: fig3, fig4, fig5, fig6, table1, table2, table3, table4, table5, table6, ablation, extensions, stages, all")
+		quick     = flag.Bool("quick", false, "run at reduced scale")
+		seed      = flag.Int64("seed", 1, "random seed")
+		out       = flag.String("out", "", "also write the report to this file")
+		stagesOut = flag.String("stages-out", "BENCH_stages.json", "write the stage-cost breakdown JSON here when the stages experiment runs")
+		workers   = flag.Int("workers", 0, "max parallel workers (0 = all cores); results are identical for any value")
+		verbose   = flag.Bool("v", false, "stream experiment progress to stderr")
 	)
 	flag.Parse()
+	cli.Setup("ardabench", *verbose)
 	parallel.SetMaxWorkers(*workers)
 
 	scale := experiments.Full
@@ -173,13 +173,33 @@ func main() {
 			return nil
 		})
 	}
+	if all || want["stages"] {
+		run("Stage breakdown", func() error {
+			r, err := experiments.StageBreakdown(scale, *seed)
+			if err != nil {
+				return err
+			}
+			emit(r.Render())
+			if *stagesOut != "" {
+				doc, err := r.JSON()
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*stagesOut, doc, 0o644); err != nil {
+					return err
+				}
+				cli.Noticef("stage breakdown written to %s", *stagesOut)
+			}
+			return nil
+		})
+	}
 	_ = t1
 	_ = micro
 	fmt.Printf("total: %s\n", time.Since(start).Round(time.Second))
 
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(report.String()), 0o644); err != nil {
-			log.Fatalf("writing %s: %v", *out, err)
+			cli.Fatalf("writing %s: %v", *out, err)
 		}
 		fmt.Printf("report written to %s\n", *out)
 	}
@@ -189,8 +209,9 @@ func main() {
 func run(name string, f func() error) {
 	start := time.Now()
 	fmt.Printf("== %s ==\n", name)
+	cli.Progressf("starting %s", name)
 	if err := f(); err != nil {
-		log.Fatalf("%s: %v", name, err)
+		cli.Fatalf("%s: %v", name, err)
 	}
 	fmt.Printf("(%s in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
 }

@@ -8,10 +8,11 @@ package main
 import (
 	"bufio"
 	"encoding/json"
-	"fmt"
 	"os"
 	"strconv"
 	"strings"
+
+	"github.com/arda-ml/arda/internal/cli"
 )
 
 // result is one parsed benchmark line.
@@ -96,6 +97,7 @@ func ratio(old, new float64) float64 {
 }
 
 func main() {
+	cli.Setup("benchjson", false)
 	rep := report{GeneratedBy: "make bench-dataplane"}
 	byName := map[string]result{}
 	sc := bufio.NewScanner(os.Stdin)
@@ -111,8 +113,7 @@ func main() {
 		byName[r.Name] = r
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		cli.Fatalf("%v", err)
 	}
 	for _, r := range rep.Results {
 		i := strings.LastIndex(r.Name, "/")
@@ -142,7 +143,6 @@ func main() {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		cli.Fatalf("%v", err)
 	}
 }

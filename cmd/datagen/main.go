@@ -11,24 +11,23 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 
+	"github.com/arda-ml/arda/internal/cli"
 	"github.com/arda-ml/arda/internal/synth"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("datagen: ")
-
 	var (
-		corpus = flag.String("corpus", "taxi", "corpus: taxi | pickup | poverty | school-s | school-l")
-		out    = flag.String("out", "data", "output directory")
-		seed   = flag.Int64("seed", 1, "random seed")
-		scale  = flag.Float64("scale", 1.0, "row-count scale factor")
+		corpus  = flag.String("corpus", "taxi", "corpus: taxi | pickup | poverty | school-s | school-l")
+		out     = flag.String("out", "data", "output directory")
+		seed    = flag.Int64("seed", 1, "random seed")
+		scale   = flag.Float64("scale", 1.0, "row-count scale factor")
+		verbose = flag.Bool("v", false, "log each table as it is written")
 	)
 	flag.Parse()
+	cli.Setup("datagen", *verbose)
 
 	gens := map[string]func(synth.Config) *synth.Corpus{
 		"taxi":     synth.Taxi,
@@ -39,23 +38,24 @@ func main() {
 	}
 	gen, ok := gens[*corpus]
 	if !ok {
-		log.Fatalf("unknown corpus %q", *corpus)
+		cli.Fatalf("unknown corpus %q", *corpus)
 	}
 	c := gen(synth.Config{Seed: *seed, Scale: *scale})
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatal(err)
+		cli.Fatalf("%v", err)
 	}
 	basePath := filepath.Join(*out, c.Base.Name()+".csv")
 	if err := c.Base.WriteCSVFile(basePath); err != nil {
-		log.Fatal(err)
+		cli.Fatalf("%v", err)
 	}
 	fmt.Printf("base:   %s (%d rows, target %q)\n", basePath, c.Base.NumRows(), c.Target)
 	for _, t := range c.Repo {
 		path := filepath.Join(*out, t.Name()+".csv")
 		if err := t.WriteCSVFile(path); err != nil {
-			log.Fatal(err)
+			cli.Fatalf("%v", err)
 		}
+		cli.Progressf("wrote %s (%d rows)", path, t.NumRows())
 	}
 	fmt.Printf("repo:   %d tables written to %s\n", len(c.Repo), *out)
 	relevant := make([]string, 0, len(c.RelevantTables))

@@ -1,0 +1,171 @@
+// Command tracecheck validates an NDJSON pipeline trace (written by
+// `arda -trace file`) against the span-event schema: every line must be a
+// well-formed event of a known type with sane fields, span paths must be
+// rooted, and exactly one terminal "run" event must close the stream. With
+// -stages it additionally requires span coverage of the named pipeline
+// stages — the `make trace-smoke` gate.
+//
+// Usage:
+//
+//	tracecheck trace.ndjson
+//	tracecheck -stages prefilter,coreset,join,impute,select,materialize,evaluate trace.ndjson
+//	arda ... -trace /dev/stdout | tracecheck -
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/arda-ml/arda/internal/cli"
+	"github.com/arda-ml/arda/internal/obs"
+)
+
+func main() {
+	var (
+		stages  = flag.String("stages", "", "comma-separated span names that must appear in the trace")
+		verbose = flag.Bool("v", false, "print a per-type event summary")
+	)
+	flag.Parse()
+	cli.Setup("tracecheck", *verbose)
+
+	in := os.Stdin
+	src := "stdin"
+	if flag.NArg() > 1 {
+		cli.Fatalf("at most one trace file argument, got %d", flag.NArg())
+	}
+	if flag.NArg() == 1 && flag.Arg(0) != "-" {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			cli.Fatalf("%v", err)
+		}
+		defer f.Close()
+		in = f
+		src = flag.Arg(0)
+	}
+
+	required := map[string]bool{}
+	for _, s := range strings.Split(*stages, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			required[s] = true
+		}
+	}
+
+	summary, err := validate(in, required)
+	if err != nil {
+		cli.Fatalf("%s: %v", src, err)
+	}
+	fmt.Printf("trace OK: %d spans, %d counters, root %q (%d distinct span names)\n",
+		summary.spans, summary.counters, summary.root, len(summary.names))
+	cli.Progressf("span names: %s", strings.Join(summary.sortedNames(), ", "))
+}
+
+// summary accumulates what the trace contained.
+type summary struct {
+	spans, counters int
+	root            string
+	names           map[string]int
+}
+
+func (s *summary) sortedNames() []string {
+	names := make([]string, 0, len(s.names))
+	for n := range s.names {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+// validate checks every NDJSON line against the obs.Event schema and the
+// stream-level invariants, then the required stage coverage.
+func validate(r io.Reader, required map[string]bool) (*summary, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	sum := &summary{names: map[string]int{}}
+	runSeen := false
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			return nil, fmt.Errorf("line %d: empty line", line)
+		}
+		if runSeen {
+			return nil, fmt.Errorf("line %d: event after the terminal run event", line)
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var ev obs.Event
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("line %d: not a valid trace event: %v", line, err)
+		}
+		if ev.Name == "" {
+			return nil, fmt.Errorf("line %d: event has no name", line)
+		}
+		if ev.DurUS < 0 || ev.StartUS < 0 {
+			return nil, fmt.Errorf("line %d: negative timing (start_us=%d dur_us=%d)", line, ev.StartUS, ev.DurUS)
+		}
+		switch ev.Type {
+		case obs.EventSpan:
+			if ev.Path == "" {
+				return nil, fmt.Errorf("line %d: span %q has no path", line, ev.Name)
+			}
+			if ev.Ord < 0 {
+				return nil, fmt.Errorf("line %d: span %q has negative ord", line, ev.Name)
+			}
+			root := ev.Path
+			if i := strings.IndexByte(root, '/'); i >= 0 {
+				root = root[:i]
+			}
+			if sum.root == "" {
+				sum.root = root
+			} else if root != sum.root {
+				return nil, fmt.Errorf("line %d: span path %q not rooted at %q", line, ev.Path, sum.root)
+			}
+			sum.spans++
+			sum.names[ev.Name]++
+		case obs.EventCounter:
+			sum.counters++
+		case obs.EventRun:
+			runSeen = true
+		default:
+			return nil, fmt.Errorf("line %d: unknown event type %q", line, ev.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if line == 0 {
+		return nil, fmt.Errorf("trace is empty")
+	}
+	if !runSeen {
+		return nil, fmt.Errorf("missing terminal run event")
+	}
+	if sum.spans == 0 {
+		return nil, fmt.Errorf("trace has no span events")
+	}
+	var missing []string
+	for stage := range required {
+		if sum.names[stage] == 0 {
+			missing = append(missing, stage)
+		}
+	}
+	if len(missing) > 0 {
+		for i := 1; i < len(missing); i++ {
+			for j := i; j > 0 && missing[j] < missing[j-1]; j-- {
+				missing[j], missing[j-1] = missing[j-1], missing[j]
+			}
+		}
+		return nil, fmt.Errorf("required stages missing from trace: %s", strings.Join(missing, ", "))
+	}
+	return sum, nil
+}

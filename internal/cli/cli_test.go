@@ -1,0 +1,59 @@
+package cli
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// swap redirects the package's stderr and exit for one test.
+func swap(t *testing.T) (*bytes.Buffer, *int) {
+	t.Helper()
+	var buf bytes.Buffer
+	code := -1
+	mu.Lock()
+	prevW, prevExit, prevName, prevV := stderr, exit, name, verbose
+	stderr = &buf
+	exit = func(c int) { code = c }
+	mu.Unlock()
+	t.Cleanup(func() {
+		mu.Lock()
+		stderr, exit, name, verbose = prevW, prevExit, prevName, prevV
+		mu.Unlock()
+	})
+	return &buf, &code
+}
+
+func TestProgressfHonorsVerbose(t *testing.T) {
+	buf, _ := swap(t)
+	Setup("tool", false)
+	Progressf("hidden %d", 1)
+	Dump("hidden block\n")
+	if buf.Len() != 0 {
+		t.Fatalf("quiet mode wrote: %q", buf.String())
+	}
+	Setup("tool", true)
+	Progressf("shown %d", 2)
+	Dump("block\n")
+	out := buf.String()
+	if !strings.Contains(out, "tool: shown 2\n") || !strings.Contains(out, "block\n") {
+		t.Fatalf("verbose output wrong: %q", out)
+	}
+}
+
+func TestErrorfAndFatalf(t *testing.T) {
+	buf, code := swap(t)
+	Setup("tool", false)
+	Errorf("bad %s", "thing")
+	if got := buf.String(); !strings.Contains(got, "tool: error: bad thing\n") {
+		t.Fatalf("error output wrong: %q", got)
+	}
+	Fatalf("fatal")
+	if *code != 1 {
+		t.Fatalf("Fatalf exit code = %d, want 1", *code)
+	}
+	Noticef("note")
+	if !strings.Contains(buf.String(), "tool: note\n") {
+		t.Fatalf("notice missing: %q", buf.String())
+	}
+}

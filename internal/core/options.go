@@ -15,6 +15,7 @@ import (
 	"github.com/arda-ml/arda/internal/featsel"
 	"github.com/arda-ml/arda/internal/join"
 	"github.com/arda-ml/arda/internal/ml"
+	"github.com/arda-ml/arda/internal/obs"
 )
 
 // PlanKind selects the table-grouping strategy for the join plan (§4 "Table
@@ -98,6 +99,14 @@ type Options struct {
 	// Logf, when set, receives progress lines (batch starts, selections,
 	// materialization) during the run.
 	Logf func(format string, args ...any)
+	// Trace, when set, receives hierarchical stage spans (prefilter, coreset,
+	// per-batch join/impute/select, materialize, evaluate) and run counters;
+	// Augment finishes the trace and stores the snapshot in Result.Trace.
+	// Create one obs.Trace per run. Tracing only observes: output is
+	// bit-identical with Trace nil (the default, which costs nothing) or set.
+	// If Augment returns an error the trace is left unfinished so the caller
+	// can still Finish it for the partial span tree.
+	Trace *obs.Trace
 }
 
 // logf forwards to Options.Logf when configured.
@@ -165,9 +174,11 @@ type Result struct {
 	EstimatorName string
 	// Batches reports each executed batch.
 	Batches []BatchReport
-	// CandidatesConsidered and CandidatesFiltered count the join candidates
-	// examined and those removed by the Tuple-Ratio prefilter.
-	CandidatesConsidered, CandidatesFiltered int
+	// CandidatesConsidered, CandidatesDeduped, and CandidatesFiltered report
+	// the prefilter attrition: candidates as passed in, remaining after
+	// deduplication, and removed by the Tuple-Ratio prefilter (so the count
+	// entering the join plan is CandidatesDeduped - CandidatesFiltered).
+	CandidatesConsidered, CandidatesDeduped, CandidatesFiltered int
 	// Elapsed is the total wall-clock duration.
 	Elapsed time.Duration
 	// SelectionElapsed is the time spent inside feature selection.
@@ -175,4 +186,8 @@ type Result struct {
 	// Significance holds the paired bootstrap comparison of the augmented
 	// model against the base model when Options.Significance > 0.
 	Significance *eval.SignificanceResult
+	// Trace is the finished observability snapshot — the stage-cost span
+	// tree plus run counters — when Options.Trace was set; nil otherwise.
+	// Render it with Trace.Render() or aggregate with Trace.StageTotals().
+	Trace *obs.RunStats
 }

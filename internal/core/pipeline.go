@@ -14,6 +14,7 @@ import (
 	"github.com/arda-ml/arda/internal/eval"
 	"github.com/arda-ml/arda/internal/join"
 	"github.com/arda-ml/arda/internal/ml"
+	"github.com/arda-ml/arda/internal/obs"
 	"github.com/arda-ml/arda/internal/parallel"
 )
 
@@ -32,13 +33,20 @@ const (
 	seedStageFinal
 )
 
-// stageRNG derives an independent RNG from the run seed and a stage/id path
-// via repeated seed splitting.
-func stageRNG(seed int64, ids ...int64) *rand.Rand {
+// stageSeed folds a stage/id path into the run seed via repeated seed
+// splitting; stageRNG turns the result into an independent RNG. Split out so
+// the seed-path uniqueness test exercises exactly the derivation the
+// pipeline uses.
+func stageSeed(seed int64, ids ...int64) int64 {
 	for _, id := range ids {
 		seed = parallel.SplitSeed(seed, id)
 	}
-	return rand.New(rand.NewSource(seed))
+	return seed
+}
+
+// stageRNG derives an independent RNG from the run seed and a stage/id path.
+func stageRNG(seed int64, ids ...int64) *rand.Rand {
+	return rand.New(rand.NewSource(stageSeed(seed, ids...)))
 }
 
 // Augment runs the full ARDA pipeline: prefilter and plan the candidate
@@ -65,9 +73,29 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 		estimator = automl.DefaultEstimator(opts.Seed)
 	}
 
-	cands = DedupeCandidates(base, cands)
+	// Tracing is observational only: spans and counters never feed back into
+	// the pipeline and draw no randomness, so every obs call below is a
+	// no-op (and free) when opts.Trace is nil.
+	tr := opts.Trace
+	root := tr.Root()
+	cRowsMatched := tr.Counter("join.rows_matched")
+	cCandScored := tr.Counter("join.candidates_scored")
+	cCandSkipped := tr.Counter("join.candidates_skipped")
+	cFeatOffered := tr.Counter("select.features_offered")
+	cFeatKept := tr.Counter("select.features_kept")
+
+	span := root.Child("prefilter", 0)
 	res := &Result{CandidatesConsidered: len(cands)}
+	cands = DedupeCandidates(base, cands)
+	res.CandidatesDeduped = len(cands)
 	cands, res.CandidatesFiltered = FilterTupleRatio(base.NumRows(), cands, opts.TupleRatioTau)
+	span.SetInt("considered", int64(res.CandidatesConsidered))
+	span.SetInt("after_dedupe", int64(res.CandidatesDeduped))
+	span.SetInt("after_tuple_ratio", int64(len(cands)))
+	tr.Gauge("candidates.considered").Set(int64(res.CandidatesConsidered))
+	tr.Gauge("candidates.after_dedupe").Set(int64(res.CandidatesDeduped))
+	tr.Gauge("candidates.after_tuple_ratio").Set(int64(len(cands)))
+	span.End()
 
 	size := opts.CoresetSize
 	if size <= 0 {
@@ -83,6 +111,7 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 	// and sketches each batch's numeric view. The clone matters: batch
 	// imputation mutates columns in place and must never leak into the
 	// caller's table.
+	span = root.Child("coreset", 0)
 	joinBase := base.Clone()
 	if opts.CoresetStrategy != coreset.Sketch && size < base.NumRows() {
 		rng := stageRNG(opts.Seed, seedStageCoreset)
@@ -108,6 +137,9 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 		sort.Ints(idx)
 		joinBase = base.Gather(idx)
 	}
+	span.SetInt("rows_in", int64(base.NumRows()))
+	span.SetInt("rows_out", int64(joinBase.NumRows()))
+	span.End()
 
 	plan := BuildPlan(cands, opts.Plan, budget)
 	opts.logf("plan: %s, %d candidates in %d batches (budget %d features, coreset %d rows)",
@@ -138,6 +170,8 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 	keptByCandidate := make([][]string, len(cands)) // candidate ordinal -> kept source columns (unprefixed)
 
 	for bi, batch := range plan {
+		batchSpan := root.Child("batch", bi)
+		joinSpan := batchSpan.Child("join", 0)
 		work := dataframe.MustNewTable(accum.Name(), accum.Columns()...)
 		type added struct {
 			ordinal int
@@ -150,22 +184,35 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 			ord := batchOffset[bi] + ci
 			prefix := prefixOf[ord]
 			spec := specFor(cand, opts, prefix)
+			candSpan := joinSpan.Child("join.cand", ord)
+			candSpan.SetLabel(cand.Table.Name())
 			jr, err := join.ExecuteCached(work, cand.Table, spec,
 				stageRNG(opts.Seed, seedStageJoin, int64(bi), int64(ci)), prepCache)
 			if err != nil {
 				// A malformed candidate (discovery is noisy by design) is
 				// skipped, not fatal.
+				cCandSkipped.Add(1)
+				candSpan.End()
 				continue
 			}
+			candSpan.SetInt("rows_matched", int64(jr.Matched))
+			candSpan.SetInt("cols_added", int64(len(jr.AddedColumns)))
+			candSpan.End()
+			cCandScored.Add(1)
+			cRowsMatched.Add(int64(jr.Matched))
 			work = jr.Table
 			joinedCands = append(joinedCands, added{ord, prefix})
 			tables = append(tables, cand.Table.Name())
 			newCols += len(jr.AddedColumns)
 		}
+		joinSpan.End()
 		if len(joinedCands) == 0 {
+			batchSpan.End()
 			continue
 		}
+		span = batchSpan.Child("impute", 0)
 		imputeTable(work, opts, stageRNG(opts.Seed, seedStageImpute, int64(bi)))
+		span.End()
 
 		view := work.ToNumericViewCached(encCache, opts.Target)
 		y, err := work.TargetVector(opts.Target)
@@ -181,12 +228,23 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 			ds = coreset.SketchDataset(ds, size, stageRNG(opts.Seed, seedStageSketch, int64(bi)))
 		}
 
+		selSpan := batchSpan.Child("select", 0)
+		selSpan.SetInt("features_in", int64(ds.D))
+		if sa, ok := opts.Selector.(obs.SpanAttacher); ok {
+			sa.AttachSpan(selSpan)
+		}
 		selStart := time.Now()
 		selected, err := opts.Selector.Select(ds, estimator, opts.Seed+int64(bi+1))
 		res.SelectionElapsed += time.Since(selStart)
+		if sa, ok := opts.Selector.(obs.SpanAttacher); ok {
+			sa.AttachSpan(nil)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: feature selection on batch %d: %w", bi, err)
 		}
+		selSpan.SetInt("features_selected", int64(len(selected)))
+		selSpan.End()
+		cFeatOffered.Add(int64(newCols))
 
 		report := BatchReport{Tables: tables, CandidateFeatures: newCols}
 		keptSources := map[string]bool{}
@@ -217,13 +275,16 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 		if opts.KeepScores && len(report.KeptFeatures) > 0 {
 			report.Score = holdoutScoreOf(accum, opts.Target, task, classes, estimator, opts.Seed)
 		}
+		cFeatKept.Add(int64(len(report.KeptFeatures)))
 		opts.logf("batch %d/%d: %d tables, %d candidate features, kept %d",
 			bi+1, len(plan), len(tables), newCols, len(report.KeptFeatures))
 		res.Batches = append(res.Batches, report)
+		batchSpan.End()
 	}
 
 	// Materialize kept features over the full base table. Clone so the
 	// final imputation cannot mutate the caller's table.
+	matSpan := root.Child("materialize", 0)
 	final := base.Clone()
 	seenTables := make(map[string]bool)
 	for bi, batch := range plan {
@@ -235,11 +296,18 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 			}
 			prefix := prefixOf[ord]
 			spec := specFor(cand, opts, prefix)
+			candSpan := matSpan.Child("materialize.cand", ord)
+			candSpan.SetLabel(cand.Table.Name())
 			jr, err := join.ExecuteCached(final, cand.Table, spec,
 				stageRNG(opts.Seed, seedStageMaterialize, int64(ord)), prepCache)
 			if err != nil {
+				candSpan.End()
 				continue
 			}
+			candSpan.SetInt("rows_matched", int64(jr.Matched))
+			candSpan.SetInt("cols_kept", int64(len(kept)))
+			candSpan.End()
+			cRowsMatched.Add(int64(jr.Matched))
 			keptSet := make(map[string]bool, len(kept))
 			for _, k := range kept {
 				keptSet[prefix+k] = true
@@ -259,13 +327,18 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 			}
 		}
 	}
+	matSpan.SetInt("cols_kept", int64(len(res.KeptColumns)))
+	matSpan.End()
+	span = root.Child("impute", 0)
 	imputeTable(final, opts, stageRNG(opts.Seed, seedStageFinal))
+	span.End()
 	res.Table = final
 	opts.logf("materialized %d kept columns from %d tables over %d rows",
 		len(res.KeptColumns), len(res.KeptTables), final.NumRows())
 
 	// Final estimate: base vs augmented holdout score under the same
 	// estimator.
+	span = root.Child("evaluate", 0)
 	res.BaseScore = holdoutScoreOf(base, opts.Target, task, classes, estimator, opts.Seed)
 	res.FinalScore = holdoutScoreOf(final, opts.Target, task, classes, estimator, opts.Seed)
 	res.EstimatorName = "random forest"
@@ -277,7 +350,19 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 			res.Significance = eval.TestAugmentation(baseDS, augDS, estimator, opts.Significance, opts.Seed)
 		}
 	}
+	span.End()
+
+	ps := prepCache.Stats()
+	tr.Gauge("prep_cache.hits").Set(ps.Hits)
+	tr.Gauge("prep_cache.misses").Set(ps.Misses)
+	tr.Gauge("prep_cache.entries").Set(int64(prepCache.Len()))
+	es := encCache.Stats()
+	tr.Gauge("encode_cache.hits").Set(es.Hits)
+	tr.Gauge("encode_cache.misses").Set(es.Misses)
+	tr.Gauge("encode_cache.entries").Set(int64(encCache.Len()))
+
 	res.Elapsed = time.Since(start)
+	res.Trace = tr.Finish()
 	return res, nil
 }
 

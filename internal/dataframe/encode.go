@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // MaxOneHotCardinality bounds the number of indicator columns produced when
@@ -82,8 +83,26 @@ func Binarize(c *CategoricalColumn) []*NumericColumn {
 // first being encoded; the pipeline guarantees that by encoding only fully
 // imputed tables. Create one cache per Augment run.
 type EncodeCache struct {
-	mu sync.Mutex
-	m  map[*CategoricalColumn]*binPlan
+	mu     sync.Mutex
+	m      map[*CategoricalColumn]*binPlan
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// EncodeCacheStats is a hit/miss snapshot of an EncodeCache.
+type EncodeCacheStats struct {
+	// Hits counts binarize plans served from the cache.
+	Hits int64
+	// Misses counts plans computed (and then stored).
+	Misses int64
+}
+
+// Stats returns the cache's hit/miss counts so far.
+func (c *EncodeCache) Stats() EncodeCacheStats {
+	if c == nil {
+		return EncodeCacheStats{}
+	}
+	return EncodeCacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
 }
 
 // binPlan is one cached binarize layout.
@@ -107,8 +126,10 @@ func (c *EncodeCache) plan(col *CategoricalColumn) ([]string, []int) {
 	p := c.m[col]
 	c.mu.Unlock()
 	if p != nil {
+		c.hits.Add(1)
 		return p.names, p.remap
 	}
+	c.misses.Add(1)
 	names, remap := binarizePlan(col)
 	c.mu.Lock()
 	c.m[col] = &binPlan{names: names, remap: remap}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/arda-ml/arda/internal/core"
+	"github.com/arda-ml/arda/internal/discovery"
+	"github.com/arda-ml/arda/internal/featsel"
+	"github.com/arda-ml/arda/internal/obs"
+)
+
+// PipelineStages lists the canonical stage names of a traced Augment run in
+// pipeline order — the rows of the paper's §6 cost breakdown (join
+// execution vs. selection vs. everything around them).
+var PipelineStages = []string{
+	"prefilter", "coreset", "join", "impute", "select", "materialize", "evaluate",
+}
+
+// StageCost is one stage's aggregate over a run.
+type StageCost struct {
+	// Millis is the summed duration of every span with the stage's name.
+	Millis float64 `json:"ms"`
+	// Spans counts those spans (e.g. one "select" per batch).
+	Spans int `json:"spans"`
+}
+
+// StageRun is one corpus's stage-resolved timing breakdown.
+type StageRun struct {
+	Corpus string `json:"corpus"`
+	// ElapsedMillis is the whole run (the root span).
+	ElapsedMillis float64 `json:"elapsed_ms"`
+	// Stages maps canonical stage names to their aggregate cost.
+	Stages map[string]StageCost `json:"stages"`
+	// Counters holds the run's final counter/gauge values.
+	Counters map[string]int64 `json:"counters"`
+}
+
+// StagesResult is the stage-timing report (the source of BENCH_stages.json):
+// per-corpus, per-stage wall-clock costs measured through the observability
+// layer rather than ad-hoc stopwatches.
+type StagesResult struct {
+	// Seed is the run seed; Scale the corpus scale factor.
+	Seed  int64      `json:"seed"`
+	Scale float64    `json:"scale"`
+	Runs  []StageRun `json:"runs"`
+}
+
+// StageBreakdown runs a traced RIFS pipeline over the paper's five corpora
+// and aggregates each run's span tree into per-stage costs.
+func StageBreakdown(s Scale, seed int64) (*StagesResult, error) {
+	out := &StagesResult{Seed: seed, Scale: s.Corpus}
+	for _, spec := range RealWorld() {
+		corpus := s.Generate(spec, seed)
+		sel, err := s.Selector(featsel.MethodRIFS)
+		if err != nil {
+			return nil, err
+		}
+		cands := discovery.Discover(corpus.Base, corpus.Repo, corpus.Target, discovery.Options{})
+		trace := obs.New("augment")
+		res, err := core.Augment(corpus.Base, cands, core.Options{
+			Target:      corpus.Target,
+			CoresetSize: s.CoresetSize,
+			Selector:    sel,
+			Estimator:   s.Estimator(seed),
+			Seed:        seed,
+			Trace:       trace,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: stage breakdown on %s: %w", spec.Name, err)
+		}
+		totals := res.Trace.StageTotals()
+		spans := res.Trace.SpanCounts()
+		run := StageRun{
+			Corpus:        spec.Name,
+			ElapsedMillis: millis(res.Trace.Elapsed),
+			Stages:        make(map[string]StageCost, len(PipelineStages)),
+			Counters:      res.Trace.Counters,
+		}
+		for _, stage := range PipelineStages {
+			run.Stages[stage] = StageCost{Millis: millis(totals[stage]), Spans: spans[stage]}
+		}
+		out.Runs = append(out.Runs, run)
+	}
+	return out, nil
+}
+
+// millis converts a duration to fractional milliseconds.
+func millis(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// JSON renders the result as the BENCH_stages.json document.
+func (r *StagesResult) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Render draws the per-stage cost table: one corpus per row, one stage per
+// column, milliseconds.
+func (r *StagesResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Per-stage pipeline cost (ms), RIFS selector\n\n")
+	fmt.Fprintf(&b, "%-10s %9s", "corpus", "total")
+	for _, stage := range PipelineStages {
+		fmt.Fprintf(&b, " %11s", stage)
+	}
+	b.WriteByte('\n')
+	for _, run := range r.Runs {
+		fmt.Fprintf(&b, "%-10s %9.0f", run.Corpus, run.ElapsedMillis)
+		for _, stage := range PipelineStages {
+			fmt.Fprintf(&b, " %11.1f", run.Stages[stage].Millis)
+		}
+		b.WriteByte('\n')
+	}
+	// The counters shared by every run, summed — the run-volume context for
+	// the timings above.
+	sums := make(map[string]int64)
+	for _, run := range r.Runs {
+		for name, v := range run.Counters {
+			sums[name] += v
+		}
+	}
+	names := make([]string, 0, len(sums))
+	for name := range sums {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	b.WriteString("\ncounters (summed over corpora):\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "  %-34s %d\n", name, sums[name])
+	}
+	return b.String()
+}

@@ -7,6 +7,7 @@ import (
 	"github.com/arda-ml/arda/internal/eval"
 	"github.com/arda-ml/arda/internal/linalg"
 	"github.com/arda-ml/arda/internal/ml"
+	"github.com/arda-ml/arda/internal/obs"
 	"github.com/arda-ml/arda/internal/parallel"
 	"github.com/arda-ml/arda/internal/stats"
 )
@@ -98,7 +99,18 @@ func (c *RIFSConfig) defaults() {
 // column, and pick the survivor threshold by a monotone holdout sweep.
 type RIFS struct {
 	Config RIFSConfig
+
+	// span is the current stage span for per-repetition child spans,
+	// injected by the pipeline via AttachSpan; nil means tracing off.
+	span *obs.Span
 }
+
+// AttachSpan implements obs.SpanAttacher: subsequent Select calls emit one
+// child span per injection repetition (with features_injected /
+// features_outranked attributes) plus a threshold-sweep span under s. Spans
+// only observe the run — selection output is bit-identical with tracing on
+// or off. Attach nil to detach. Not safe to call concurrently with Select.
+func (r *RIFS) AttachSpan(s *obs.Span) { r.span = s }
 
 // Name implements Selector.
 func (r *RIFS) Name() string { return "RIFS" }
@@ -115,7 +127,11 @@ func (r *RIFS) Select(ds *ml.Dataset, est eval.Fitter, seed int64) ([]int, error
 	cfg := r.Config
 	cfg.defaults()
 	scorer := newSubsetScorer(ds, est, seed)
-	return sweepThresholds(rstar, cfg.Thresholds, cfg.Workers, scorer.score), nil
+	sweepSpan := r.span.Child("select.sweep", 0)
+	selected := sweepThresholds(rstar, cfg.Thresholds, cfg.Workers, scorer.score)
+	sweepSpan.SetInt("features_kept", int64(len(selected)))
+	sweepSpan.End()
+	return selected, nil
 }
 
 // sweepThresholds is Algorithm 3's wrapper: walk the increasing threshold
@@ -191,6 +207,8 @@ func (r *RIFS) RStar(ds *ml.Dataset, seed int64) ([]float64, error) {
 	// merge in repetition order, so r* is identical for any worker count.
 	counts, err := parallel.MapReduce(cfg.Workers, cfg.K,
 		func(rep int) ([]float64, error) {
+			repSpan := r.span.Child("select.rep", rep)
+			defer repSpan.End()
 			repSeed := parallel.SplitSeed(seed, int64(rep))
 			aug, err := injectColumns(ds, t, inject, repSeed)
 			if err != nil {
@@ -207,11 +225,15 @@ func (r *RIFS) RStar(ds *ml.Dataset, seed int64) ([]float64, error) {
 				}
 			}
 			beats := make([]float64, d)
+			outranked := int64(0)
 			for j := 0; j < d; j++ {
 				if agg[j] > maxNoise {
 					beats[j] = 1
+					outranked++
 				}
 			}
+			repSpan.SetInt("features_injected", int64(t))
+			repSpan.SetInt("features_outranked", outranked)
 			return beats, nil
 		},
 		make([]float64, d),

@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/arda-ml/arda/internal/dataframe"
 )
@@ -19,8 +20,18 @@ import (
 // fresh/cloned work tables. Create one cache per Augment run and drop it with
 // the run.
 type PrepCache struct {
-	mu sync.Mutex
-	m  map[prepKey]*dataframe.Table
+	mu     sync.Mutex
+	m      map[prepKey]*dataframe.Table
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// CacheStats is a hit/miss snapshot of a per-run cache.
+type CacheStats struct {
+	// Hits counts lookups served from the cache.
+	Hits int64
+	// Misses counts lookups that had to compute (and then store) an entry.
+	Misses int64
 }
 
 // prepKey identifies one preparation of one foreign table.
@@ -56,8 +67,24 @@ func (c *PrepCache) get(t *dataframe.Table, spec string) *dataframe.Table {
 		return nil
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.m[prepKey{t, spec}]
+	prepared := c.m[prepKey{t, spec}]
+	c.mu.Unlock()
+	if prepared == nil {
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	return prepared
+}
+
+// Stats returns the cache's hit/miss counts so far. Every miss is followed
+// by exactly one put, so Misses == Len() iff no preparation was ever
+// recomputed — the pipeline's prepare-once contract.
+func (c *PrepCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
 }
 
 // put stores a preparation. A nil cache drops it.

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"testing"
+
+	"github.com/arda-ml/arda/internal/testenv"
+)
+
+// TestNilTraceAllocs guards the zero-cost-when-off contract: with tracing
+// disabled (nil *Trace — the pipeline default), every instrumentation call
+// that can sit on or near a hot path must be allocation-free, so the
+// data-plane AllocsPerRun budgets of the join inner loop and subset scoring
+// are unchanged by the observability layer.
+func TestNilTraceAllocs(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("AllocsPerRun counts the race detector's bookkeeping; run via `make alloc`")
+	}
+	var tr *Trace
+	var c *Counter
+	var g *Gauge
+	var sp *Span
+	allocs := testing.AllocsPerRun(1000, func() {
+		s := tr.Root().Child("join", 3)
+		s.SetInt("rows", 1)
+		s.SetLabel("t")
+		s.End()
+		c.Add(1)
+		g.Set(1)
+		_ = c.Value()
+		_ = sp.Duration()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-trace instrumentation allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestCounterAddAllocs: live counters are atomic adds — no allocation after
+// registration, so bulk counter bumps are safe anywhere.
+func TestCounterAddAllocs(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("AllocsPerRun counts the race detector's bookkeeping; run via `make alloc`")
+	}
+	tr := New("run")
+	c := tr.Counter("x")
+	allocs := testing.AllocsPerRun(1000, func() { c.Add(1) })
+	if allocs != 0 {
+		t.Fatalf("Counter.Add allocates %.1f per run, want 0", allocs)
+	}
+	tr.Finish()
+}

@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+)
+
+// published holds the trace currently exported via expvar.
+var published atomic.Pointer[Trace]
+
+// publishOnce guards the one-time expvar registration (expvar.Publish panics
+// on duplicate names).
+var publishOnce sync.Once
+
+// PublishExpvar exports the trace's counters and gauges as the expvar map
+// variable "arda.counters" (served on /debug/vars by any net/http server
+// using the default mux, e.g. the -pprof endpoint of cmd/arda). Calling it
+// again swaps which trace is exported; a nil trace unpublishes the values
+// while keeping the variable registered.
+func PublishExpvar(t *Trace) {
+	published.Store(t)
+	publishOnce.Do(func() {
+		expvar.Publish("arda.counters", expvar.Func(func() any {
+			return published.Load().Metrics()
+		}))
+	})
+}

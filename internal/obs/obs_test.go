@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeNesting(t *testing.T) {
+	col := &Collector{}
+	tr := New("run", col)
+	a := tr.Root().Child("a", 0)
+	a1 := a.Child("a1", 0)
+	a1.SetInt("rows", 7)
+	a1.End()
+	a.End()
+	b := tr.Root().Child("b", 1)
+	b.SetLabel("tbl")
+	b.End()
+	tr.Counter("hits").Add(3)
+	tr.Counter("hits").Add(2)
+	tr.Gauge("size").Set(11)
+	stats := tr.Finish()
+
+	if stats.Name != "run" || stats.Root == nil {
+		t.Fatalf("bad stats root: %+v", stats)
+	}
+	if len(stats.Root.Children) != 2 {
+		t.Fatalf("want 2 children, got %d", len(stats.Root.Children))
+	}
+	if stats.Root.Children[0].Name != "a" || stats.Root.Children[1].Name != "b" {
+		t.Fatalf("children out of order: %v", stats.Root.Children)
+	}
+	if stats.Root.Children[1].Label != "tbl" {
+		t.Fatalf("label lost: %+v", stats.Root.Children[1])
+	}
+	if got := stats.Root.Children[0].Children[0].Attrs["rows"]; got != 7 {
+		t.Fatalf("attr rows = %d, want 7", got)
+	}
+	if stats.Counters["hits"] != 5 || stats.Counters["size"] != 11 {
+		t.Fatalf("counters = %v", stats.Counters)
+	}
+	// Each span's duration must cover its children (serial here).
+	if stats.Root.Dur < stats.Root.Children[0].Dur {
+		t.Fatalf("root %v shorter than child %v", stats.Root.Dur, stats.Root.Children[0].Dur)
+	}
+	// The collector saw every span, the counters, and one terminal run event.
+	evs := col.Events()
+	var spans, counters, runs int
+	for _, ev := range evs {
+		switch ev.Type {
+		case EventSpan:
+			spans++
+		case EventCounter:
+			counters++
+		case EventRun:
+			runs++
+		}
+	}
+	if spans != 4 || counters != 2 || runs != 1 {
+		t.Fatalf("event mix spans=%d counters=%d runs=%d, want 4/2/1", spans, counters, runs)
+	}
+	if evs[len(evs)-1].Type != EventRun {
+		t.Fatalf("run event not last: %v", evs[len(evs)-1])
+	}
+}
+
+// TestConcurrentChildrenDeterministicOrder creates children from many
+// goroutines and asserts the snapshot orders them by ordinal, not by
+// completion order.
+func TestConcurrentChildrenDeterministicOrder(t *testing.T) {
+	tr := New("run")
+	root := tr.Root()
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(ord int) {
+			defer wg.Done()
+			s := root.Child("item", ord)
+			s.SetInt("ord", int64(ord))
+			s.End()
+		}(i)
+	}
+	wg.Wait()
+	stats := tr.Finish()
+	if len(stats.Root.Children) != 64 {
+		t.Fatalf("want 64 children, got %d", len(stats.Root.Children))
+	}
+	for i, c := range stats.Root.Children {
+		if c.Ord != i || c.Attrs["ord"] != int64(i) {
+			t.Fatalf("child %d has ord %d", i, c.Ord)
+		}
+	}
+}
+
+func TestFinishEndsOpenSpans(t *testing.T) {
+	tr := New("run")
+	open := tr.Root().Child("open", 0)
+	_ = open
+	stats := tr.Finish()
+	if len(stats.Root.Children) != 1 || stats.Root.Children[0].Dur < 0 {
+		t.Fatalf("open span not closed in snapshot: %+v", stats.Root.Children)
+	}
+	// Idempotent: a second Finish returns the same structure.
+	again := tr.Finish()
+	if len(again.Root.Children) != 1 {
+		t.Fatalf("second Finish lost spans")
+	}
+}
+
+func TestNilTraceIsInert(t *testing.T) {
+	var tr *Trace
+	sp := tr.Root().Child("x", 0)
+	sp.SetInt("k", 1)
+	sp.SetLabel("l")
+	sp.End()
+	tr.Counter("c").Add(1)
+	tr.Gauge("g").Set(1)
+	if tr.Root() != nil || tr.Finish() != nil || tr.Metrics() != nil {
+		t.Fatal("nil trace must produce nothing")
+	}
+	if sp.Duration() != 0 || tr.Counter("c").Value() != 0 {
+		t.Fatal("nil handles must read zero")
+	}
+}
+
+func TestNDJSONSinkSchema(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New("run", NewNDJSONSink(&buf))
+	s := tr.Root().Child("join", 2)
+	s.SetInt("rows_matched", 5)
+	s.End()
+	tr.Counter("join.rows_matched").Add(5)
+	tr.Finish()
+
+	// Four lines: the child span, the root span, the counter, the run event.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 NDJSON lines, got %d:\n%s", len(lines), buf.String())
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if ev.Type != EventSpan || ev.Name != "join" || ev.Ord != 2 ||
+		ev.Path != "run/join[2]" || ev.Attrs["rows_matched"] != 5 {
+		t.Fatalf("span event wrong: %+v", ev)
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &ev); err != nil || ev.Type != EventRun {
+		t.Fatalf("last line not a run event: %v %+v", err, ev)
+	}
+}
+
+func TestRenderAndStageTotals(t *testing.T) {
+	tr := New("augment")
+	j := tr.Root().Child("join", 0)
+	time.Sleep(time.Millisecond)
+	j.End()
+	j2 := tr.Root().Child("join", 1)
+	j2.End()
+	stats := tr.Finish()
+
+	totals := stats.StageTotals()
+	if totals["join"] <= 0 || totals["join"] > totals["augment"]*2 {
+		t.Fatalf("join total %v implausible (root %v)", totals["join"], totals["augment"])
+	}
+	if stats.SpanCounts()["join"] != 2 {
+		t.Fatalf("span counts: %v", stats.SpanCounts())
+	}
+	out := stats.Render()
+	if !strings.Contains(out, "augment") || !strings.Contains(out, "join[1]") {
+		t.Fatalf("render missing spans:\n%s", out)
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	tr := New("run")
+	tr.Counter("x").Add(9)
+	PublishExpvar(tr)
+	PublishExpvar(tr) // idempotent
+	tr.Finish()
+}
