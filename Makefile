@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race alloc bench bench-parallel bench-dataplane trace-smoke bench-stages
+.PHONY: check vet build test race alloc chaos bench bench-parallel bench-dataplane trace-smoke bench-stages
 
-check: vet build race alloc trace-smoke
+check: vet build race alloc chaos trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,7 +35,13 @@ bench-parallel:
 
 # Allocation-regression gate: the AllocsPerRun tests that skip under -race.
 alloc:
-	$(GO) test -run 'Allocs' ./internal/join/ ./internal/dataframe/ ./internal/eval/ ./internal/obs/
+	$(GO) test -run 'Allocs' ./internal/join/ ./internal/dataframe/ ./internal/eval/ ./internal/obs/ ./internal/faults/
+
+# Chaos suite under the race detector: deterministic fault injection,
+# quarantine isolation, cancellation/timeout, and pool panic recovery.
+chaos:
+	$(GO) test -race -timeout 20m -run 'TestChaos|TestCancel|TestTimeout|TestCanceled|TestPanic|TestForEachPanic|TestMapPanic|TestInjector|TestRetry' \
+		./internal/core/ ./internal/parallel/ ./internal/faults/
 
 # Observability smoke: generate a small corpus, run the full pipeline with
 # -v and -trace, then validate the NDJSON event stream covers every stage.

@@ -19,6 +19,7 @@
 package arda
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -31,6 +32,7 @@ import (
 	"github.com/arda-ml/arda/internal/coreset"
 	"github.com/arda-ml/arda/internal/dataframe"
 	"github.com/arda-ml/arda/internal/discovery"
+	"github.com/arda-ml/arda/internal/faults"
 	"github.com/arda-ml/arda/internal/featsel"
 	"github.com/arda-ml/arda/internal/join"
 	"github.com/arda-ml/arda/internal/obs"
@@ -52,6 +54,42 @@ type Options = core.Options
 // Result is the outcome of an augmentation run: the augmented table, the
 // kept columns and tables, and base-vs-final holdout scores.
 type Result = core.Result
+
+// QuarantinedCandidate records one candidate table isolated by the fault
+// boundary instead of failing the run (see Result.Quarantined).
+type QuarantinedCandidate = core.QuarantinedCandidate
+
+// Typed interrupt errors. An Augment run stopped by cancellation or an
+// Options.Timeout deadline returns one of these (test with errors.Is)
+// together with a partial Result snapshot of the work completed so far.
+var (
+	ErrCanceled = core.ErrCanceled
+	ErrDeadline = core.ErrDeadline
+)
+
+// FaultInjector fires deterministic, seeded faults at the pipeline's
+// per-candidate checkpoints — the chaos-testing hook behind
+// Options.FaultInjector. Construct one with NewFaultInjector.
+type FaultInjector = faults.Injector
+
+// FaultRule describes one fault to inject: which stage and candidate
+// ordinal it targets, what kind of fault fires, and whether it is
+// transient (retried) or hard (quarantined).
+type FaultRule = faults.Rule
+
+// Fault kinds for FaultRule.Kind.
+const (
+	FaultError = faults.Error
+	FaultPanic = faults.Panic
+	FaultDelay = faults.Delay
+)
+
+// NewFaultInjector builds a deterministic fault injector: the same seed and
+// rules fire the same faults at the same (stage, ordinal) checkpoints on
+// every run, independent of worker count.
+func NewFaultInjector(seed int64, rules ...FaultRule) *FaultInjector {
+	return faults.New(seed, rules...)
+}
 
 // Selector is a pluggable feature-selection method.
 type Selector = featsel.Selector
@@ -217,6 +255,15 @@ func PublishTraceExpvar(t *Trace) { obs.PublishExpvar(t) }
 // selection, two-way nearest-neighbour soft joins with time resampling).
 func Augment(base *Table, cands []Candidate, opts Options) (*Result, error) {
 	return core.Augment(base, cands, opts)
+}
+
+// AugmentContext is Augment under a context: cancellation and deadlines are
+// honoured at every stage boundary and between parallel work items. An
+// interrupted run returns ErrCanceled or ErrDeadline together with a partial
+// Result snapshot. Options.Timeout, when set, additionally bounds the run's
+// wall-clock time relative to the call.
+func AugmentContext(ctx context.Context, base *Table, cands []Candidate, opts Options) (*Result, error) {
+	return core.AugmentContext(ctx, base, cands, opts)
 }
 
 // AugmentRepository is the one-call convenience API: discover candidates in

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -46,6 +47,7 @@ func main() {
 		knnImpute  = flag.Int("knn-impute", 0, "use k-nearest-neighbour imputation with this k (0 = median/random)")
 		sig        = flag.Int("significance", 0, "bootstrap resamples for the augmentation significance test (0 = off)")
 		workers    = flag.Int("workers", 0, "max parallel workers (0 = all cores); results are identical for any value")
+		timeout    = flag.Duration("timeout", 0, "bound the run's wall-clock time (e.g. 90s, 5m); an exceeded run stops with a partial report (0 = unbounded)")
 		verbose    = flag.Bool("v", false, "stream pipeline progress and the stage-cost tree to stderr")
 		traceFile  = flag.String("trace", "", "write the run's trace event stream to this file as NDJSON")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and expvar run counters on this address (e.g. localhost:6060)")
@@ -89,6 +91,7 @@ func main() {
 		KNNImpute:     *knnImpute,
 		Significance:  *sig,
 		Workers:       *workers,
+		Timeout:       *timeout,
 	}
 	if *verbose {
 		opts.Logf = cli.Progressf
@@ -188,6 +191,11 @@ func main() {
 
 	res, err := arda.Augment(base, cands, opts)
 	if err != nil {
+		if res != nil && (errors.Is(err, arda.ErrDeadline) || errors.Is(err, arda.ErrCanceled)) {
+			cli.Errorf("%v — partial report:", err)
+			reportAttrition(res, *verbose)
+			os.Exit(1)
+		}
 		cli.Fatalf("%v", err)
 	}
 
@@ -197,8 +205,7 @@ func main() {
 	for _, name := range res.KeptTables {
 		fmt.Printf("  + %s\n", name)
 	}
-	fmt.Printf("candidates: %d considered → %d after dedupe → %d after tuple-ratio\n",
-		res.CandidatesConsidered, res.CandidatesDeduped, res.CandidatesDeduped-res.CandidatesFiltered)
+	reportAttrition(res, *verbose)
 	if res.Significance != nil {
 		s := res.Significance
 		fmt.Printf("significance: Δ=%.4f  p=%.3f  95%% CI [%.4f, %.4f]\n",
@@ -220,5 +227,21 @@ func main() {
 			cli.Fatalf("writing %s: %v", *out, err)
 		}
 		fmt.Printf("augmented table written to %s (%d columns)\n", *out, res.Table.NumCols())
+	}
+}
+
+// reportAttrition prints the candidate attrition and quarantine summary;
+// verbose adds one line per quarantined candidate.
+func reportAttrition(res *arda.Result, verbose bool) {
+	fmt.Printf("candidates: %d considered → %d after dedupe → %d after tuple-ratio\n",
+		res.CandidatesConsidered, res.CandidatesDeduped, res.CandidatesDeduped-res.CandidatesFiltered)
+	if len(res.Quarantined) == 0 {
+		return
+	}
+	fmt.Printf("quarantined: %d candidates isolated by the fault boundary\n", len(res.Quarantined))
+	if verbose {
+		for _, q := range res.Quarantined {
+			cli.Progressf("  quarantined %s at %s: %s", q.Name, q.Stage, q.Reason)
+		}
 	}
 }

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"github.com/arda-ml/arda/internal/discovery"
+	"github.com/arda-ml/arda/internal/faults"
+	"github.com/arda-ml/arda/internal/featsel"
+	"github.com/arda-ml/arda/internal/parallel"
+	"github.com/arda-ml/arda/internal/synth"
+)
+
+// chaosCorpus builds the shared chaos-test fixture.
+func chaosCorpus(t *testing.T) (*synth.Corpus, []discovery.Candidate) {
+	t.Helper()
+	corpus := synth.Poverty(synth.Config{Seed: 61, Scale: 0.2})
+	cands := discovery.Discover(corpus.Base, corpus.Repo, corpus.Target, discovery.Options{})
+	if len(cands) == 0 {
+		t.Fatal("discovery found nothing")
+	}
+	return corpus, cands
+}
+
+// chaosOptions is the fast-pipeline configuration used by every chaos test.
+func chaosOptions(corpus *synth.Corpus, workers int, inj *faults.Injector) Options {
+	return Options{
+		Target:        corpus.Target,
+		CoresetSize:   192,
+		Selector:      &featsel.RIFS{Config: featsel.RIFSConfig{K: 3, Forest: featsel.ForestRanker{NTrees: 15, MaxDepth: 6}}},
+		Estimator:     fastEstimator(1),
+		Seed:          62,
+		Workers:       workers,
+		FaultInjector: inj,
+	}
+}
+
+// quarantineKey flattens a quarantine record for set comparison.
+func quarantineKeys(qs []QuarantinedCandidate) []string {
+	out := make([]string, len(qs))
+	for i, q := range qs {
+		out[i] = q.Stage + "/" + q.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestChaosQuarantinesExactlyFaultedCandidates injects faults into four
+// stages — join errors, a join panic, an impute fault, an encode fault, and
+// a materialize fault — and asserts the run completes, quarantines exactly
+// the faulted candidates, and produces identical results at 1 and 8 workers.
+func TestChaosQuarantinesExactlyFaultedCandidates(t *testing.T) {
+	defer parallel.SetMaxWorkers(0)
+	corpus, cands := chaosCorpus(t)
+
+	rules := []faults.Rule{
+		faults.At(faults.Error, "join", 2),
+		faults.At(faults.Panic, "join", 5),
+		faults.At(faults.Error, "impute", 7),
+		faults.At(faults.Error, "encode", 9),
+		faults.At(faults.Panic, "materialize", 0),
+	}
+	run := func(workers int) *Result {
+		res, err := AugmentContext(context.Background(), corpus.Base, cands,
+			chaosOptions(corpus, workers, faults.New(99, rules...)))
+		if err != nil {
+			t.Fatalf("workers=%d: chaos run failed: %v", workers, err)
+		}
+		return res
+	}
+	one := run(1)
+
+	// The run must complete and quarantine one candidate per fired rule —
+	// no more, no fewer — each at the stage its rule targeted.
+	byStage := map[string]int{}
+	for _, q := range one.Quarantined {
+		byStage[q.Stage]++
+	}
+	if byStage["join"] != 2 || byStage["impute"] != 1 || byStage["encode"] != 1 || byStage["materialize"] != 1 {
+		t.Fatalf("quarantine by stage = %v, want join:2 impute:1 encode:1 materialize:1 (%v)", byStage, one.Quarantined)
+	}
+	// Faulted candidates carry the fault reason; every quarantined entry
+	// here must be injected, since the corpus itself is clean.
+	for _, q := range one.Quarantined {
+		if q.Reason == "" {
+			t.Fatalf("quarantined %s/%s has empty reason", q.Stage, q.Name)
+		}
+	}
+	// The materialize fault must not have removed the candidate's features
+	// from the selection report — it faulted after selection — but a
+	// quarantined candidate contributes nothing further.
+	if one.Table == nil || one.FinalScore == 0 {
+		t.Fatal("chaos run did not produce a final table and score")
+	}
+
+	// Bit-identical at 8 workers: same quarantine set, same kept features,
+	// same scores.
+	eight := run(8)
+	q1, q8 := quarantineKeys(one.Quarantined), quarantineKeys(eight.Quarantined)
+	if len(q1) != len(q8) {
+		t.Fatalf("quarantine sets differ across workers: %v vs %v", q1, q8)
+	}
+	for i := range q1 {
+		if q1[i] != q8[i] {
+			t.Fatalf("quarantine sets differ across workers: %v vs %v", q1, q8)
+		}
+	}
+	if len(one.KeptColumns) != len(eight.KeptColumns) {
+		t.Fatalf("kept columns differ: %v vs %v", one.KeptColumns, eight.KeptColumns)
+	}
+	for i := range one.KeptColumns {
+		if one.KeptColumns[i] != eight.KeptColumns[i] {
+			t.Fatalf("kept columns differ: %v vs %v", one.KeptColumns, eight.KeptColumns)
+		}
+	}
+	if one.BaseScore != eight.BaseScore || one.FinalScore != eight.FinalScore {
+		t.Fatalf("scores differ across worker counts: base %v vs %v, final %v vs %v",
+			one.BaseScore, eight.BaseScore, one.FinalScore, eight.FinalScore)
+	}
+}
+
+// TestChaosZeroInjectionBitIdentical asserts that wiring a no-rule injector
+// (and a nil injector) changes nothing: the quarantine machinery must be
+// invisible when no fault fires.
+func TestChaosZeroInjectionBitIdentical(t *testing.T) {
+	defer parallel.SetMaxWorkers(0)
+	corpus, cands := chaosCorpus(t)
+
+	plain, err := Augment(corpus.Base, cands, chaosOptions(corpus, 4, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := Augment(corpus.Base, cands, chaosOptions(corpus, 4, faults.New(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Quarantined) != 0 || len(empty.Quarantined) != 0 {
+		t.Fatalf("clean corpus quarantined candidates: %v / %v", plain.Quarantined, empty.Quarantined)
+	}
+	if len(plain.KeptColumns) != len(empty.KeptColumns) {
+		t.Fatalf("kept columns differ: %v vs %v", plain.KeptColumns, empty.KeptColumns)
+	}
+	for i := range plain.KeptColumns {
+		if plain.KeptColumns[i] != empty.KeptColumns[i] {
+			t.Fatalf("kept columns differ: %v vs %v", plain.KeptColumns, empty.KeptColumns)
+		}
+	}
+	if plain.BaseScore != empty.BaseScore || plain.FinalScore != empty.FinalScore {
+		t.Fatalf("scores differ: base %v vs %v, final %v vs %v",
+			plain.BaseScore, empty.BaseScore, plain.FinalScore, empty.FinalScore)
+	}
+}
+
+// TestChaosTransientFaultRetriesBitIdentical injects a transient fault that
+// clears after two attempts: the retry must succeed and — because the stage
+// RNG is re-derived per attempt — the result must be bit-identical to a run
+// with no fault at all.
+func TestChaosTransientFaultRetriesBitIdentical(t *testing.T) {
+	defer parallel.SetMaxWorkers(0)
+	corpus, cands := chaosCorpus(t)
+
+	clean, err := Augment(corpus.Base, cands, chaosOptions(corpus, 4, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.New(5,
+		faults.Rule{Stage: "join", Ordinal: 3, Kind: faults.Error, Times: 2, Transient: true})
+	retried, err := Augment(corpus.Base, cands, chaosOptions(corpus, 4, inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(retried.Quarantined) != 0 {
+		t.Fatalf("transient fault was quarantined instead of retried: %v", retried.Quarantined)
+	}
+	fired := inj.Fired()
+	if len(fired) < 2 {
+		t.Fatalf("transient fault fired %d times, want >= 2 (retry attempts)", len(fired))
+	}
+	if len(clean.KeptColumns) != len(retried.KeptColumns) {
+		t.Fatalf("kept columns differ after retry: %v vs %v", clean.KeptColumns, retried.KeptColumns)
+	}
+	for i := range clean.KeptColumns {
+		if clean.KeptColumns[i] != retried.KeptColumns[i] {
+			t.Fatalf("kept columns differ after retry: %v vs %v", clean.KeptColumns, retried.KeptColumns)
+		}
+	}
+	if clean.BaseScore != retried.BaseScore || clean.FinalScore != retried.FinalScore {
+		t.Fatalf("scores differ after retry: base %v vs %v, final %v vs %v",
+			clean.BaseScore, retried.BaseScore, clean.FinalScore, retried.FinalScore)
+	}
+}
+
+// TestChaosWorkerPanicDoesNotCrash floods every join checkpoint with panics:
+// the run must survive (no process crash), quarantining every candidate and
+// returning an augmentation-free result.
+func TestChaosWorkerPanicDoesNotCrash(t *testing.T) {
+	defer parallel.SetMaxWorkers(0)
+	corpus, cands := chaosCorpus(t)
+
+	res, err := Augment(corpus.Base, cands,
+		chaosOptions(corpus, 8, faults.New(3, faults.MatchAll(faults.Panic))))
+	if err != nil {
+		t.Fatalf("all-panic run failed instead of quarantining: %v", err)
+	}
+	planned := res.CandidatesDeduped - res.CandidatesFiltered
+	if len(res.Quarantined) != planned {
+		t.Fatalf("quarantined %d of %d planned candidates", len(res.Quarantined), planned)
+	}
+	if len(res.KeptColumns) != 0 {
+		t.Fatalf("kept columns from fully-quarantined run: %v", res.KeptColumns)
+	}
+	if res.Table == nil {
+		t.Fatal("no result table")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/arda-ml/arda/internal/coreset"
 	"github.com/arda-ml/arda/internal/dataframe"
 	"github.com/arda-ml/arda/internal/eval"
+	"github.com/arda-ml/arda/internal/faults"
 	"github.com/arda-ml/arda/internal/featsel"
 	"github.com/arda-ml/arda/internal/join"
 	"github.com/arda-ml/arda/internal/ml"
@@ -96,6 +97,16 @@ type Options struct {
 	// augmented features"); the value is the number of bootstrap resamples
 	// (0 disables).
 	Significance int
+	// Timeout bounds the run's wall-clock duration when > 0: AugmentContext
+	// derives a deadline from it (and Augment from context.Background()), and
+	// a run that exceeds it stops at the next checkpoint with ErrDeadline and
+	// a partial Result. 0 means no timeout.
+	Timeout time.Duration
+	// FaultInjector, when set, fires deterministic faults (errors, panics,
+	// delays) at the pipeline's per-candidate checkpoints — the chaos-testing
+	// hook. Faulted candidates are quarantined, not fatal. nil (the default)
+	// makes every checkpoint a free no-op.
+	FaultInjector *faults.Injector
 	// Logf, when set, receives progress lines (batch starts, selections,
 	// materialization) during the run.
 	Logf func(format string, args ...any)
@@ -157,6 +168,19 @@ type BatchReport struct {
 	Score float64
 }
 
+// QuarantinedCandidate records one candidate table isolated by the fault
+// boundary: instead of failing the run, the candidate was dropped at the
+// named stage and the run continued without it.
+type QuarantinedCandidate struct {
+	// Name is the candidate table's name.
+	Name string
+	// Stage is the pipeline stage that faulted: "join", "impute", "encode",
+	// or "materialize".
+	Stage string
+	// Reason is the fault description (error text or recovered panic).
+	Reason string
+}
+
 // Result is the output of an ARDA run.
 type Result struct {
 	// Table is the full base table with every kept feature column appended
@@ -174,6 +198,11 @@ type Result struct {
 	EstimatorName string
 	// Batches reports each executed batch.
 	Batches []BatchReport
+	// Quarantined lists candidates isolated by the fault boundary (malformed
+	// tables, empty tables, injected faults), in quarantine order. A
+	// quarantined candidate contributes nothing to Table; everything else in
+	// the run is unaffected by its failure.
+	Quarantined []QuarantinedCandidate
 	// CandidatesConsidered, CandidatesDeduped, and CandidatesFiltered report
 	// the prefilter attrition: candidates as passed in, remaining after
 	// deduplication, and removed by the Tuple-Ratio prefilter (so the count

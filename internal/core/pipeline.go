@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -12,6 +13,7 @@ import (
 	"github.com/arda-ml/arda/internal/dataframe"
 	"github.com/arda-ml/arda/internal/discovery"
 	"github.com/arda-ml/arda/internal/eval"
+	"github.com/arda-ml/arda/internal/featsel"
 	"github.com/arda-ml/arda/internal/join"
 	"github.com/arda-ml/arda/internal/ml"
 	"github.com/arda-ml/arda/internal/obs"
@@ -54,9 +56,28 @@ func stageRNG(seed int64, ids ...int64) *rand.Rand {
 // against injected noise, materialize the kept features over the full base
 // table, and report base-vs-augmented holdout scores.
 func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (*Result, error) {
+	return AugmentContext(context.Background(), base, cands, opts)
+}
+
+// AugmentContext is Augment under a context. Cancellation is cooperative:
+// the context is checked at every stage boundary, before every candidate
+// join, and inside the parallel loops of selection, so a canceled or
+// deadline-bounded run stops promptly instead of draining its work queues.
+// On interruption it returns the typed ErrCanceled or ErrDeadline together
+// with a partial Result snapshot — the attrition counts, batch reports, and
+// quarantine log accumulated so far (Result.Table and the scores are only
+// set by a completed run). Options.Timeout > 0 additionally bounds the run's
+// wall-clock duration. The context only gates scheduling: a run that
+// completes is bit-identical to the same run without a context.
+func AugmentContext(ctx context.Context, base *dataframe.Table, cands []discovery.Candidate, opts Options) (*Result, error) {
 	start := time.Now()
 	if err := opts.validate(base); err != nil {
 		return nil, err
+	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
 	}
 	task, classes, err := TaskOf(base, opts.Target)
 	if err != nil {
@@ -83,9 +104,25 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 	cCandSkipped := tr.Counter("join.candidates_skipped")
 	cFeatOffered := tr.Counter("select.features_offered")
 	cFeatKept := tr.Counter("select.features_kept")
+	cQuarantined := tr.Counter("quarantine.total")
 
 	span := root.Child("prefilter", 0)
 	res := &Result{CandidatesConsidered: len(cands)}
+
+	// The fault boundary: a candidate that faults is quarantined — recorded
+	// and dropped — never fatal. partial finalizes the result snapshot for an
+	// interrupted return.
+	inj := opts.FaultInjector
+	quarantine := func(name, stage string, reason error) {
+		res.Quarantined = append(res.Quarantined, QuarantinedCandidate{Name: name, Stage: stage, Reason: reason.Error()})
+		cQuarantined.Add(1)
+		tr.Counter("quarantine." + stage).Add(1)
+		opts.logf("quarantine: %s at %s: %v", name, stage, reason)
+	}
+	partial := func(err error) (*Result, error) {
+		res.Elapsed = time.Since(start)
+		return res, err
+	}
 	cands = DedupeCandidates(base, cands)
 	res.CandidatesDeduped = len(cands)
 	cands, res.CandidatesFiltered = FilterTupleRatio(base.NumRows(), cands, opts.TupleRatioTau)
@@ -96,6 +133,9 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 	tr.Gauge("candidates.after_dedupe").Set(int64(res.CandidatesDeduped))
 	tr.Gauge("candidates.after_tuple_ratio").Set(int64(len(cands)))
 	span.End()
+	if err := interruptOf(ctx); err != nil {
+		return partial(err)
+	}
 
 	size := opts.CoresetSize
 	if size <= 0 {
@@ -140,6 +180,9 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 	span.SetInt("rows_in", int64(base.NumRows()))
 	span.SetInt("rows_out", int64(joinBase.NumRows()))
 	span.End()
+	if err := interruptOf(ctx); err != nil {
+		return partial(err)
+	}
 
 	plan := BuildPlan(cands, opts.Plan, budget)
 	opts.logf("plan: %s, %d candidates in %d batches (budget %d features, coreset %d rows)",
@@ -175,23 +218,51 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 		work := dataframe.MustNewTable(accum.Name(), accum.Columns()...)
 		type added struct {
 			ordinal int
+			name    string
 			prefix  string
+			cols    []string
 		}
 		var joinedCands []added
 		var tables []string
 		newCols := 0
 		for ci, cand := range batch.Candidates {
+			if err := interruptOf(ctx); err != nil {
+				joinSpan.End()
+				batchSpan.End()
+				return partial(err)
+			}
 			ord := batchOffset[bi] + ci
 			prefix := prefixOf[ord]
 			spec := specFor(cand, opts, prefix)
 			candSpan := joinSpan.Child("join.cand", ord)
 			candSpan.SetLabel(cand.Table.Name())
-			jr, err := join.ExecuteCached(work, cand.Table, spec,
-				stageRNG(opts.Seed, seedStageJoin, int64(bi), int64(ci)), prepCache)
-			if err != nil {
-				// A malformed candidate (discovery is noisy by design) is
-				// skipped, not fatal.
+			if cand.Table.NumRows() == 0 {
+				// An empty candidate can only contribute all-NULL columns;
+				// isolate it before it wastes a join.
 				cCandSkipped.Add(1)
+				quarantine(cand.Table.Name(), "join", fmt.Errorf("candidate table is empty"))
+				candSpan.End()
+				continue
+			}
+			// The per-attempt RNG re-derivation keeps retried joins
+			// bit-identical to first-try successes.
+			bi, ci := int64(bi), int64(ci)
+			jr, err := guardedJoin(ctx, inj, "join", ord,
+				func() *rand.Rand { return stageRNG(opts.Seed, seedStageJoin, bi, ci) },
+				func(rng *rand.Rand) (*join.Result, error) {
+					return join.ExecuteCached(work, cand.Table, spec, rng, prepCache)
+				})
+			if err != nil {
+				if isInterrupt(err) {
+					candSpan.End()
+					joinSpan.End()
+					batchSpan.End()
+					return partial(mapInterrupt(err))
+				}
+				// A malformed candidate (discovery is noisy by design) is
+				// quarantined, not fatal.
+				cCandSkipped.Add(1)
+				quarantine(cand.Table.Name(), "join", err)
 				candSpan.End()
 				continue
 			}
@@ -201,7 +272,7 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 			cCandScored.Add(1)
 			cRowsMatched.Add(int64(jr.Matched))
 			work = jr.Table
-			joinedCands = append(joinedCands, added{ord, prefix})
+			joinedCands = append(joinedCands, added{ord, cand.Table.Name(), prefix, jr.AddedColumns})
 			tables = append(tables, cand.Table.Name())
 			newCols += len(jr.AddedColumns)
 		}
@@ -210,10 +281,42 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 			batchSpan.End()
 			continue
 		}
+		if err := interruptOf(ctx); err != nil {
+			batchSpan.End()
+			return partial(err)
+		}
+		// Impute/encode checkpoints: these stages act on the whole work
+		// table, so per-candidate fault attribution happens here — a
+		// candidate faulted at either checkpoint has its joined columns
+		// dropped before the stage runs and the batch continues without it.
+		dropFaulted := func(stage string) {
+			if inj == nil {
+				return
+			}
+			live := joinedCands[:0]
+			for _, a := range joinedCands {
+				if err := checkpoint(inj, stage, a.ordinal); err != nil {
+					quarantine(a.name, stage, err)
+					for _, c := range a.cols {
+						work.DropColumn(c)
+					}
+					newCols -= len(a.cols)
+					continue
+				}
+				live = append(live, a)
+			}
+			joinedCands = live
+		}
+		dropFaulted("impute")
 		span = batchSpan.Child("impute", 0)
 		imputeTable(work, opts, stageRNG(opts.Seed, seedStageImpute, int64(bi)))
 		span.End()
 
+		dropFaulted("encode")
+		if len(joinedCands) == 0 {
+			batchSpan.End()
+			continue
+		}
 		view := work.ToNumericViewCached(encCache, opts.Target)
 		y, err := work.TargetVector(opts.Target)
 		if err != nil {
@@ -234,12 +337,17 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 			sa.AttachSpan(selSpan)
 		}
 		selStart := time.Now()
-		selected, err := opts.Selector.Select(ds, estimator, opts.Seed+int64(bi+1))
+		selected, err := selectWith(ctx, opts.Selector, ds, estimator, opts.Seed+int64(bi+1))
 		res.SelectionElapsed += time.Since(selStart)
 		if sa, ok := opts.Selector.(obs.SpanAttacher); ok {
 			sa.AttachSpan(nil)
 		}
 		if err != nil {
+			if isInterrupt(err) {
+				selSpan.End()
+				batchSpan.End()
+				return partial(mapInterrupt(err))
+			}
 			return nil, fmt.Errorf("core: feature selection on batch %d: %w", bi, err)
 		}
 		selSpan.SetInt("features_selected", int64(len(selected)))
@@ -284,6 +392,9 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 
 	// Materialize kept features over the full base table. Clone so the
 	// final imputation cannot mutate the caller's table.
+	if err := interruptOf(ctx); err != nil {
+		return partial(err)
+	}
 	matSpan := root.Child("materialize", 0)
 	final := base.Clone()
 	seenTables := make(map[string]bool)
@@ -294,13 +405,26 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 			if len(kept) == 0 {
 				continue
 			}
+			if err := interruptOf(ctx); err != nil {
+				matSpan.End()
+				return partial(err)
+			}
 			prefix := prefixOf[ord]
 			spec := specFor(cand, opts, prefix)
 			candSpan := matSpan.Child("materialize.cand", ord)
 			candSpan.SetLabel(cand.Table.Name())
-			jr, err := join.ExecuteCached(final, cand.Table, spec,
-				stageRNG(opts.Seed, seedStageMaterialize, int64(ord)), prepCache)
+			jr, err := guardedJoin(ctx, inj, "materialize", ord,
+				func() *rand.Rand { return stageRNG(opts.Seed, seedStageMaterialize, int64(ord)) },
+				func(rng *rand.Rand) (*join.Result, error) {
+					return join.ExecuteCached(final, cand.Table, spec, rng, prepCache)
+				})
 			if err != nil {
+				if isInterrupt(err) {
+					candSpan.End()
+					matSpan.End()
+					return partial(mapInterrupt(err))
+				}
+				quarantine(cand.Table.Name(), "materialize", err)
 				candSpan.End()
 				continue
 			}
@@ -329,6 +453,9 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 	}
 	matSpan.SetInt("cols_kept", int64(len(res.KeptColumns)))
 	matSpan.End()
+	if err := interruptOf(ctx); err != nil {
+		return partial(err)
+	}
 	span = root.Child("impute", 0)
 	imputeTable(final, opts, stageRNG(opts.Seed, seedStageFinal))
 	span.End()
@@ -338,6 +465,9 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 
 	// Final estimate: base vs augmented holdout score under the same
 	// estimator.
+	if err := interruptOf(ctx); err != nil {
+		return partial(err)
+	}
 	span = root.Child("evaluate", 0)
 	res.BaseScore = holdoutScoreOf(base, opts.Target, task, classes, estimator, opts.Seed)
 	res.FinalScore = holdoutScoreOf(final, opts.Target, task, classes, estimator, opts.Seed)
@@ -364,6 +494,16 @@ func Augment(base *dataframe.Table, cands []discovery.Candidate, opts Options) (
 	res.Elapsed = time.Since(start)
 	res.Trace = tr.Finish()
 	return res, nil
+}
+
+// selectWith runs feature selection, preferring the selector's
+// context-aware path when it implements featsel.ContextSelector so that a
+// canceled run stops selection promptly.
+func selectWith(ctx context.Context, sel featsel.Selector, ds *ml.Dataset, est eval.Fitter, seed int64) ([]int, error) {
+	if cs, ok := sel.(featsel.ContextSelector); ok {
+		return cs.SelectCtx(ctx, ds, est, seed)
+	}
+	return sel.Select(ds, est, seed)
 }
 
 // imputeTable applies the configured imputation strategy: kNN when enabled

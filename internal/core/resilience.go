@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/arda-ml/arda/internal/faults"
+	"github.com/arda-ml/arda/internal/join"
+)
+
+// Typed interruption sentinels: AugmentContext returns one of these (test
+// with errors.Is) together with a partial Result snapshot when its context
+// is canceled or its deadline passes mid-run.
+var (
+	// ErrCanceled reports a run stopped by context cancellation.
+	ErrCanceled = errors.New("core: augmentation canceled")
+	// ErrDeadline reports a run stopped by a context deadline (including
+	// Options.Timeout).
+	ErrDeadline = errors.New("core: augmentation deadline exceeded")
+)
+
+// Per-candidate retry policy for faults classified transient: a handful of
+// quick deterministic attempts. The backoff is tiny because the faults being
+// retried (injected transients, momentary resource blips) either clear
+// immediately or keep failing — a long ladder would just stall the batch.
+const (
+	candidateAttempts  = 3
+	candidateRetryBase = time.Millisecond
+)
+
+// interruptOf maps the context's state to the typed sentinel: nil while the
+// context is live (or nil), ErrDeadline/ErrCanceled once it is done.
+func interruptOf(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	switch err := ctx.Err(); {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrDeadline
+	default:
+		return ErrCanceled
+	}
+}
+
+// isInterrupt reports whether err stems from cancellation or a deadline
+// rather than from the work itself.
+func isInterrupt(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadline)
+}
+
+// mapInterrupt converts raw context errors to the typed sentinels, passing
+// other errors through.
+func mapInterrupt(err error) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrDeadline
+	case errors.Is(err, context.Canceled):
+		return ErrCanceled
+	}
+	return err
+}
+
+// recoveredError converts a recovered panic value into an error, keeping
+// error panic values unwrappable (so an injected transient panic still
+// classifies as transient and retries).
+func recoveredError(v any) error {
+	if err, ok := v.(error); ok {
+		return fmt.Errorf("core: recovered panic: %w", err)
+	}
+	return fmt.Errorf("core: recovered panic: %v", v)
+}
+
+// checkpoint probes the fault injector at (stage, ordinal) with panic
+// containment, so a Panic-kind fault at a non-join checkpoint quarantines
+// the candidate instead of crashing the run. Nil injectors are free.
+func checkpoint(inj *faults.Injector, stage string, ordinal int) (err error) {
+	if inj == nil {
+		return nil
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			err = recoveredError(v)
+		}
+	}()
+	return inj.Check(stage, ordinal)
+}
+
+// guardedJoin executes one candidate join inside the full fault boundary:
+// injector checkpoint, panic containment, and transient-fault retry. mkRNG
+// re-derives the stage RNG for every attempt — the RNG is attempt-local
+// state, so a retried join draws exactly the sequence a first-try success
+// would and the output stays bit-identical.
+func guardedJoin(ctx context.Context, inj *faults.Injector, stage string, ordinal int,
+	mkRNG func() *rand.Rand, fn func(*rand.Rand) (*join.Result, error)) (*join.Result, error) {
+	var jr *join.Result
+	err := faults.Retry(ctx, candidateAttempts, candidateRetryBase, func() (err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = recoveredError(v)
+			}
+		}()
+		if err := inj.Check(stage, ordinal); err != nil {
+			return err
+		}
+		jr, err = fn(mkRNG())
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return jr, nil
+}

@@ -47,7 +47,10 @@ func ReadCSV(name string, r io.Reader) (*Table, error) {
 	if len(records) == 0 {
 		return nil, fmt.Errorf("dataframe: CSV for table %q has no header", name)
 	}
-	header := normalizeHeader(records[0])
+	header, err := normalizeHeader(name, records[0])
+	if err != nil {
+		return nil, err
+	}
 	rows := records[1:]
 	cols := make([]Column, 0, len(header))
 	raw := make([]string, len(rows))
@@ -59,15 +62,21 @@ func ReadCSV(name string, r io.Reader) (*Table, error) {
 				raw[i] = ""
 			}
 		}
-		cols = append(cols, inferColumn(colName, raw))
+		col, err := inferColumn(name, colName, raw)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
 	}
 	return NewTable(name, cols...)
 }
 
 // normalizeHeader makes header names usable as column identifiers: empty
-// cells become "colN" and duplicates get a numeric suffix, so every parsed
-// table can round-trip through WriteCSV.
-func normalizeHeader(raw []string) []string {
+// cells become "colN". Duplicate names are rejected — two columns with the
+// same name would be indistinguishable to join specs and silently shadow
+// each other in every by-name lookup, so the ambiguity must surface at
+// ingestion, not deep inside a join.
+func normalizeHeader(table string, raw []string) ([]string, error) {
 	out := make([]string, len(raw))
 	seen := make(map[string]int, len(raw))
 	for j, name := range raw {
@@ -75,18 +84,22 @@ func normalizeHeader(raw []string) []string {
 		if name == "" {
 			name = fmt.Sprintf("col%d", j+1)
 		}
-		if n := seen[name]; n > 0 {
-			seen[name] = n + 1
-			name = fmt.Sprintf("%s_%d", name, n+1)
+		if prev, dup := seen[name]; dup {
+			return nil, fmt.Errorf("dataframe: CSV for table %q has duplicate column name %q (columns %d and %d)", table, name, prev+1, j+1)
 		}
-		seen[name]++
+		seen[name] = j
 		out[j] = name
 	}
-	return out
+	return out, nil
 }
 
 // inferColumn builds a column of the most specific kind that fits raw.
-func inferColumn(name string, raw []string) Column {
+// Numeric cells holding ±Inf are rejected: Inf parses as a valid float but
+// would poison join keys, aggregation means, and model features, so it is
+// surfaced as an ingestion error. A literal NaN cell needs no rejection —
+// numeric columns represent missing values as NaN, so it simply reads back
+// as missing.
+func inferColumn(table, name string, raw []string) (Column, error) {
 	allTime, allNum, any := true, true, false
 	for _, s := range raw {
 		if s == "" {
@@ -118,7 +131,7 @@ func inferColumn(name string, raw []string) Column {
 			ts, _ := parseTime(s)
 			unix[i] = ts
 		}
-		return NewTime(name, unix)
+		return NewTime(name, unix), nil
 	case any && allNum:
 		vals := make([]float64, len(raw))
 		for i, s := range raw {
@@ -127,13 +140,16 @@ func inferColumn(name string, raw []string) Column {
 				continue
 			}
 			v, _ := strconv.ParseFloat(s, 64)
+			if math.IsInf(v, 0) {
+				return nil, fmt.Errorf("dataframe: CSV for table %q: column %q row %d: non-finite value %q", table, name, i+1, s)
+			}
 			vals[i] = v
 		}
-		return NewNumeric(name, vals)
+		return NewNumeric(name, vals), nil
 	default:
 		vals := make([]string, len(raw))
 		copy(vals, raw)
-		return NewCategorical(name, vals)
+		return NewCategorical(name, vals), nil
 	}
 }
 

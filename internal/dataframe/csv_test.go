@@ -148,3 +148,41 @@ func TestCSVNumericPrecisionRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestReadCSVRejectsDuplicateHeader(t *testing.T) {
+	for _, in := range []string{
+		"a,a\n1,2\n",
+		"a, a \n1,2\n", // duplicate after trimming
+		"col2,\n1,2\n", // empty header's generated name collides
+	} {
+		if _, err := ReadCSV("t", strings.NewReader(in)); err == nil {
+			t.Errorf("ReadCSV(%q) accepted a duplicate column name", in)
+		} else if !strings.Contains(err.Error(), "duplicate column name") {
+			t.Errorf("ReadCSV(%q) error = %v, want duplicate column name", in, err)
+		}
+	}
+}
+
+func TestReadCSVRejectsInfinity(t *testing.T) {
+	for _, in := range []string{
+		"v\n1\nInf\n",
+		"v\n-Inf\n2\n",
+		"v\n+infinity\n",
+	} {
+		if _, err := ReadCSV("t", strings.NewReader(in)); err == nil {
+			t.Errorf("ReadCSV(%q) accepted a non-finite numeric cell", in)
+		} else if !strings.Contains(err.Error(), "non-finite") {
+			t.Errorf("ReadCSV(%q) error = %v, want non-finite", in, err)
+		}
+	}
+}
+
+func TestReadCSVNaNCellReadsAsMissing(t *testing.T) {
+	tab, err := ReadCSV("t", strings.NewReader("v\nNaN\n2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Column("v").IsMissing(0) || tab.Column("v").IsMissing(1) {
+		t.Fatal("literal NaN cell should read back as missing")
+	}
+}

@@ -1,0 +1,30 @@
+package faults
+
+import (
+	"testing"
+
+	"github.com/arda-ml/arda/internal/testenv"
+)
+
+// TestInjectionOffAllocs guards the production path: the pipeline calls
+// Check unconditionally at every fault checkpoint, so with injection off —
+// a nil *Injector, the default — and with an injector whose rules do not
+// match, the checkpoint must be allocation-free.
+func TestInjectionOffAllocs(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("AllocsPerRun counts the race detector's bookkeeping; run via `make alloc`")
+	}
+	var nilInj *Injector
+	miss := New(1, At(Error, "join", 2), Rule{Stage: "impute", Ordinal: -1, Kind: Error})
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := nilInj.Check("join", 3); err != nil {
+			t.Fatal("nil injector fired")
+		}
+		if err := miss.Check("select", 3); err != nil {
+			t.Fatal("non-matching injector fired")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("injection-off checkpoint allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,276 @@
+// Package faults is a seeded, deterministic fault-injection substrate for
+// chaos-testing the ARDA pipeline. An Injector holds a list of rules, each
+// matching an injection site — a (stage, ordinal) pair such as ("join", 3) —
+// and firing one of three fault kinds: an error return, a panic, or a delay.
+// The pipeline calls Check at every fault-isolated operation; a nil *Injector
+// (the production default) makes every checkpoint a zero-allocation no-op.
+//
+// Determinism is the core contract: whether a fault fires depends only on the
+// injector's seed, its rules, and the site's (stage, ordinal, attempt)
+// coordinates — never on wall-clock time, goroutine scheduling, or worker
+// count — so a chaos run quarantines exactly the same candidates at any
+// parallelism level and can be replayed bit-identically from its seed.
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind selects what a matching rule does at its injection site.
+type Kind int
+
+const (
+	// Error makes Check return an *InjectedError.
+	Error Kind = iota
+	// Panic makes Check panic with an *InjectedError.
+	Panic
+	// Delay makes Check sleep for the rule's Delay, then succeed.
+	Delay
+)
+
+// String returns the lowercase kind name.
+func (k Kind) String() string {
+	switch k {
+	case Panic:
+		return "panic"
+	case Delay:
+		return "delay"
+	default:
+		return "error"
+	}
+}
+
+// Rule matches injection sites and describes the fault to fire there. The
+// zero value of the match fields is permissive: an empty Stage matches every
+// stage and a negative Ordinal matches every ordinal, so construct rules with
+// MatchAll (or set Ordinal explicitly) rather than relying on Ordinal's zero
+// value, which matches only ordinal 0.
+type Rule struct {
+	// Stage matches the checkpoint's stage name exactly; "" matches all.
+	Stage string
+	// Ordinal matches the checkpoint's work-item ordinal; negative matches
+	// all.
+	Ordinal int
+	// Kind is the fault fired at matching sites.
+	Kind Kind
+	// Prob, when in (0, 1), fires the fault only at sites whose deterministic
+	// (seed, stage, ordinal) roll lands below it; 0 or >= 1 always fires.
+	Prob float64
+	// Times, when > 0, fires only on the site's first Times attempts, so a
+	// retried operation eventually succeeds; 0 fires on every attempt.
+	Times int
+	// Transient marks injected errors as retryable (IsTransient reports true).
+	Transient bool
+	// Delay is the sleep duration of Delay faults (default 1ms).
+	Delay time.Duration
+}
+
+// MatchAll returns a rule of the given kind matching every site.
+func MatchAll(kind Kind) Rule { return Rule{Ordinal: -1, Kind: kind} }
+
+// At returns a rule of the given kind matching exactly one site.
+func At(kind Kind, stage string, ordinal int) Rule {
+	return Rule{Stage: stage, Ordinal: ordinal, Kind: kind}
+}
+
+// Fired records one fault that actually fired, for test assertions.
+type Fired struct {
+	Stage   string
+	Ordinal int
+	// Attempt is 1-based: the Nth Check at this site that matched a rule.
+	Attempt int
+	Kind    Kind
+}
+
+// site keys the per-site attempt counters.
+type site struct {
+	stage   string
+	ordinal int
+}
+
+// Injector fires faults at matching checkpoints. Create one with New, wire
+// it into a run (core.Options.FaultInjector), and inspect Fired afterwards.
+// All methods are safe for concurrent use and nil-receiver safe.
+type Injector struct {
+	seed  int64
+	rules []Rule
+
+	mu       sync.Mutex
+	attempts map[site]int
+	fired    []Fired
+}
+
+// New returns an injector firing the given rules; probability rolls derive
+// from seed. No rules means no faults ever fire.
+func New(seed int64, rules ...Rule) *Injector {
+	return &Injector{seed: seed, rules: rules, attempts: make(map[site]int)}
+}
+
+// Check runs the (stage, ordinal) checkpoint: the first matching rule fires
+// its fault — an error return, a panic, or a sleep. No matching rule (and a
+// nil injector) returns nil. The decision is a pure function of the
+// injector's seed, rules, and the site's attempt count.
+func (in *Injector) Check(stage string, ordinal int) error {
+	if in == nil {
+		return nil
+	}
+	for i := range in.rules {
+		r := &in.rules[i]
+		if r.Stage != "" && r.Stage != stage {
+			continue
+		}
+		if r.Ordinal >= 0 && r.Ordinal != ordinal {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && !in.roll(stage, ordinal, i, r.Prob) {
+			continue
+		}
+		attempt := in.bump(stage, ordinal)
+		if r.Times > 0 && attempt > r.Times {
+			return nil
+		}
+		in.record(Fired{Stage: stage, Ordinal: ordinal, Attempt: attempt, Kind: r.Kind})
+		ie := &InjectedError{Stage: stage, Ordinal: ordinal, Attempt: attempt, Transient: r.Transient}
+		switch r.Kind {
+		case Panic:
+			panic(ie)
+		case Delay:
+			d := r.Delay
+			if d <= 0 {
+				d = time.Millisecond
+			}
+			time.Sleep(d)
+			return nil
+		default:
+			return ie
+		}
+	}
+	return nil
+}
+
+// bump increments and returns the site's 1-based attempt count.
+func (in *Injector) bump(stage string, ordinal int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	k := site{stage, ordinal}
+	in.attempts[k]++
+	return in.attempts[k]
+}
+
+// record appends to the fired log.
+func (in *Injector) record(f Fired) {
+	in.mu.Lock()
+	in.fired = append(in.fired, f)
+	in.mu.Unlock()
+}
+
+// Fired returns a copy of the faults fired so far. Order follows checkpoint
+// execution; sites probed from concurrent goroutines may interleave, so
+// assertions over parallel stages should compare sets.
+func (in *Injector) Fired() []Fired {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Fired, len(in.fired))
+	copy(out, in.fired)
+	return out
+}
+
+// roll is the deterministic probability draw for (seed, stage, ordinal,
+// rule): a SplitMix64 finalizer over an FNV-1a fold of the coordinates,
+// mapped to [0, 1).
+func (in *Injector) roll(stage string, ordinal, rule int, prob float64) bool {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(stage); i++ {
+		h = (h ^ uint64(stage[i])) * prime64
+	}
+	h ^= uint64(in.seed)
+	h = (h ^ uint64(int64(ordinal))) * prime64
+	h = (h ^ uint64(int64(rule))) * prime64
+	h += 0x9E3779B97F4A7C15
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return float64(h>>11)/(1<<53) < prob
+}
+
+// InjectedError is the error (and panic value) produced by a firing fault.
+type InjectedError struct {
+	Stage   string
+	Ordinal int
+	Attempt int
+	// Transient reports whether the fault models a retryable condition.
+	Transient bool
+}
+
+// Error implements the error interface.
+func (e *InjectedError) Error() string {
+	kind := "fault"
+	if e.Transient {
+		kind = "transient fault"
+	}
+	return fmt.Sprintf("faults: injected %s at %s[%d] attempt %d", kind, e.Stage, e.Ordinal, e.Attempt)
+}
+
+// transienter is the classification interface: any error whose chain exposes
+// IsTransient() == true is considered retryable.
+type transienter interface{ IsTransient() bool }
+
+// IsTransient implements the transienter classification for injected errors.
+func (e *InjectedError) IsTransient() bool { return e.Transient }
+
+// IsTransient reports whether err's chain contains an error classified
+// transient (retry may succeed). Injected transient faults and any error
+// implementing IsTransient() bool qualify.
+func IsTransient(err error) bool {
+	var tr transienter
+	return errors.As(err, &tr) && tr.IsTransient()
+}
+
+// Retry runs fn up to attempts times, retrying only failures classified
+// transient by IsTransient, with deterministic exponential backoff (base,
+// 2·base, 4·base, …) between tries. A done ctx aborts the wait and returns
+// ctx.Err(); non-transient errors (and success) return immediately. attempts
+// < 1 is treated as 1.
+func Retry(ctx context.Context, attempts int, base time.Duration, fn func() error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for try := 0; try < attempts; try++ {
+		if try > 0 && base > 0 {
+			t := time.NewTimer(base << (try - 1))
+			if ctx != nil {
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return ctx.Err()
+				case <-t.C:
+				}
+			} else {
+				<-t.C
+			}
+		}
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+		}
+		if err = fn(); err == nil || !IsTransient(err) {
+			return err
+		}
+	}
+	return err
+}

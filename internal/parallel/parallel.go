@@ -19,13 +19,52 @@
 // acquire helper slots simply runs inline on its caller's goroutine, so
 // forests growing inside parallel RIFS repetitions never explode the
 // goroutine count and the pool can never deadlock.
+//
+// The pool is also the fault boundary for worker code: a panic inside a work
+// item never crashes the process from a helper goroutine. Panics are
+// recovered per item and reported deterministically — the panic of the
+// lowest panicking index wins, regardless of scheduling — either re-panicked
+// on the calling goroutine (ForEach/Blocks, preserving sequential semantics)
+// or returned as a *PanicError (Map and the *Ctx variants). The *Ctx
+// variants additionally stop claiming new work items once the context is
+// done, so a canceled pipeline returns promptly instead of draining the
+// queue.
 package parallel
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a panic recovered from a pool work item, converted to an
+// error at the pool boundary. Index is the work-item ordinal; when several
+// items panic, the lowest index is reported so the error is deterministic
+// for any worker count.
+type PanicError struct {
+	// Index is the panicking work item's ordinal.
+	Index int
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: work item %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// Unwrap exposes panic values that already are errors to errors.Is/As.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // maxWorkers is the process-wide cap on concurrently running workers; helpers
 // beyond it are not spawned and work runs inline instead.
@@ -76,34 +115,55 @@ func acquire() bool {
 // release returns a helper slot.
 func release() { inFlight.Add(-1) }
 
-// ForEach runs fn(i) for every i in [0, n), using at most `workers`
-// goroutines (workers <= 0 selects the process-wide maximum). The calling
-// goroutine always participates, so ForEach makes progress even when the
-// pool is saturated by outer calls; helper goroutines are only spawned while
-// the process-wide cap has room. fn must confine its writes to per-index
-// state for the results to be deterministic.
-func ForEach(workers, n int, fn func(i int)) {
+// run is the shared dispatch loop: fn(i) for every i in [0, n) on at most
+// `workers` goroutines, with per-item panic recovery. It returns the
+// recovered panic of the lowest panicking index (nil if none panicked). All
+// items run even after a panic — an early stop would make which panic wins
+// depend on scheduling. A non-nil ctx makes workers stop claiming new items
+// once the context is done; items already started always complete.
+func run(ctx context.Context, workers, n int, fn func(i int)) *PanicError {
 	if n <= 0 {
-		return
+		return nil
 	}
 	w := Workers(workers)
 	if w > n {
 		w = n
 	}
+	var pmu sync.Mutex
+	var first *PanicError
+	item := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				stack := debug.Stack()
+				pmu.Lock()
+				if first == nil || i < first.Index {
+					first = &PanicError{Index: i, Value: v, Stack: stack}
+				}
+				pmu.Unlock()
+			}
+		}()
+		fn(i)
+	}
 	if w <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if ctx != nil && ctx.Err() != nil {
+				break
+			}
+			item(i)
 		}
-		return
+		return first
 	}
 	var next atomic.Int64
 	work := func() {
 		for {
+			if ctx != nil && ctx.Err() != nil {
+				return
+			}
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
 			}
-			fn(i)
+			item(i)
 		}
 	}
 	var wg sync.WaitGroup
@@ -117,17 +177,66 @@ func ForEach(workers, n int, fn func(i int)) {
 	}
 	work()
 	wg.Wait()
+	return first
+}
+
+// ForEach runs fn(i) for every i in [0, n), using at most `workers`
+// goroutines (workers <= 0 selects the process-wide maximum). The calling
+// goroutine always participates, so ForEach makes progress even when the
+// pool is saturated by outer calls; helper goroutines are only spawned while
+// the process-wide cap has room. fn must confine its writes to per-index
+// state for the results to be deterministic.
+//
+// A panic in fn is recovered at the pool boundary and re-panicked on the
+// calling goroutine as a *PanicError wrapping the original value — the
+// lowest panicking index wins deterministically — so a worker panic is
+// recoverable by the caller instead of crashing the process from a helper
+// goroutine.
+func ForEach(workers, n int, fn func(i int)) {
+	if pe := run(nil, workers, n, fn); pe != nil {
+		panic(pe)
+	}
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done,
+// workers stop claiming new work items (items already started complete) and
+// ForEachCtx returns ctx.Err() instead of draining the queue. A panic in fn
+// is returned as a *PanicError rather than re-panicked. A nil ctx never
+// cancels.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	if pe := run(ctx, workers, n, fn); pe != nil {
+		return pe
+	}
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // Map runs fn for every index and returns the results in index order. If any
 // invocations fail, the error of the lowest failing index is returned (a
-// deterministic choice regardless of scheduling).
+// deterministic choice regardless of scheduling); a panic counts as that
+// index failing with a *PanicError.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(nil, workers, n, fn)
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is done, remaining
+// work items are skipped and ctx.Err() is returned. A nil ctx never cancels.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
-	ForEach(workers, n, func(i int) { out[i], errs[i] = fn(i) })
+	pe := run(ctx, workers, n, func(i int) { out[i], errs[i] = fn(i) })
+	if pe != nil && errs[pe.Index] == nil {
+		errs[pe.Index] = pe
+	}
 	for _, err := range errs {
 		if err != nil {
+			return nil, err
+		}
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 	}
@@ -138,7 +247,12 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 // strict index order on the calling goroutine, so non-associative reductions
 // (floating-point sums) are bit-identical for any worker count.
 func MapReduce[T, A any](workers, n int, fn func(i int) (T, error), acc A, reduce func(A, T) A) (A, error) {
-	vals, err := Map(workers, n, fn)
+	return MapReduceCtx(nil, workers, n, fn, acc, reduce)
+}
+
+// MapReduceCtx is MapReduce with cooperative cancellation (see MapCtx).
+func MapReduceCtx[T, A any](ctx context.Context, workers, n int, fn func(i int) (T, error), acc A, reduce func(A, T) A) (A, error) {
+	vals, err := MapCtx(ctx, workers, n, fn)
 	if err != nil {
 		return acc, err
 	}

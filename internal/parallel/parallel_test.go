@@ -1,10 +1,12 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachCoversAllIndices(t *testing.T) {
@@ -219,5 +221,138 @@ func TestForEachRaceStress(t *testing.T) {
 	wg.Wait()
 	if total.Load() != 16*20*64 {
 		t.Fatal("stress iterations incomplete")
+	}
+}
+
+// TestForEachPanicFirstOrdinalWins: a panic in a work item must surface on
+// the calling goroutine as a recoverable *PanicError — never crash the
+// process from a helper goroutine — and when several items panic, the lowest
+// index must win at every worker count.
+func TestForEachPanicFirstOrdinalWins(t *testing.T) {
+	defer SetMaxWorkers(0)
+	for _, workers := range []int{1, 8} {
+		SetMaxWorkers(workers)
+		var ran atomic.Int64
+		err := func() (err *PanicError) {
+			defer func() {
+				p := recover()
+				pe, ok := p.(*PanicError)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %v, want *PanicError", workers, p)
+				}
+				err = pe
+			}()
+			ForEach(0, 100, func(i int) {
+				ran.Add(1)
+				if i == 23 || i == 71 {
+					panic(i)
+				}
+			})
+			return nil
+		}()
+		if err == nil || err.Index != 23 {
+			t.Fatalf("workers=%d: panic index = %v, want 23", workers, err)
+		}
+		if v, ok := err.Value.(int); !ok || v != 23 {
+			t.Fatalf("workers=%d: panic value = %v, want 23", workers, err.Value)
+		}
+		// Determinism requires every item to run even after a panic.
+		if got := ran.Load(); got != 100 {
+			t.Fatalf("workers=%d: %d items ran, want 100", workers, got)
+		}
+	}
+}
+
+// TestMapPanicBecomesError: Map converts a work-item panic into the error of
+// that index, losing to lower-index ordinary errors deterministically.
+func TestMapPanicBecomesError(t *testing.T) {
+	defer SetMaxWorkers(0)
+	SetMaxWorkers(8)
+	_, err := Map(0, 50, func(i int) (int, error) {
+		if i == 31 {
+			panic("injected")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 31 {
+		t.Fatalf("Map panic error = %v, want *PanicError at 31", err)
+	}
+	errLow := errors.New("low")
+	_, err = Map(0, 50, func(i int) (int, error) {
+		switch i {
+		case 7:
+			return 0, errLow
+		case 31:
+			panic("injected")
+		}
+		return i, nil
+	})
+	if !errors.Is(err, errLow) {
+		t.Fatalf("Map error = %v, want lowest-index error %v", err, errLow)
+	}
+}
+
+// TestPanicErrorUnwrap: panic values that are errors stay reachable through
+// errors.Is on the converted *PanicError.
+func TestPanicErrorUnwrap(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	_, err := Map(0, 4, func(i int) (int, error) {
+		if i == 2 {
+			panic(sentinel)
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is through PanicError = false for %v", err)
+	}
+}
+
+// TestForEachCtxCancelStopsClaiming: after cancellation, no new work items
+// start and ForEachCtx reports ctx.Err() without draining the queue.
+func TestForEachCtxCancelStopsClaiming(t *testing.T) {
+	defer SetMaxWorkers(0)
+	SetMaxWorkers(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	const n = 1000
+	err := ForEachCtx(ctx, 0, n, func(i int) {
+		if started.Add(1) == 5 {
+			cancel()
+		}
+		time.Sleep(100 * time.Microsecond)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForEachCtx = %v, want context.Canceled", err)
+	}
+	// 4 workers were mid-item at cancel time; far fewer than n may start after.
+	if got := started.Load(); got > n/2 {
+		t.Fatalf("%d of %d items started after cancellation", got, n)
+	}
+}
+
+// TestForEachCtxNilAndComplete: a nil ctx never cancels, and a live ctx that
+// is never canceled runs every item and returns nil.
+func TestForEachCtxNilAndComplete(t *testing.T) {
+	defer SetMaxWorkers(0)
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		var ran atomic.Int64
+		if err := ForEachCtx(ctx, 0, 100, func(int) { ran.Add(1) }); err != nil {
+			t.Fatalf("ForEachCtx = %v, want nil", err)
+		}
+		if ran.Load() != 100 {
+			t.Fatalf("ran %d of 100 items", ran.Load())
+		}
+	}
+}
+
+// TestMapCtxCanceled: MapCtx reports ctx.Err() when canceled mid-run.
+func TestMapCtxCanceled(t *testing.T) {
+	defer SetMaxWorkers(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MapCtx(ctx, 0, 100, func(i int) (int, error) { return i, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("MapCtx under canceled ctx = %v, want context.Canceled", err)
 	}
 }

@@ -1,0 +1,37 @@
+package testenv
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// NoGoroutineLeak snapshots the goroutine count and returns a check to defer:
+// it fails the test if the count has not returned to the baseline within a
+// short grace period. The grace period matters — a canceled parallel stage
+// returns to the caller before its helper goroutines finish their in-flight
+// work items, so the check polls instead of sampling once. On failure it
+// dumps all goroutine stacks so the leaked goroutine is identifiable.
+//
+//	defer testenv.NoGoroutineLeak(t)()
+func NoGoroutineLeak(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d goroutines before, %d after\n%s",
+			before, runtime.NumGoroutine(), buf[:n])
+	}
+}
