@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race alloc chaos bench bench-parallel bench-dataplane trace-smoke bench-stages
+.PHONY: check vet build test race alloc chaos crash bench bench-parallel bench-dataplane trace-smoke bench-stages bench-checkpoint
 
-check: vet build race alloc chaos trace-smoke
+check: vet build race alloc chaos crash trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,13 +35,21 @@ bench-parallel:
 
 # Allocation-regression gate: the AllocsPerRun tests that skip under -race.
 alloc:
-	$(GO) test -run 'Allocs' ./internal/join/ ./internal/dataframe/ ./internal/eval/ ./internal/obs/ ./internal/faults/
+	$(GO) test -run 'Allocs' ./internal/join/ ./internal/dataframe/ ./internal/eval/ ./internal/obs/ ./internal/faults/ ./internal/checkpoint/
 
 # Chaos suite under the race detector: deterministic fault injection,
 # quarantine isolation, cancellation/timeout, and pool panic recovery.
 chaos:
 	$(GO) test -race -timeout 20m -run 'TestChaos|TestCancel|TestTimeout|TestCanceled|TestPanic|TestForEachPanic|TestMapPanic|TestInjector|TestRetry' \
 		./internal/core/ ./internal/parallel/ ./internal/faults/
+
+# Crash/durability suite under the race detector: checkpoint corruption
+# rejection, kill-at-every-stage-boundary resume equivalence, budget
+# degradation determinism, and atomic artifact writes.
+crash:
+	$(GO) test -race -timeout 30m \
+		-run 'TestCheckpoint|TestResume|TestApplyBudgets|TestBudget|TestSave|TestOpen|TestCreate|TestTruncate|TestLoad|TestNilLog|TestNDJSONFileSink|TestWriteCSVFileAtomic|TestWriteFile' \
+		./internal/checkpoint/ ./internal/core/ ./internal/atomicio/ ./internal/obs/ ./internal/dataframe/
 
 # Observability smoke: generate a small corpus, run the full pipeline with
 # -v and -trace, then validate the NDJSON event stream covers every stage.
@@ -68,3 +76,12 @@ bench-dataplane:
 		./internal/join/ ./internal/dataframe/ ./internal/eval/ \
 		| $(GO) run ./cmd/benchjson > BENCH_dataplane.json
 	@grep -c '"op"' BENCH_dataplane.json >/dev/null && echo "wrote BENCH_dataplane.json"
+
+# Checkpoint-overhead benchmark: the same pipeline with durability off
+# ("plain") and on ("checkpointed"); benchjson pairs the variants into a
+# headline overhead ratio.
+bench-checkpoint:
+	$(GO) test -bench='CheckpointOverhead' -benchmem -benchtime=3x -run=^$$ \
+		./internal/core/ \
+		| $(GO) run ./cmd/benchjson > BENCH_checkpoint.json
+	@grep -c '"op"' BENCH_checkpoint.json >/dev/null && echo "wrote BENCH_checkpoint.json"

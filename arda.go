@@ -59,12 +59,27 @@ type Result = core.Result
 // boundary instead of failing the run (see Result.Quarantined).
 type QuarantinedCandidate = core.QuarantinedCandidate
 
+// Degradation records one deterministic step the resource-budget ladder took
+// to fit the run under Options.MaxCells / Options.MaxCandidateBytes (see
+// Result.Degraded).
+type Degradation = core.Degradation
+
 // Typed interrupt errors. An Augment run stopped by cancellation or an
 // Options.Timeout deadline returns one of these (test with errors.Is)
 // together with a partial Result snapshot of the work completed so far.
 var (
 	ErrCanceled = core.ErrCanceled
 	ErrDeadline = core.ErrDeadline
+)
+
+// Typed checkpoint errors. A run with Options.Resume set returns one of
+// these (test with errors.Is) when the directory's saved state cannot be
+// reused: corrupt bytes, or a checkpoint recorded for different inputs or
+// options. The clean fallback is rerunning without Resume, which sweeps the
+// stale state and starts fresh.
+var (
+	ErrCheckpointCorrupt  = core.ErrCheckpointCorrupt
+	ErrCheckpointMismatch = core.ErrCheckpointMismatch
 )
 
 // FaultInjector fires deterministic, seeded faults at the pipeline's
@@ -243,6 +258,13 @@ func NewTraceCollector() *obs.Collector { return &obs.Collector{} }
 // NewTraceWriter returns a sink streaming trace events to w as NDJSON, one
 // event per line, written as spans end.
 func NewTraceWriter(w io.Writer) *obs.NDJSONSink { return obs.NewNDJSONSink(w) }
+
+// NewTraceFile returns a sink streaming trace events to path as NDJSON,
+// published crash-safely: lines accumulate in path+".tmp" and are renamed
+// over path when the trace finishes, so the final name only ever holds a
+// complete trace. Check the error of the sink's Flush (called by
+// Trace.Finish; Flush is idempotent) to confirm the publish.
+func NewTraceFile(path string) (*obs.NDJSONFileSink, error) { return obs.NewNDJSONFileSink(path) }
 
 // PublishTraceExpvar exports the trace's counters as the expvar variable
 // "arda.counters", served on /debug/vars by net/http servers using the

@@ -11,21 +11,40 @@
 // (default RIFS), -plan the join plan (budget|table|full), -coreset the
 // row-reduction strategy (uniform|stratified|sketch), -tau enables the
 // Tuple-Ratio prefilter. Observability: -v streams live stage progress to
-// stderr, -trace writes the run's span/counter event stream as NDJSON, and
-// -pprof serves net/http/pprof plus the run counters as the expvar
-// "arda.counters".
+// stderr, -trace writes the run's span/counter event stream as NDJSON
+// (published atomically when the run finishes), and -pprof serves
+// net/http/pprof plus the run counters as the expvar "arda.counters".
+//
+// Durability: -checkpoint-dir snapshots pipeline state after every stage so
+// a killed run can continue with -resume; -max-cells and
+// -max-candidate-bytes bound the run's working set, degrading the
+// configuration deterministically instead of failing. SIGINT/SIGTERM stop
+// the run at the next stage boundary with a partial report.
+//
+// Exit codes: 0 success, 1 hard failure, 2 canceled (signal), 3 deadline
+// exceeded, 4 unusable checkpoint state under -resume.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof" // register /debug/pprof on the default mux
 	"os"
+	"os/signal"
+	"syscall"
 
 	"github.com/arda-ml/arda"
 	"github.com/arda-ml/arda/internal/cli"
+)
+
+// Exit codes for scripted callers.
+const (
+	exitCanceled   = 2
+	exitDeadline   = 3
+	exitCheckpoint = 4
 )
 
 func main() {
@@ -51,6 +70,10 @@ func main() {
 		verbose    = flag.Bool("v", false, "stream pipeline progress and the stage-cost tree to stderr")
 		traceFile  = flag.String("trace", "", "write the run's trace event stream to this file as NDJSON")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and expvar run counters on this address (e.g. localhost:6060)")
+		ckDir      = flag.String("checkpoint-dir", "", "snapshot pipeline state into this directory after every stage (crash-safe)")
+		resume     = flag.Bool("resume", false, "continue from the last completed stage recorded in -checkpoint-dir")
+		maxCells   = flag.Int64("max-cells", 0, "bound the augmented working set to this many cells, degrading deterministically (0 = unbounded)")
+		maxBytes   = flag.Int64("max-candidate-bytes", 0, "bound the candidate tables admitted per run to this estimated byte size (0 = unbounded)")
 	)
 	flag.Parse()
 	cli.Setup("arda", *verbose)
@@ -83,15 +106,19 @@ func main() {
 	}
 
 	opts := arda.Options{
-		Target:        *target,
-		CoresetSize:   *size,
-		Budget:        *budget,
-		TupleRatioTau: *tau,
-		Seed:          *seed,
-		KNNImpute:     *knnImpute,
-		Significance:  *sig,
-		Workers:       *workers,
-		Timeout:       *timeout,
+		Target:            *target,
+		CoresetSize:       *size,
+		Budget:            *budget,
+		TupleRatioTau:     *tau,
+		Seed:              *seed,
+		KNNImpute:         *knnImpute,
+		Significance:      *sig,
+		Workers:           *workers,
+		Timeout:           *timeout,
+		CheckpointDir:     *ckDir,
+		Resume:            *resume,
+		MaxCells:          *maxCells,
+		MaxCandidateBytes: *maxBytes,
 	}
 	if *verbose {
 		opts.Logf = cli.Progressf
@@ -100,13 +127,14 @@ func main() {
 	// Observability: a trace is attached when anything will consume it — an
 	// NDJSON file, the verbose stage tree, or a pprof/expvar endpoint.
 	var sinks []arda.TraceSink
-	var traceOut *os.File
+	var traceSink interface{ Flush() error }
 	if *traceFile != "" {
-		traceOut, err = os.Create(*traceFile)
+		s, err := arda.NewTraceFile(*traceFile)
 		if err != nil {
 			cli.Fatalf("creating trace file: %v", err)
 		}
-		sinks = append(sinks, arda.NewTraceWriter(traceOut))
+		traceSink = s
+		sinks = append(sinks, s)
 	}
 	if *traceFile != "" || *verbose || *pprofAddr != "" {
 		opts.Trace = arda.NewTrace(sinks...)
@@ -189,16 +217,38 @@ func main() {
 		return
 	}
 
-	res, err := arda.Augment(base, cands, opts)
+	// SIGINT/SIGTERM stop the run at the next stage boundary; the partial
+	// report below still prints, and a -checkpoint-dir run can continue with
+	// -resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := arda.AugmentContext(ctx, base, cands, opts)
 	if err != nil {
-		if res != nil && (errors.Is(err, arda.ErrDeadline) || errors.Is(err, arda.ErrCanceled)) {
+		switch {
+		case errors.Is(err, arda.ErrCanceled), errors.Is(err, arda.ErrDeadline):
 			cli.Errorf("%v — partial report:", err)
-			reportAttrition(res, *verbose)
-			os.Exit(1)
+			if res != nil {
+				reportAttrition(res, *verbose)
+			}
+			if *ckDir != "" {
+				cli.Noticef("rerun with -resume to continue from the last completed stage in %s", *ckDir)
+			}
+			if errors.Is(err, arda.ErrDeadline) {
+				os.Exit(exitDeadline)
+			}
+			os.Exit(exitCanceled)
+		case errors.Is(err, arda.ErrCheckpointCorrupt), errors.Is(err, arda.ErrCheckpointMismatch):
+			cli.Errorf("%v", err)
+			cli.Noticef("rerun without -resume to discard the saved checkpoint state and start fresh")
+			os.Exit(exitCheckpoint)
 		}
 		cli.Fatalf("%v", err)
 	}
 
+	if res.ResumedFrom != "" {
+		fmt.Printf("resumed from checkpoint: %s\n", res.ResumedFrom)
+	}
 	fmt.Printf("\nbase score:      %.4f\n", res.BaseScore)
 	fmt.Printf("augmented score: %.4f\n", res.FinalScore)
 	fmt.Printf("kept columns:    %d (from %d tables)\n", len(res.KeptColumns), len(res.KeptTables))
@@ -215,8 +265,10 @@ func main() {
 	if res.Trace != nil {
 		cli.Dump(res.Trace.Render())
 	}
-	if traceOut != nil {
-		if err := traceOut.Close(); err != nil {
+	if traceSink != nil {
+		// Trace.Finish already flushed inside the pipeline; the idempotent
+		// re-Flush surfaces any publish error.
+		if err := traceSink.Flush(); err != nil {
 			cli.Fatalf("writing trace file: %v", err)
 		}
 		cli.Noticef("trace written to %s", *traceFile)
@@ -235,6 +287,12 @@ func main() {
 func reportAttrition(res *arda.Result, verbose bool) {
 	fmt.Printf("candidates: %d considered → %d after dedupe → %d after tuple-ratio\n",
 		res.CandidatesConsidered, res.CandidatesDeduped, res.CandidatesDeduped-res.CandidatesFiltered)
+	if len(res.Degraded) > 0 {
+		fmt.Printf("degraded: %d budget step(s) applied\n", len(res.Degraded))
+		for _, d := range res.Degraded {
+			fmt.Printf("  - %s under %s: %s (%d → %d)\n", d.Action, d.Budget, d.Detail, d.Before, d.After)
+		}
+	}
 	if len(res.Quarantined) == 0 {
 		return
 	}

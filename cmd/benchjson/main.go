@@ -47,9 +47,10 @@ type report struct {
 // variantPairs maps each new-plane sub-benchmark name to the old-plane
 // variant it replaces.
 var variantPairs = map[string]string{
-	"hashed": "string",
-	"cached": "uncached",
-	"pooled": "materialized",
+	"hashed":       "string",
+	"cached":       "uncached",
+	"pooled":       "materialized",
+	"checkpointed": "plain",
 }
 
 // parseLine parses one `go test -bench` result line; ok is false for
@@ -98,7 +99,7 @@ func ratio(old, new float64) float64 {
 
 func main() {
 	cli.Setup("benchjson", false)
-	rep := report{GeneratedBy: "make bench-dataplane"}
+	rep := report{GeneratedBy: "cmd/benchjson"}
 	byName := map[string]result{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)

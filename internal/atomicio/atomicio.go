@@ -1,0 +1,84 @@
+// Package atomicio provides crash-safe file writes: content lands in a
+// temporary file in the destination directory, is flushed to stable storage,
+// and is renamed into place, with the directory itself synced afterwards. A
+// process killed at any point leaves either the complete previous file, the
+// complete new file, or a stray *.tmp — never a truncated artifact under the
+// final name. It is the write discipline shared by the checkpoint log, CSV
+// output, and the NDJSON trace writer.
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// TempSuffix is appended to the destination name for the in-progress file.
+// Crash-recovery code may delete files carrying it; nothing else should.
+const TempSuffix = ".tmp"
+
+// WriteFile writes the output of write to path atomically: the callback
+// streams into path+TempSuffix, which is fsynced, closed, and renamed over
+// path; the parent directory is then fsynced so the rename itself is durable.
+// On any error the temporary file is removed and path is untouched.
+func WriteFile(path string, write func(io.Writer) error) error {
+	tmp := path + TempSuffix
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: syncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// WriteFileBytes is WriteFile for in-memory content.
+func WriteFileBytes(path string, data []byte) error {
+	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// SyncDir fsyncs a directory so that renames and unlinks inside it survive a
+// crash. Filesystems that do not support directory fsync (some network and
+// FUSE mounts) report EINVAL or ENOTSUP; those are ignored — the rename is
+// still atomic there, just not yet durable, which is the best available.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !ignorableSyncError(err) {
+		return fmt.Errorf("atomicio: syncing directory %s: %w", dir, err)
+	}
+	return nil
+}
+
+// ignorableSyncError reports whether a directory-fsync failure is an
+// unsupported-operation class error rather than a data-loss signal.
+// EINVAL/ENOTSUP surface as *PathError wrapping syscall.Errno; matching the
+// message avoids importing syscall constants that differ by GOOS.
+func ignorableSyncError(err error) bool {
+	s := err.Error()
+	return strings.Contains(s, "invalid argument") || strings.Contains(s, "not supported")
+}

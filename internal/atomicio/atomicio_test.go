@@ -1,0 +1,79 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileBytesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := WriteFileBytes(path, []byte("a,b\n1,2\n")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "a,b\n1,2\n" {
+		t.Fatalf("content = %q", got)
+	}
+	if _, err := os.Stat(path + TempSuffix); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := WriteFileBytes(path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileBytes(path, []byte("new content")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new content" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+// A failing write callback must leave neither the destination (if absent
+// before) nor the temp file behind.
+func TestWriteFileErrorLeavesNoArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	wantErr := errors.New("boom")
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "partial")
+		return wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	for _, p := range []string{path, path + TempSuffix} {
+		if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("%s exists after failed write", p)
+		}
+	}
+}
+
+// A failing rewrite must keep the previous complete file intact.
+func TestWriteFileErrorKeepsPrevious(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := WriteFileBytes(path, []byte("stable")); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteFile(path, func(w io.Writer) error { return errors.New("boom") })
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "stable" {
+		t.Fatalf("previous content lost: %q", got)
+	}
+}

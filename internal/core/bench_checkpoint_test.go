@@ -1,0 +1,33 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/arda-ml/arda/internal/discovery"
+	"github.com/arda-ml/arda/internal/parallel"
+	"github.com/arda-ml/arda/internal/synth"
+)
+
+// BenchmarkCheckpointOverhead runs the same small pipeline with durability
+// off ("plain") and on ("checkpointed"). benchjson pairs the two variants
+// into a headline overhead ratio for BENCH_checkpoint.json.
+func BenchmarkCheckpointOverhead(b *testing.B) {
+	defer parallel.SetMaxWorkers(0)
+	corpus := synth.Poverty(synth.Config{Seed: 61, Scale: 0.2})
+	cands := discovery.Discover(corpus.Base, corpus.Repo, corpus.Target, discovery.Options{})
+	if len(cands) == 0 {
+		b.Fatal("discovery found nothing")
+	}
+	run := func(b *testing.B, dir string) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			opts := chaosOptions(corpus, 0, nil)
+			opts.CheckpointDir = dir
+			if _, err := Augment(corpus.Base, cands, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("plain", func(b *testing.B) { run(b, "") })
+	b.Run("checkpointed", func(b *testing.B) { run(b, b.TempDir()) })
+}

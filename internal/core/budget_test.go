@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/arda-ml/arda/internal/dataframe"
+	"github.com/arda-ml/arda/internal/discovery"
+	"github.com/arda-ml/arda/internal/join"
+	"github.com/arda-ml/arda/internal/obs"
+	"github.com/arda-ml/arda/internal/parallel"
+	"github.com/arda-ml/arda/internal/synth"
+)
+
+// budgetCandidate fabricates a candidate with the given score and shape;
+// the join key takes `domain` distinct values (controls the tuple ratio).
+func budgetCandidate(name string, score float64, rows, cols int) discovery.Candidate {
+	return budgetCandidateDomain(name, score, rows, cols, 1)
+}
+
+func budgetCandidateDomain(name string, score float64, rows, cols, domain int) discovery.Candidate {
+	keys := make([]float64, rows)
+	for i := range keys {
+		keys[i] = float64(i % domain)
+	}
+	tcols := make([]dataframe.Column, 0, cols)
+	tcols = append(tcols, dataframe.NewNumeric("k", keys))
+	for j := 1; j < cols; j++ {
+		tcols = append(tcols, dataframe.NewNumeric(fmt.Sprintf("c%d", j), make([]float64, rows)))
+	}
+	return discovery.Candidate{
+		Table: dataframe.MustNewTable(name, tcols...),
+		Keys:  []join.KeyPair{{BaseColumn: "k", ForeignColumn: "k"}},
+		Score: score,
+	}
+}
+
+func TestApplyBudgetsNoBudgetsNoChange(t *testing.T) {
+	cands := []discovery.Candidate{budgetCandidate("a", 1, 100, 5)}
+	opts := &Options{}
+	got, size, extra, degs := applyBudgets(1000, 10, cands, 200, opts)
+	if len(got) != 1 || size != 200 || extra != 0 || degs != nil {
+		t.Fatalf("no-budget run changed: %d cands, size %d, extra %d, degs %v", len(got), size, extra, degs)
+	}
+}
+
+func TestApplyBudgetsShrinksCoreset(t *testing.T) {
+	cands := []discovery.Candidate{budgetCandidate("a", 1, 100, 11)}
+	// 10 added cols + 10 base cols = 20 cols; 512 rows * 20 = 10240 cells.
+	// MaxCells 4000 forces two halvings: 256*20=5120, 128*20=2560.
+	opts := &Options{MaxCells: 4000}
+	got, size, _, degs := applyBudgets(1000, 10, cands, 512, opts)
+	if len(got) != 1 {
+		t.Fatalf("candidate dropped unexpectedly")
+	}
+	if size != 128 {
+		t.Fatalf("size = %d, want 128", size)
+	}
+	var shrinks int
+	for _, d := range degs {
+		if d.Action == "shrink-coreset" {
+			shrinks++
+			if d.Budget != "max-cells" || d.Before <= d.After {
+				t.Fatalf("bad degradation record: %+v", d)
+			}
+		}
+	}
+	if shrinks != 2 {
+		t.Fatalf("shrink steps = %d, want 2 (%+v)", shrinks, degs)
+	}
+}
+
+func TestApplyBudgetsCoresetFloor(t *testing.T) {
+	cands := []discovery.Candidate{budgetCandidate("a", 1, 100, 101)}
+	opts := &Options{MaxCells: 1} // unsatisfiable by shrinking alone
+	_, size, _, degs := applyBudgets(1000, 10, cands, 512, opts)
+	if size < budgetFloorCoreset {
+		t.Fatalf("size %d fell below floor %d", size, budgetFloorCoreset)
+	}
+	// The ladder must then cap candidates rather than fail.
+	last := degs[len(degs)-1]
+	if last.Action != "cap-candidates" {
+		t.Fatalf("final rung = %+v, want cap-candidates", last)
+	}
+}
+
+func TestApplyBudgetsCapsByScoreKeepingOrder(t *testing.T) {
+	// Three candidates; scores favor the first and third. A budget with room
+	// for base + two candidates must keep exactly those two, in their
+	// original relative order.
+	cands := []discovery.Candidate{
+		budgetCandidate("hi1", 0.9, 10, 3), // 2 added cols
+		budgetCandidate("lo", 0.1, 10, 3),
+		budgetCandidate("hi2", 0.8, 10, 3),
+	}
+	// rows=64 (floor), base 2 cols -> base 128 cells; each candidate adds
+	// 64*2=128 cells. Cap at base+2 candidates = 128+256 = 384.
+	opts := &Options{MaxCells: 384}
+	got, _, _, degs := applyBudgets(64, 2, cands, 64, opts)
+	if len(got) != 2 || got[0].Table.Name() != "hi1" || got[1].Table.Name() != "hi2" {
+		names := make([]string, len(got))
+		for i, c := range got {
+			names[i] = c.Table.Name()
+		}
+		t.Fatalf("admitted %v, want [hi1 hi2]", names)
+	}
+	last := degs[len(degs)-1]
+	if last.Action != "cap-candidates" || last.Budget != "max-cells" {
+		t.Fatalf("degradation = %+v", last)
+	}
+}
+
+func TestApplyBudgetsCandidateBytes(t *testing.T) {
+	// Each table: 100 rows * 3 cols * 8 = 2400 bytes. Budget 5000 admits two
+	// by score.
+	cands := []discovery.Candidate{
+		budgetCandidate("a", 0.5, 100, 3),
+		budgetCandidate("b", 0.9, 100, 3),
+		budgetCandidate("c", 0.7, 100, 3),
+	}
+	opts := &Options{MaxCandidateBytes: 5000}
+	got, _, _, degs := applyBudgets(1000, 5, cands, 200, opts)
+	if len(got) != 2 || got[0].Table.Name() != "b" || got[1].Table.Name() != "c" {
+		names := make([]string, len(got))
+		for i, c := range got {
+			names[i] = c.Table.Name()
+		}
+		t.Fatalf("admitted %v, want [b c]", names)
+	}
+	if degs[len(degs)-1].Budget != "max-candidate-bytes" {
+		t.Fatalf("degradation = %+v", degs)
+	}
+}
+
+func TestApplyBudgetsTightensTauFirst(t *testing.T) {
+	// Tuple ratio = baseRows / keyDomain: a small-domain candidate has a
+	// high ratio. With base 100 rows, "narrowkey" (domain 10, ratio 10) sits
+	// between the user's τ=16 and the first halving to 8, so rung 1 drops it
+	// while "widekey" (domain 50, ratio 2) survives.
+	cands := []discovery.Candidate{
+		budgetCandidateDomain("narrowkey", 0.9, 600, 40, 10),
+		budgetCandidateDomain("widekey", 0.8, 150, 3, 50),
+	}
+	// Projected: 100 rows × (5 base + 39 + 2 added) = 4600 cells; cap at
+	// 1000 so the run is over budget until narrowkey goes.
+	opts := &Options{MaxCells: 1000, TupleRatioTau: 16}
+	got, _, extra, degs := applyBudgets(100, 5, cands, 100, opts)
+	if extra == 0 {
+		t.Fatalf("τ tightening removed nothing: %+v", degs)
+	}
+	if len(got) != 1 || got[0].Table.Name() != "widekey" {
+		t.Fatalf("admitted %d candidates, want only widekey (%+v)", len(got), degs)
+	}
+	if degs[0].Action != "tighten-tuple-ratio" || degs[0].Budget != "max-cells" {
+		t.Fatalf("first rung = %+v, want tighten-tuple-ratio", degs[0])
+	}
+}
+
+// The degradation ladder must be bit-identical at any worker count and
+// visible in the budget.* counters, and a budgeted run must still complete
+// end to end.
+func TestBudgetDegradationDeterministicAcrossWorkers(t *testing.T) {
+	defer parallel.SetMaxWorkers(0)
+	corpus := synth.Poverty(synth.Config{Seed: 61, Scale: 0.2})
+	cands := discovery.Discover(corpus.Base, corpus.Repo, corpus.Target, discovery.Options{})
+
+	run := func(workers int) (*Result, *obs.RunStats) {
+		tr := obs.New("budget")
+		opts := chaosOptions(corpus, workers, nil)
+		opts.MaxCells = 20_000
+		opts.MaxCandidateBytes = 256 << 10
+		opts.Trace = tr
+		res, err := Augment(corpus.Base, cands, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res, res.Trace
+	}
+	one, stats := run(1)
+	if len(one.Degraded) == 0 {
+		t.Fatal("budgets did not force degradation; tighten the test budgets")
+	}
+	if one.Table == nil {
+		t.Fatal("degraded run did not complete")
+	}
+	var counted int64
+	for name, v := range stats.Counters {
+		if len(name) > 7 && name[:7] == "budget." {
+			counted += v
+		}
+	}
+	if counted == 0 {
+		t.Fatalf("no budget.* counters recorded: %v", stats.Counters)
+	}
+
+	eight, _ := run(8)
+	if len(one.Degraded) != len(eight.Degraded) {
+		t.Fatalf("degradation steps differ across workers: %v vs %v", one.Degraded, eight.Degraded)
+	}
+	for i := range one.Degraded {
+		if one.Degraded[i] != eight.Degraded[i] {
+			t.Fatalf("degradation step %d differs: %+v vs %+v", i, one.Degraded[i], eight.Degraded[i])
+		}
+	}
+	k1, k8 := resultKey(t, one), resultKey(t, eight)
+	if k1 != k8 {
+		t.Fatalf("budgeted run diverged across workers:\n%s\n%s", k1, k8)
+	}
+}

@@ -97,6 +97,32 @@ type Options struct {
 	// augmented features"); the value is the number of bootstrap resamples
 	// (0 disables).
 	Significance int
+	// CheckpointDir, when set, makes the run durable: after every pipeline
+	// stage (prefilter, coreset, each batch's join/impute/select,
+	// materialize, evaluate) the run's state is snapshotted crash-safely into
+	// this directory via internal/checkpoint. A process killed at any instant
+	// leaves the directory describing the completed-stage prefix; rerunning
+	// with Resume continues from there. Unset (the default) costs nothing.
+	CheckpointDir string
+	// Resume continues a prior run from the checkpoints in CheckpointDir.
+	// The recorded fingerprint — a digest of the base table, every candidate,
+	// and all semantic options (Workers, Timeout, and observability hooks are
+	// excluded) — must match this run's, otherwise ErrCheckpointMismatch;
+	// damaged checkpoint bytes yield ErrCheckpointCorrupt. An empty
+	// CheckpointDir with Resume set simply starts fresh. A resumed run's
+	// Result is bit-identical to an uninterrupted run at any worker count.
+	Resume bool
+	// MaxCells bounds the projected working-set size in table cells
+	// (coreset rows × total columns under consideration) when > 0. Instead of
+	// failing, a run over budget degrades deterministically — tighten the
+	// tuple-ratio prefilter, shrink the coreset, then cap candidates in
+	// descending score order — and records each step in Result.Degraded.
+	MaxCells int64
+	// MaxCandidateBytes bounds the estimated bytes of admitted candidate
+	// tables when > 0: candidates are admitted in descending score order
+	// until the cumulative estimate would exceed the budget, and the cut is
+	// recorded in Result.Degraded.
+	MaxCandidateBytes int64
 	// Timeout bounds the run's wall-clock duration when > 0: AugmentContext
 	// derives a deadline from it (and Augment from context.Background()), and
 	// a run that exceeds it stops at the next checkpoint with ErrDeadline and
@@ -137,6 +163,9 @@ func (o *Options) validate(base *dataframe.Table) error {
 	}
 	if o.Selector == nil {
 		o.Selector = &featsel.RIFS{}
+	}
+	if o.Resume && o.CheckpointDir == "" {
+		return fmt.Errorf("core: Options.Resume requires Options.CheckpointDir")
 	}
 	return nil
 }
@@ -181,6 +210,24 @@ type QuarantinedCandidate struct {
 	Reason string
 }
 
+// Degradation records one deterministic step the run took to fit a resource
+// budget (Options.MaxCells / Options.MaxCandidateBytes) instead of failing.
+// The ladder is a pure function of the inputs and options, so the same run
+// degrades identically at any worker count.
+type Degradation struct {
+	// Action names the ladder rung taken: "tighten-tuple-ratio",
+	// "shrink-coreset", or "cap-candidates".
+	Action string
+	// Budget names the exceeded budget that forced the step: "max-cells" or
+	// "max-candidate-bytes".
+	Budget string
+	// Detail describes the step (e.g. the new τ or coreset size).
+	Detail string
+	// Before and After are the projected resource figure (cells or bytes)
+	// around the step.
+	Before, After int64
+}
+
 // Result is the output of an ARDA run.
 type Result struct {
 	// Table is the full base table with every kept feature column appended
@@ -212,6 +259,14 @@ type Result struct {
 	Elapsed time.Duration
 	// SelectionElapsed is the time spent inside feature selection.
 	SelectionElapsed time.Duration
+	// Degraded lists the resource-budget degradation steps taken, in order,
+	// when Options.MaxCells or Options.MaxCandidateBytes forced the run to
+	// shed work; empty when the run fit its budgets.
+	Degraded []Degradation
+	// ResumedFrom names the checkpoint stage the run continued from (e.g.
+	// "coreset" or "select[2]") when Options.Resume found usable state;
+	// empty for a run executed start to finish.
+	ResumedFrom string
 	// Significance holds the paired bootstrap comparison of the augmented
 	// model against the base model when Options.Significance > 0.
 	Significance *eval.SignificanceResult

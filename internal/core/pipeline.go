@@ -105,14 +105,74 @@ func AugmentContext(ctx context.Context, base *dataframe.Table, cands []discover
 	cFeatOffered := tr.Counter("select.features_offered")
 	cFeatKept := tr.Counter("select.features_kept")
 	cQuarantined := tr.Counter("quarantine.total")
+	cCkSaved := tr.Counter("checkpoint.saved")
+	cCkFailed := tr.Counter("checkpoint.write_failures")
+
+	res := &Result{CandidatesConsidered: len(cands)}
+	inj := opts.FaultInjector
+
+	// Durability: ck is nil unless Options.CheckpointDir is set, and every
+	// checkpoint call below no-ops on nil. Under Resume, rs holds the last
+	// completed stage's cumulative state and doneRank its position in the
+	// stage sequence; done() gates each region so the run re-executes only
+	// what the snapshot does not already cover. The deterministic cheap
+	// prefix (prefilter, plan, budget ladder) is always recomputed — the
+	// fingerprint guarantees it comes out identical.
+	ck, rs, resumeEntry, err := openRunLog(base, cands, &opts)
+	if err != nil {
+		return nil, err
+	}
+	doneRank := -1
+	if resumeEntry != nil {
+		doneRank = stageRank(resumeEntry.Stage, resumeEntry.Batch)
+		res.ResumedFrom = stageLabel(*resumeEntry)
+		res.Quarantined = rs.Quarantined
+		res.Batches = rs.Batches
+		res.SelectionElapsed = time.Duration(rs.SelectionNanos)
+		opts.logf("resuming from checkpoint %s (%d stages on disk)", res.ResumedFrom, resumeEntry.Seq+1)
+	}
+	done := func(stage string, batch int) bool { return doneRank >= stageRank(stage, batch) }
+
+	// Declared ahead of the stage regions so the snapshot closure can see
+	// them as they come into existence.
+	var accum *dataframe.Table
+	var keptByCandidate [][]string
+	saveCk := func(stage string, batch int, sseed int64, mut func(*runState)) {
+		if ck == nil || done(stage, batch) {
+			return
+		}
+		st := &runState{
+			Accum:           accum,
+			KeptByCandidate: keptByCandidate,
+			Quarantined:     res.Quarantined,
+			Batches:         res.Batches,
+			Degraded:        res.Degraded,
+			SelectionNanos:  int64(res.SelectionElapsed),
+		}
+		if mut != nil {
+			mut(st)
+		}
+		seq := len(ck.Entries())
+		// A failed checkpoint write (injected or real) must never fail the
+		// run — durability degrades, the run continues.
+		if err := faultAt(inj, "checkpoint.write", seq); err != nil {
+			cCkFailed.Add(1)
+			opts.logf("checkpoint: skipping %s snapshot: %v", stage, err)
+			return
+		}
+		if err := ck.Save(stage, batch, sseed, st); err != nil {
+			cCkFailed.Add(1)
+			opts.logf("checkpoint: writing %s snapshot: %v", stage, err)
+			return
+		}
+		cCkSaved.Add(1)
+	}
 
 	span := root.Child("prefilter", 0)
-	res := &Result{CandidatesConsidered: len(cands)}
 
 	// The fault boundary: a candidate that faults is quarantined — recorded
 	// and dropped — never fatal. partial finalizes the result snapshot for an
 	// interrupted return.
-	inj := opts.FaultInjector
 	quarantine := func(name, stage string, reason error) {
 		res.Quarantined = append(res.Quarantined, QuarantinedCandidate{Name: name, Stage: stage, Reason: reason.Error()})
 		cQuarantined.Add(1)
@@ -126,6 +186,28 @@ func AugmentContext(ctx context.Context, base *dataframe.Table, cands []discover
 	cands = DedupeCandidates(base, cands)
 	res.CandidatesDeduped = len(cands)
 	cands, res.CandidatesFiltered = FilterTupleRatio(base.NumRows(), cands, opts.TupleRatioTau)
+
+	size := opts.CoresetSize
+	if size <= 0 {
+		size = coreset.DefaultSize(base.NumRows())
+	}
+
+	// Resource budgets: over-budget runs degrade deterministically instead
+	// of failing; the ladder's decisions depend only on inputs and options,
+	// never on worker count or timing.
+	var extraFiltered int
+	cands, size, extraFiltered, res.Degraded = applyBudgets(base.NumRows(), base.NumCols(), cands, size, &opts)
+	res.CandidatesFiltered += extraFiltered
+	if len(res.Degraded) > 0 {
+		tr.Counter("budget.degradations").Add(int64(len(res.Degraded)))
+		for _, d := range res.Degraded {
+			tr.Counter("budget." + d.Action).Add(1)
+			opts.logf("budget: %s (%s): %s [%d -> %d]", d.Action, d.Budget, d.Detail, d.Before, d.After)
+		}
+	}
+	tr.Gauge("budget.estimated_cells").Set(estimateCells(min(size, base.NumRows()), base.NumCols(), cands))
+	tr.Gauge("budget.estimated_candidate_bytes").Set(estimateCandidateBytes(cands))
+
 	span.SetInt("considered", int64(res.CandidatesConsidered))
 	span.SetInt("after_dedupe", int64(res.CandidatesDeduped))
 	span.SetInt("after_tuple_ratio", int64(len(cands)))
@@ -133,14 +215,11 @@ func AugmentContext(ctx context.Context, base *dataframe.Table, cands []discover
 	tr.Gauge("candidates.after_dedupe").Set(int64(res.CandidatesDeduped))
 	tr.Gauge("candidates.after_tuple_ratio").Set(int64(len(cands)))
 	span.End()
+	saveCk("prefilter", -1, 0, nil)
 	if err := interruptOf(ctx); err != nil {
 		return partial(err)
 	}
 
-	size := opts.CoresetSize
-	if size <= 0 {
-		size = coreset.DefaultSize(base.NumRows())
-	}
 	budget := opts.Budget
 	if budget <= 0 {
 		budget = size
@@ -150,36 +229,45 @@ func AugmentContext(ctx context.Context, base *dataframe.Table, cands []discover
 	// must happen after the join, so the sketch strategy joins on all rows
 	// and sketches each batch's numeric view. The clone matters: batch
 	// imputation mutates columns in place and must never leak into the
-	// caller's table.
+	// caller's table. A resumed run restores the snapshot instead — the
+	// restored table already carries every imputation to date.
 	span = root.Child("coreset", 0)
-	joinBase := base.Clone()
-	if opts.CoresetStrategy != coreset.Sketch && size < base.NumRows() {
-		rng := stageRNG(opts.Seed, seedStageCoreset)
-		var idx []int
-		switch {
-		case opts.CoresetStrategy == coreset.Stratified && task == ml.Classification:
-			labels := labelCodes(base, opts.Target)
-			idx = coreset.StratifiedIndices(labels, classes, size, rng)
-		case opts.CoresetStrategy == coreset.Leverage:
-			view := base.ToNumericView(opts.Target)
-			baseDS, err := ml.NewDataset(view.Data, view.Rows, view.Cols,
-				make([]float64, view.Rows), ml.Regression, 0)
-			if err == nil {
-				baseDS.CleanNaNs()
-				idx, err = coreset.LeverageIndices(baseDS.X, baseDS.N, baseDS.D, size, rng)
-			}
-			if err != nil || idx == nil {
+	var joinBase *dataframe.Table
+	if done("coreset", -1) {
+		joinBase = rs.Accum
+	} else {
+		joinBase = base.Clone()
+		if opts.CoresetStrategy != coreset.Sketch && size < base.NumRows() {
+			rng := stageRNG(opts.Seed, seedStageCoreset)
+			var idx []int
+			switch {
+			case opts.CoresetStrategy == coreset.Stratified && task == ml.Classification:
+				labels := labelCodes(base, opts.Target)
+				idx = coreset.StratifiedIndices(labels, classes, size, rng)
+			case opts.CoresetStrategy == coreset.Leverage:
+				view := base.ToNumericView(opts.Target)
+				baseDS, err := ml.NewDataset(view.Data, view.Rows, view.Cols,
+					make([]float64, view.Rows), ml.Regression, 0)
+				if err == nil {
+					baseDS.CleanNaNs()
+					idx, err = coreset.LeverageIndices(baseDS.X, baseDS.N, baseDS.D, size, rng)
+				}
+				if err != nil || idx == nil {
+					idx = coreset.UniformIndices(base.NumRows(), size, rng)
+				}
+			default:
 				idx = coreset.UniformIndices(base.NumRows(), size, rng)
 			}
-		default:
-			idx = coreset.UniformIndices(base.NumRows(), size, rng)
+			sort.Ints(idx)
+			joinBase = base.Gather(idx)
 		}
-		sort.Ints(idx)
-		joinBase = base.Gather(idx)
 	}
 	span.SetInt("rows_in", int64(base.NumRows()))
 	span.SetInt("rows_out", int64(joinBase.NumRows()))
 	span.End()
+	saveCk("coreset", -1, stageSeed(opts.Seed, seedStageCoreset), func(st *runState) {
+		st.Accum = joinBase
+	})
 	if err := interruptOf(ctx); err != nil {
 		return partial(err)
 	}
@@ -209,74 +297,92 @@ func AugmentContext(ctx context.Context, base *dataframe.Table, cands []discover
 	prepCache := join.NewPrepCache()
 	encCache := dataframe.NewEncodeCache()
 
-	accum := dataframe.MustNewTable(joinBase.Name(), joinBase.Columns()...)
-	keptByCandidate := make([][]string, len(cands)) // candidate ordinal -> kept source columns (unprefixed)
+	accum = dataframe.MustNewTable(joinBase.Name(), joinBase.Columns()...)
+	keptByCandidate = make([][]string, len(cands)) // candidate ordinal -> kept source columns (unprefixed)
+	if rs != nil && rs.KeptByCandidate != nil {
+		copy(keptByCandidate, rs.KeptByCandidate)
+	}
 
 	for bi, batch := range plan {
-		batchSpan := root.Child("batch", bi)
-		joinSpan := batchSpan.Child("join", 0)
-		work := dataframe.MustNewTable(accum.Name(), accum.Columns()...)
-		type added struct {
-			ordinal int
-			name    string
-			prefix  string
-			cols    []string
+		if done("select", bi) {
+			// The snapshot already includes this batch's effects on accum,
+			// keptByCandidate, and the batch reports.
+			continue
 		}
-		var joinedCands []added
+		batchSpan := root.Child("batch", bi)
+		var joinedCands []joinedCandidate
 		var tables []string
 		newCols := 0
-		for ci, cand := range batch.Candidates {
-			if err := interruptOf(ctx); err != nil {
-				joinSpan.End()
+		var work *dataframe.Table
+		if done("join", bi) {
+			// Resuming mid-batch: rebuild work with the exact column aliasing
+			// of an uninterrupted run — accum's own column objects plus the
+			// snapshot's restored added columns.
+			var rerr error
+			work, joinedCands, tables, newCols, rerr = restoreBatch(rs, accum)
+			if rerr != nil {
 				batchSpan.End()
-				return partial(err)
+				return nil, rerr
 			}
-			ord := batchOffset[bi] + ci
-			prefix := prefixOf[ord]
-			spec := specFor(cand, opts, prefix)
-			candSpan := joinSpan.Child("join.cand", ord)
-			candSpan.SetLabel(cand.Table.Name())
-			if cand.Table.NumRows() == 0 {
-				// An empty candidate can only contribute all-NULL columns;
-				// isolate it before it wastes a join.
-				cCandSkipped.Add(1)
-				quarantine(cand.Table.Name(), "join", fmt.Errorf("candidate table is empty"))
-				candSpan.End()
-				continue
-			}
-			// The per-attempt RNG re-derivation keeps retried joins
-			// bit-identical to first-try successes.
-			bi, ci := int64(bi), int64(ci)
-			jr, err := guardedJoin(ctx, inj, "join", ord,
-				func() *rand.Rand { return stageRNG(opts.Seed, seedStageJoin, bi, ci) },
-				func(rng *rand.Rand) (*join.Result, error) {
-					return join.ExecuteCached(work, cand.Table, spec, rng, prepCache)
-				})
-			if err != nil {
-				if isInterrupt(err) {
-					candSpan.End()
+		} else {
+			joinSpan := batchSpan.Child("join", 0)
+			work = dataframe.MustNewTable(accum.Name(), accum.Columns()...)
+			for ci, cand := range batch.Candidates {
+				if err := interruptOf(ctx); err != nil {
 					joinSpan.End()
 					batchSpan.End()
-					return partial(mapInterrupt(err))
+					return partial(err)
 				}
-				// A malformed candidate (discovery is noisy by design) is
-				// quarantined, not fatal.
-				cCandSkipped.Add(1)
-				quarantine(cand.Table.Name(), "join", err)
+				ord := batchOffset[bi] + ci
+				prefix := prefixOf[ord]
+				spec := specFor(cand, opts, prefix)
+				candSpan := joinSpan.Child("join.cand", ord)
+				candSpan.SetLabel(cand.Table.Name())
+				if cand.Table.NumRows() == 0 {
+					// An empty candidate can only contribute all-NULL columns;
+					// isolate it before it wastes a join.
+					cCandSkipped.Add(1)
+					quarantine(cand.Table.Name(), "join", fmt.Errorf("candidate table is empty"))
+					candSpan.End()
+					continue
+				}
+				// The per-attempt RNG re-derivation keeps retried joins
+				// bit-identical to first-try successes.
+				bi, ci := int64(bi), int64(ci)
+				jr, err := guardedJoin(ctx, inj, "join", ord,
+					func() *rand.Rand { return stageRNG(opts.Seed, seedStageJoin, bi, ci) },
+					func(rng *rand.Rand) (*join.Result, error) {
+						return join.ExecuteCached(work, cand.Table, spec, rng, prepCache)
+					})
+				if err != nil {
+					if isInterrupt(err) {
+						candSpan.End()
+						joinSpan.End()
+						batchSpan.End()
+						return partial(mapInterrupt(err))
+					}
+					// A malformed candidate (discovery is noisy by design) is
+					// quarantined, not fatal.
+					cCandSkipped.Add(1)
+					quarantine(cand.Table.Name(), "join", err)
+					candSpan.End()
+					continue
+				}
+				candSpan.SetInt("rows_matched", int64(jr.Matched))
+				candSpan.SetInt("cols_added", int64(len(jr.AddedColumns)))
 				candSpan.End()
-				continue
+				cCandScored.Add(1)
+				cRowsMatched.Add(int64(jr.Matched))
+				work = jr.Table
+				joinedCands = append(joinedCands, joinedCandidate{ord, cand.Table.Name(), prefix, jr.AddedColumns})
+				tables = append(tables, cand.Table.Name())
+				newCols += len(jr.AddedColumns)
 			}
-			candSpan.SetInt("rows_matched", int64(jr.Matched))
-			candSpan.SetInt("cols_added", int64(len(jr.AddedColumns)))
-			candSpan.End()
-			cCandScored.Add(1)
-			cRowsMatched.Add(int64(jr.Matched))
-			work = jr.Table
-			joinedCands = append(joinedCands, added{ord, cand.Table.Name(), prefix, jr.AddedColumns})
-			tables = append(tables, cand.Table.Name())
-			newCols += len(jr.AddedColumns)
+			joinSpan.End()
+			saveCk("join", bi, stageSeed(opts.Seed, seedStageJoin, int64(bi)), func(st *runState) {
+				st.Added, st.AddedCols, st.Tables, st.NewCols = batchSnapshot(work, joinedCands, tables, newCols)
+			})
 		}
-		joinSpan.End()
 		if len(joinedCands) == 0 {
 			batchSpan.End()
 			continue
@@ -285,17 +391,17 @@ func AugmentContext(ctx context.Context, base *dataframe.Table, cands []discover
 			batchSpan.End()
 			return partial(err)
 		}
-		// Impute/encode checkpoints: these stages act on the whole work
+		// Impute/encode fault sites: these stages act on the whole work
 		// table, so per-candidate fault attribution happens here — a
-		// candidate faulted at either checkpoint has its joined columns
-		// dropped before the stage runs and the batch continues without it.
+		// candidate faulted at either site has its joined columns dropped
+		// before the stage runs and the batch continues without it.
 		dropFaulted := func(stage string) {
 			if inj == nil {
 				return
 			}
 			live := joinedCands[:0]
 			for _, a := range joinedCands {
-				if err := checkpoint(inj, stage, a.ordinal); err != nil {
+				if err := faultAt(inj, stage, a.ordinal); err != nil {
 					quarantine(a.name, stage, err)
 					for _, c := range a.cols {
 						work.DropColumn(c)
@@ -307,10 +413,15 @@ func AugmentContext(ctx context.Context, base *dataframe.Table, cands []discover
 			}
 			joinedCands = live
 		}
-		dropFaulted("impute")
-		span = batchSpan.Child("impute", 0)
-		imputeTable(work, opts, stageRNG(opts.Seed, seedStageImpute, int64(bi)))
-		span.End()
+		if !done("impute", bi) {
+			dropFaulted("impute")
+			span = batchSpan.Child("impute", 0)
+			imputeTable(work, opts, stageRNG(opts.Seed, seedStageImpute, int64(bi)))
+			span.End()
+			saveCk("impute", bi, stageSeed(opts.Seed, seedStageImpute, int64(bi)), func(st *runState) {
+				st.Added, st.AddedCols, st.Tables, st.NewCols = batchSnapshot(work, joinedCands, tables, newCols)
+			})
+		}
 
 		dropFaulted("encode")
 		if len(joinedCands) == 0 {
@@ -387,78 +498,93 @@ func AugmentContext(ctx context.Context, base *dataframe.Table, cands []discover
 		opts.logf("batch %d/%d: %d tables, %d candidate features, kept %d",
 			bi+1, len(plan), len(tables), newCols, len(report.KeptFeatures))
 		res.Batches = append(res.Batches, report)
+		saveCk("select", bi, opts.Seed+int64(bi+1), nil)
 		batchSpan.End()
 	}
 
 	// Materialize kept features over the full base table. Clone so the
-	// final imputation cannot mutate the caller's table.
+	// final imputation cannot mutate the caller's table. The stage region
+	// includes the final imputation — its snapshot captures the fully
+	// imputed table, so a resume never re-imputes.
 	if err := interruptOf(ctx); err != nil {
 		return partial(err)
 	}
-	matSpan := root.Child("materialize", 0)
-	final := base.Clone()
-	seenTables := make(map[string]bool)
-	for bi, batch := range plan {
-		for ci, cand := range batch.Candidates {
-			ord := batchOffset[bi] + ci
-			kept := keptByCandidate[ord]
-			if len(kept) == 0 {
-				continue
-			}
-			if err := interruptOf(ctx); err != nil {
-				matSpan.End()
-				return partial(err)
-			}
-			prefix := prefixOf[ord]
-			spec := specFor(cand, opts, prefix)
-			candSpan := matSpan.Child("materialize.cand", ord)
-			candSpan.SetLabel(cand.Table.Name())
-			jr, err := guardedJoin(ctx, inj, "materialize", ord,
-				func() *rand.Rand { return stageRNG(opts.Seed, seedStageMaterialize, int64(ord)) },
-				func(rng *rand.Rand) (*join.Result, error) {
-					return join.ExecuteCached(final, cand.Table, spec, rng, prepCache)
-				})
-			if err != nil {
-				if isInterrupt(err) {
-					candSpan.End()
+	var final *dataframe.Table
+	if done("materialize", -1) {
+		final = rs.Final
+		res.KeptColumns = rs.KeptColumns
+		res.KeptTables = rs.KeptTables
+	} else {
+		matSpan := root.Child("materialize", 0)
+		final = base.Clone()
+		seenTables := make(map[string]bool)
+		for bi, batch := range plan {
+			for ci, cand := range batch.Candidates {
+				ord := batchOffset[bi] + ci
+				kept := keptByCandidate[ord]
+				if len(kept) == 0 {
+					continue
+				}
+				if err := interruptOf(ctx); err != nil {
 					matSpan.End()
-					return partial(mapInterrupt(err))
+					return partial(err)
 				}
-				quarantine(cand.Table.Name(), "materialize", err)
+				prefix := prefixOf[ord]
+				spec := specFor(cand, opts, prefix)
+				candSpan := matSpan.Child("materialize.cand", ord)
+				candSpan.SetLabel(cand.Table.Name())
+				jr, err := guardedJoin(ctx, inj, "materialize", ord,
+					func() *rand.Rand { return stageRNG(opts.Seed, seedStageMaterialize, int64(ord)) },
+					func(rng *rand.Rand) (*join.Result, error) {
+						return join.ExecuteCached(final, cand.Table, spec, rng, prepCache)
+					})
+				if err != nil {
+					if isInterrupt(err) {
+						candSpan.End()
+						matSpan.End()
+						return partial(mapInterrupt(err))
+					}
+					quarantine(cand.Table.Name(), "materialize", err)
+					candSpan.End()
+					continue
+				}
+				candSpan.SetInt("rows_matched", int64(jr.Matched))
+				candSpan.SetInt("cols_kept", int64(len(kept)))
 				candSpan.End()
-				continue
-			}
-			candSpan.SetInt("rows_matched", int64(jr.Matched))
-			candSpan.SetInt("cols_kept", int64(len(kept)))
-			candSpan.End()
-			cRowsMatched.Add(int64(jr.Matched))
-			keptSet := make(map[string]bool, len(kept))
-			for _, k := range kept {
-				keptSet[prefix+k] = true
-			}
-			next := jr.Table
-			for _, name := range jr.AddedColumns {
-				if !keptSet[name] {
-					next.DropColumn(name)
-				} else {
-					res.KeptColumns = append(res.KeptColumns, name)
+				cRowsMatched.Add(int64(jr.Matched))
+				keptSet := make(map[string]bool, len(kept))
+				for _, k := range kept {
+					keptSet[prefix+k] = true
 				}
-			}
-			final = next
-			if !seenTables[cand.Table.Name()] {
-				seenTables[cand.Table.Name()] = true
-				res.KeptTables = append(res.KeptTables, cand.Table.Name())
+				next := jr.Table
+				for _, name := range jr.AddedColumns {
+					if !keptSet[name] {
+						next.DropColumn(name)
+					} else {
+						res.KeptColumns = append(res.KeptColumns, name)
+					}
+				}
+				final = next
+				if !seenTables[cand.Table.Name()] {
+					seenTables[cand.Table.Name()] = true
+					res.KeptTables = append(res.KeptTables, cand.Table.Name())
+				}
 			}
 		}
+		matSpan.SetInt("cols_kept", int64(len(res.KeptColumns)))
+		matSpan.End()
+		if err := interruptOf(ctx); err != nil {
+			return partial(err)
+		}
+		span = root.Child("impute", 0)
+		imputeTable(final, opts, stageRNG(opts.Seed, seedStageFinal))
+		span.End()
+		saveCk("materialize", -1, stageSeed(opts.Seed, seedStageFinal), func(st *runState) {
+			st.Final = final
+			st.KeptColumns = res.KeptColumns
+			st.KeptTables = res.KeptTables
+		})
 	}
-	matSpan.SetInt("cols_kept", int64(len(res.KeptColumns)))
-	matSpan.End()
-	if err := interruptOf(ctx); err != nil {
-		return partial(err)
-	}
-	span = root.Child("impute", 0)
-	imputeTable(final, opts, stageRNG(opts.Seed, seedStageFinal))
-	span.End()
 	res.Table = final
 	opts.logf("materialized %d kept columns from %d tables over %d rows",
 		len(res.KeptColumns), len(res.KeptTables), final.NumRows())
@@ -469,16 +595,32 @@ func AugmentContext(ctx context.Context, base *dataframe.Table, cands []discover
 		return partial(err)
 	}
 	span = root.Child("evaluate", 0)
-	res.BaseScore = holdoutScoreOf(base, opts.Target, task, classes, estimator, opts.Seed)
-	res.FinalScore = holdoutScoreOf(final, opts.Target, task, classes, estimator, opts.Seed)
-	res.EstimatorName = "random forest"
+	if done("evaluate", -1) {
+		res.BaseScore = rs.BaseScore
+		res.FinalScore = rs.FinalScore
+		res.EstimatorName = rs.EstimatorName
+		res.Significance = rs.Significance
+	} else {
+		res.BaseScore = holdoutScoreOf(base, opts.Target, task, classes, estimator, opts.Seed)
+		res.FinalScore = holdoutScoreOf(final, opts.Target, task, classes, estimator, opts.Seed)
+		res.EstimatorName = "random forest"
 
-	if opts.Significance > 0 {
-		baseDS, errB := DatasetOf(base, opts.Target, task, classes)
-		augDS, errA := DatasetOf(final, opts.Target, task, classes)
-		if errB == nil && errA == nil {
-			res.Significance = eval.TestAugmentation(baseDS, augDS, estimator, opts.Significance, opts.Seed)
+		if opts.Significance > 0 {
+			baseDS, errB := DatasetOf(base, opts.Target, task, classes)
+			augDS, errA := DatasetOf(final, opts.Target, task, classes)
+			if errB == nil && errA == nil {
+				res.Significance = eval.TestAugmentation(baseDS, augDS, estimator, opts.Significance, opts.Seed)
+			}
 		}
+		saveCk("evaluate", -1, 0, func(st *runState) {
+			st.Final = final
+			st.KeptColumns = res.KeptColumns
+			st.KeptTables = res.KeptTables
+			st.BaseScore = res.BaseScore
+			st.FinalScore = res.FinalScore
+			st.EstimatorName = res.EstimatorName
+			st.Significance = res.Significance
+		})
 	}
 	span.End()
 

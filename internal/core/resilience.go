@@ -76,10 +76,10 @@ func recoveredError(v any) error {
 	return fmt.Errorf("core: recovered panic: %v", v)
 }
 
-// checkpoint probes the fault injector at (stage, ordinal) with panic
-// containment, so a Panic-kind fault at a non-join checkpoint quarantines
-// the candidate instead of crashing the run. Nil injectors are free.
-func checkpoint(inj *faults.Injector, stage string, ordinal int) (err error) {
+// faultAt probes the fault injector at (stage, ordinal) with panic
+// containment, so a Panic-kind fault at a non-join site quarantines the
+// candidate instead of crashing the run. Nil injectors are free.
+func faultAt(inj *faults.Injector, stage string, ordinal int) (err error) {
 	if inj == nil {
 		return nil
 	}

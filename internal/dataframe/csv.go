@@ -2,6 +2,7 @@ package dataframe
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -9,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"github.com/arda-ml/arda/internal/atomicio"
 )
 
 // timeLayouts are the timestamp formats recognized by CSV type inference,
@@ -37,21 +40,36 @@ func parseTime(s string) (int64, bool) {
 // each column: a column is Time if every non-empty cell parses as a known
 // timestamp layout, Numeric if every non-empty cell parses as a float, and
 // Categorical otherwise. Empty cells become missing values.
+//
+// Errors locate the offending cell: malformed records report the 1-based data
+// row (the first row after the header is row 1) and, when known, the column
+// name — so a bad cell in a 100k-row file points straight at its row instead
+// of failing opaquely.
 func ReadCSV(name string, r io.Reader) (*Table, error) {
 	cr := csv.NewReader(r)
 	cr.TrimLeadingSpace = true
-	records, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("dataframe: reading CSV for table %q: %w", name, err)
-	}
-	if len(records) == 0 {
+	header, err := cr.Read()
+	if err == io.EOF {
 		return nil, fmt.Errorf("dataframe: CSV for table %q has no header", name)
 	}
-	header, err := normalizeHeader(name, records[0])
+	if err != nil {
+		return nil, fmt.Errorf("dataframe: reading CSV header for table %q: %w", name, err)
+	}
+	header, err = normalizeHeader(name, header)
 	if err != nil {
 		return nil, err
 	}
-	rows := records[1:]
+	var rows [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, rowError(name, header, len(rows)+1, err)
+		}
+		rows = append(rows, rec)
+	}
 	cols := make([]Column, 0, len(header))
 	raw := make([]string, len(rows))
 	for j, colName := range header {
@@ -69,6 +87,23 @@ func ReadCSV(name string, r io.Reader) (*Table, error) {
 		cols = append(cols, col)
 	}
 	return NewTable(name, cols...)
+}
+
+// rowError wraps a CSV record error with the 1-based data row number and —
+// when the parser pinpointed a field — the offending column's name.
+func rowError(table string, header []string, row int, err error) error {
+	var pe *csv.ParseError
+	if errors.As(err, &pe) && pe.Column > 0 {
+		// pe.Column is a 1-based byte offset within the line; map it to a
+		// column name only when the parser reports a field-level error that
+		// carries a usable index. encoding/csv reports byte columns, so the
+		// best name hint comes from the field count of wrong-length records.
+		if errors.Is(pe.Err, csv.ErrFieldCount) {
+			return fmt.Errorf("dataframe: CSV for table %q: row %d: record has wrong number of fields (header has %d columns): %w",
+				table, row, len(header), err)
+		}
+	}
+	return fmt.Errorf("dataframe: CSV for table %q: row %d: %w", table, row, err)
 }
 
 // normalizeHeader makes header names usable as column identifiers: empty
@@ -141,7 +176,7 @@ func inferColumn(table, name string, raw []string) (Column, error) {
 			}
 			v, _ := strconv.ParseFloat(s, 64)
 			if math.IsInf(v, 0) {
-				return nil, fmt.Errorf("dataframe: CSV for table %q: column %q row %d: non-finite value %q", table, name, i+1, s)
+				return nil, fmt.Errorf("dataframe: CSV for table %q: row %d, column %q: non-finite value %q", table, i+1, name, s)
 			}
 			vals[i] = v
 		}
@@ -204,15 +239,9 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// WriteCSVFile writes the table to the given path as CSV.
+// WriteCSVFile writes the table to the given path as CSV. The write is
+// atomic: content lands in a temporary file that is synced and renamed into
+// place, so a crash mid-write never leaves a truncated CSV under path.
 func (t *Table) WriteCSVFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := t.WriteCSV(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicio.WriteFile(path, t.WriteCSV)
 }

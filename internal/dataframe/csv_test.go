@@ -2,7 +2,9 @@ package dataframe
 
 import (
 	"bytes"
+	"fmt"
 	"math"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -184,5 +186,76 @@ func TestReadCSVNaNCellReadsAsMissing(t *testing.T) {
 	}
 	if !tab.Column("v").IsMissing(0) || tab.Column("v").IsMissing(1) {
 		t.Fatal("literal NaN cell should read back as missing")
+	}
+}
+
+// A bad cell deep in a large file must be located by 1-based data row and
+// column name.
+func TestReadCSVErrorLocatesRowAndColumn(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("id,price\n")
+	for i := 1; i <= 500; i++ {
+		if i == 457 {
+			b.WriteString("457,Inf\n")
+			continue
+		}
+		fmt.Fprintf(&b, "%d,%d.5\n", i, i)
+	}
+	_, err := ReadCSV("big", strings.NewReader(b.String()))
+	if err == nil {
+		t.Fatal("accepted a non-finite cell")
+	}
+	if !strings.Contains(err.Error(), "row 457") || !strings.Contains(err.Error(), `"price"`) {
+		t.Fatalf("error does not locate the cell: %v", err)
+	}
+}
+
+// A record with the wrong field count must be located by data row number.
+func TestReadCSVErrorLocatesRaggedRow(t *testing.T) {
+	in := "a,b\n1,2\n3,4\n5\n7,8\n"
+	_, err := ReadCSV("t", strings.NewReader(in))
+	if err == nil {
+		t.Fatal("accepted a ragged record")
+	}
+	if !strings.Contains(err.Error(), "row 3") {
+		t.Fatalf("error does not name the data row: %v", err)
+	}
+}
+
+// WriteCSVFile must be atomic: the destination only ever holds a complete
+// CSV, and no temp file survives a successful write.
+func TestWriteCSVFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	tab := MustNewTable("t", NewNumeric("v", []float64{1, 2, 3}))
+	if err := tab.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 3 {
+		t.Fatalf("rows = %d", back.NumRows())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "out.csv" {
+		t.Fatalf("unexpected artifacts in dir: %v", entries)
+	}
+	// Overwrite keeps the path readable at every point; a second write must
+	// fully replace the first.
+	tab2 := MustNewTable("t", NewNumeric("v", []float64{9}))
+	if err := tab2.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back2.NumRows() != 1 {
+		t.Fatalf("rows after overwrite = %d", back2.NumRows())
 	}
 }

@@ -1,0 +1,109 @@
+package dataframe
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+)
+
+// gobFixture builds a table exercising all three column kinds with missing
+// values and an awkward float population.
+func gobFixture() *Table {
+	return MustNewTable("fixture",
+		NewNumeric("x", []float64{1.5, math.NaN(), -0.0, math.MaxFloat64, 3e-308}),
+		NewCategorical("c", []string{"a", "", "b", "a", "c"}),
+		NewTime("ts", []int64{0, MissingTime, 1700000000, -5, 42}),
+	)
+}
+
+func TestTableGobRoundTrip(t *testing.T) {
+	orig := gobFixture()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != orig.Name() || back.NumCols() != orig.NumCols() || back.NumRows() != orig.NumRows() {
+		t.Fatalf("shape mismatch: %s vs %s", back.String(), orig.String())
+	}
+	if orig.Digest() != back.Digest() {
+		t.Fatalf("digest changed across round trip: %x vs %x", orig.Digest(), back.Digest())
+	}
+	// Bit-level check on the numeric column (NaN and -0.0 must survive).
+	ox := orig.Column("x").(*NumericColumn).Values
+	bx := back.Column("x").(*NumericColumn).Values
+	for i := range ox {
+		if math.Float64bits(ox[i]) != math.Float64bits(bx[i]) {
+			t.Fatalf("x[%d]: bits %x vs %x", i, math.Float64bits(ox[i]), math.Float64bits(bx[i]))
+		}
+	}
+	// Decoded columns must not share storage with the original.
+	bx[0] = 99
+	if ox[0] == 99 {
+		t.Fatal("decoded table shares storage with the original")
+	}
+	// By-name lookup must be rebuilt.
+	if back.Column("ts") == nil || back.Column("c") == nil {
+		t.Fatal("column index not rebuilt after decode")
+	}
+}
+
+// A table embedded in a larger gob-encoded struct (the checkpoint snapshot
+// shape) must round-trip through the pointer codec too.
+func TestTableGobInsideStruct(t *testing.T) {
+	type snapshot struct {
+		Accum *Table
+		Note  string
+	}
+	in := snapshot{Accum: gobFixture(), Note: "stage"}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&in); err != nil {
+		t.Fatal(err)
+	}
+	var out snapshot
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Accum == nil || out.Accum.Digest() != in.Accum.Digest() {
+		t.Fatal("embedded table did not round-trip")
+	}
+	if out.Note != "stage" {
+		t.Fatalf("sibling field lost: %q", out.Note)
+	}
+}
+
+func TestTableDigestSensitivity(t *testing.T) {
+	a := gobFixture()
+	if a.Digest() != gobFixture().Digest() {
+		t.Fatal("digest not deterministic")
+	}
+	b := gobFixture()
+	b.Column("x").(*NumericColumn).Values[0] = 1.5000000001
+	if a.Digest() == b.Digest() {
+		t.Fatal("digest blind to a cell change")
+	}
+	c := gobFixture()
+	c.SetName("other")
+	if a.Digest() == c.Digest() {
+		t.Fatal("digest blind to the table name")
+	}
+}
+
+// Corrupt gob payloads must error, never panic or half-populate.
+func TestTableGobDecodeCorrupt(t *testing.T) {
+	orig := gobFixture()
+	raw, err := orig.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(raw); cut += len(raw)/7 + 1 {
+		var back Table
+		if err := back.GobDecode(raw[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+}

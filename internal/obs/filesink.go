@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/arda-ml/arda/internal/atomicio"
+)
+
+// NDJSONFileSink streams events as NDJSON into path + atomicio.TempSuffix and
+// atomically renames the complete stream over path on Flush. The final name
+// therefore only ever holds a complete trace: a crashed run leaves its
+// partial prefix under the temporary name (still valid NDJSON, line by line)
+// and whatever complete trace a previous run left in place.
+type NDJSONFileSink struct {
+	mu     sync.Mutex
+	path   string
+	f      *os.File
+	enc    *json.Encoder
+	err    error
+	closed bool
+}
+
+// NewNDJSONFileSink opens the sink's temporary file. The caller must Flush
+// (directly or via Trace.Finish) to publish the trace under path.
+func NewNDJSONFileSink(path string) (*NDJSONFileSink, error) {
+	f, err := os.OpenFile(path+atomicio.TempSuffix, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &NDJSONFileSink{path: path, f: f, enc: json.NewEncoder(f)}, nil
+}
+
+// Emit implements Sink; the first write error sticks and is reported by
+// Flush. Events arriving after Flush are dropped.
+func (s *NDJSONFileSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil || s.closed {
+		return
+	}
+	s.err = s.enc.Encode(ev)
+}
+
+// Flush implements Sink: it syncs and closes the temporary file, renames it
+// over the destination, and syncs the directory. Flush is idempotent; calls
+// after the first return the outcome of the publish.
+func (s *NDJSONFileSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
+	tmp := s.path + atomicio.TempSuffix
+	if s.err != nil {
+		s.f.Close()
+		os.Remove(tmp)
+		return s.err
+	}
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		os.Remove(tmp)
+		s.err = err
+		return err
+	}
+	if err := s.f.Close(); err != nil {
+		os.Remove(tmp)
+		s.err = err
+		return err
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		os.Remove(tmp)
+		s.err = err
+		return err
+	}
+	s.err = atomicio.SyncDir(filepath.Dir(s.path))
+	return s.err
+}
+
+// Path returns the destination path the sink publishes to.
+func (s *NDJSONFileSink) Path() string { return s.path }

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/arda-ml/arda/internal/atomicio"
+)
+
+func TestNDJSONFileSinkPublishesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.ndjson")
+	// Simulate a previous complete run's trace: it must survive until the new
+	// run's Flush.
+	if err := os.WriteFile(path, []byte("{\"type\":\"run\",\"name\":\"old\",\"dur_us\":1}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewNDJSONFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Emit(Event{Type: EventSpan, Name: "join", DurUS: 10})
+	s.Emit(Event{Type: EventRun, Name: "augment", DurUS: 42})
+
+	// Mid-run: final path still holds the old trace, prefix lives in .tmp.
+	old, err := os.ReadFile(path)
+	if err != nil || len(old) == 0 || !json.Valid(old[:len(old)-1]) {
+		t.Fatalf("final path clobbered mid-run: %q, %v", old, err)
+	}
+	if _, err := os.Stat(path + atomicio.TempSuffix); err != nil {
+		t.Fatalf("no in-progress temp file: %v", err)
+	}
+
+	if err := s.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("second flush not idempotent: %v", err)
+	}
+	if _, err := os.Stat(path + atomicio.TempSuffix); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var names []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("invalid NDJSON line %q: %v", sc.Text(), err)
+		}
+		names = append(names, ev.Name)
+	}
+	if len(names) != 2 || names[0] != "join" || names[1] != "augment" {
+		t.Fatalf("published events = %v, want [join augment]", names)
+	}
+
+	// Emits after Flush are dropped, not written anywhere.
+	s.Emit(Event{Type: EventSpan, Name: "late"})
+	got, _ := os.ReadFile(path)
+	if len(got) == 0 || string(got) == "" {
+		t.Fatal("trace vanished")
+	}
+}
+
+func TestNDJSONFileSinkWorksWithTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.ndjson")
+	s, err := NewNDJSONFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New("run", s)
+	sp := tr.Root().Child("stage", 0)
+	sp.End()
+	tr.Finish() // flushes the sink → publishes the file
+	if err := s.Flush(); err != nil {
+		t.Fatalf("publish failed: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) == 0 {
+		t.Fatalf("trace not published: %v", err)
+	}
+}
