@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race alloc chaos crash bench bench-parallel bench-dataplane trace-smoke bench-stages bench-checkpoint
+.PHONY: check vet build test race alloc chaos crash bench bench-parallel bench-dataplane trace-smoke bench-stages bench-checkpoint bench-select
 
 check: vet build race alloc chaos crash trace-smoke
 
@@ -35,7 +35,7 @@ bench-parallel:
 
 # Allocation-regression gate: the AllocsPerRun tests that skip under -race.
 alloc:
-	$(GO) test -run 'Allocs' ./internal/join/ ./internal/dataframe/ ./internal/eval/ ./internal/obs/ ./internal/faults/ ./internal/checkpoint/
+	$(GO) test -run 'Allocs' ./internal/join/ ./internal/dataframe/ ./internal/eval/ ./internal/obs/ ./internal/faults/ ./internal/checkpoint/ ./internal/ml/
 
 # Chaos suite under the race detector: deterministic fault injection,
 # quarantine isolation, cancellation/timeout, and pool panic recovery.
@@ -76,6 +76,16 @@ bench-dataplane:
 		./internal/join/ ./internal/dataframe/ ./internal/eval/ \
 		| $(GO) run ./cmd/benchjson > BENCH_dataplane.json
 	@grep -c '"op"' BENCH_dataplane.json >/dev/null && echo "wrote BENCH_dataplane.json"
+
+# Split-kernel benchmarks: the live adaptive presorted/flat kernel
+# ("presorted") against the preserved sort-per-node kernel ("sorted") over
+# the forest shapes ARDA fits; benchjson pairs the variants into headline
+# speedup ratios.
+bench-select:
+	$(GO) test -bench='SelectForest' -benchmem -benchtime=3x -run=^$$ \
+		./internal/ml/ \
+		| $(GO) run ./cmd/benchjson > BENCH_select.json
+	@grep -c '"op"' BENCH_select.json >/dev/null && echo "wrote BENCH_select.json"
 
 # Checkpoint-overhead benchmark: the same pipeline with durability off
 # ("plain") and on ("checkpointed"); benchjson pairs the variants into a

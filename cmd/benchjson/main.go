@@ -51,6 +51,7 @@ var variantPairs = map[string]string{
 	"cached":       "uncached",
 	"pooled":       "materialized",
 	"checkpointed": "plain",
+	"presorted":    "sorted",
 }
 
 // parseLine parses one `go test -bench` result line; ok is false for

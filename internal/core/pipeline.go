@@ -104,6 +104,9 @@ func AugmentContext(ctx context.Context, base *dataframe.Table, cands []discover
 	cCandSkipped := tr.Counter("join.candidates_skipped")
 	cFeatOffered := tr.Counter("select.features_offered")
 	cFeatKept := tr.Counter("select.features_kept")
+	// Pre-registered so metrics always carry the key; RIFS adds to it when
+	// decided threshold buckets let it skip outstanding repetitions.
+	tr.Counter("select.reps_short_circuited")
 	cQuarantined := tr.Counter("quarantine.total")
 	cCkSaved := tr.Counter("checkpoint.saved")
 	cCkFailed := tr.Counter("checkpoint.write_failures")

@@ -264,6 +264,76 @@ func HoldoutSubsetScore(ds *ml.Dataset, sp Split, fit Fitter, cols []int) float6
 	return Score(ds.Task, ds.Classes, pred, testY)
 }
 
+// SubsetEvaluator scores many nested feature subsets of one dataset on a
+// fixed holdout split. The constructor gathers the base columns once into a
+// compact train+test design matrix; ScoreAt then sub-gathers each candidate
+// subset from that matrix instead of walking the full dataset's (possibly
+// view-indirected) rows again — the win for the RIFS threshold sweep, whose
+// tighter-threshold subsets are all contained in the loosest one. Scores
+// are bit-identical to HoldoutSubsetScore over the same split: both paths
+// gather the same cell values into the same row-major layout before fitting.
+type SubsetEvaluator struct {
+	task     ml.Task
+	classes  int
+	fit      Fitter
+	nTr, nTe int
+	d        int       // number of base columns
+	x        []float64 // base design, train rows then test rows, stride d
+	y        []float64 // targets, train then test
+}
+
+// NewSubsetEvaluator gathers the base feature columns of ds over sp once.
+// base must be ascending; candidate subsets passed to ScoreAt address its
+// positions.
+func NewSubsetEvaluator(ds *ml.Dataset, sp Split, fit Fitter, base []int) *SubsetEvaluator {
+	d := len(base)
+	nTr, nTe := len(sp.Train), len(sp.Test)
+	e := &SubsetEvaluator{
+		task:    ds.Task,
+		classes: ds.Classes,
+		fit:     fit,
+		nTr:     nTr,
+		nTe:     nTe,
+		d:       d,
+		x:       make([]float64, (nTr+nTe)*d),
+		y:       make([]float64, nTr+nTe),
+	}
+	ds.GatherSubsetInto(sp.Train, base, e.x[:nTr*d], e.y[:nTr])
+	ds.GatherSubsetInto(sp.Test, base, e.x[nTr*d:], e.y[nTr:])
+	return e
+}
+
+// ScoreAt trains on the train side restricted to the base-column positions
+// pos and returns the holdout task score (-Inf for an empty subset). Gathers
+// go into the shared pooled scratch, so concurrent calls are safe and
+// allocation-light.
+func (e *SubsetEvaluator) ScoreAt(pos []int) float64 {
+	k := len(pos)
+	if k == 0 {
+		return math.Inf(-1)
+	}
+	n := e.nTr + e.nTe
+	sb := subsetScratch.Get().(*subsetBufs)
+	defer subsetScratch.Put(sb)
+	if need := n * k; cap(sb.x) < need {
+		sb.x = make([]float64, need)
+	}
+	x := sb.x[: n*k : n*k]
+	for i := 0; i < n; i++ {
+		row := e.x[i*e.d : (i+1)*e.d]
+		out := x[i*k : (i+1)*k]
+		for c, p := range pos {
+			out[c] = row[p]
+		}
+	}
+	trainY, testY := e.y[:e.nTr], e.y[e.nTr:]
+	train := &ml.Dataset{X: x[:e.nTr*k], N: e.nTr, D: k, Y: trainY, Task: e.task, Classes: e.classes}
+	test := &ml.Dataset{X: x[e.nTr*k:], N: e.nTe, D: k, Y: testY, Task: e.task, Classes: e.classes}
+	m := e.fit(train)
+	pred := ml.PredictAll(m, test)
+	return Score(e.task, e.classes, pred, testY)
+}
+
 // HoldoutError trains on sp.Train and returns the MAE on sp.Test (regression
 // reporting metric in the paper's Table 1).
 func HoldoutError(ds *ml.Dataset, sp Split, fit Fitter) float64 {

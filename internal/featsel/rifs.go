@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/arda-ml/arda/internal/eval"
 	"github.com/arda-ml/arda/internal/linalg"
@@ -43,8 +44,15 @@ type RIFSConfig struct {
 	// K is the number of injection repetitions (default 10).
 	K int
 	// Nu weights the random-forest ranking against the sparse-regression
-	// ranking in the aggregate (default 0.5).
+	// ranking in the aggregate. The paper permits ν ∈ [0, 1] and the
+	// endpoints are meaningful: ν = 1 ranks with the forest alone and ν = 0
+	// with the sparse regression alone (the unused ensemble half is skipped
+	// entirely). Because 0 is also Go's zero value, an explicit sparse-only
+	// configuration must set NuSet; an unset Nu defaults to 0.5.
 	Nu float64
+	// NuSet marks Nu as explicitly configured, distinguishing an intentional
+	// Nu of 0 (sparse-regression-only ranking) from an unset field.
+	NuSet bool
 	// Thresholds is the increasing threshold set T of Algorithm 3 (default
 	// {0.2, 0.4, 0.6, 0.8, 1.0}).
 	Thresholds []float64
@@ -73,7 +81,10 @@ func (c *RIFSConfig) defaults() {
 	if c.K <= 0 {
 		c.K = 10
 	}
-	if c.Nu <= 0 || c.Nu >= 1 {
+	if c.Nu == 0 && !c.NuSet {
+		c.Nu = 0.5
+	}
+	if c.Nu < 0 || c.Nu > 1 {
 		c.Nu = 0.5
 	}
 	if len(c.Thresholds) == 0 {
@@ -104,6 +115,15 @@ type RIFS struct {
 	// span is the current stage span for per-repetition child spans,
 	// injected by the pipeline via AttachSpan; nil means tracing off.
 	span *obs.Span
+
+	// Injector cache: the moment-matched sampler standardizes the feature
+	// matrix and factors an n×n covariance, which depends only on (ds, seed)
+	// — not on the repetition — so consecutive calls over the same dataset
+	// (RStar then Select, or retries) reuse the fit instead of redoing it.
+	injMu   sync.Mutex
+	injDS   *ml.Dataset
+	injSeed int64
+	inj     injector
 }
 
 // AttachSpan implements obs.SpanAttacher: subsequent Select calls emit one
@@ -130,15 +150,16 @@ func (r *RIFS) Select(ds *ml.Dataset, est eval.Fitter, seed int64) ([]int, error
 // cancels. The context only gates scheduling — a run that completes returns
 // exactly what Select would.
 func (r *RIFS) SelectCtx(ctx context.Context, ds *ml.Dataset, est eval.Fitter, seed int64) ([]int, error) {
-	rstar, err := r.rstarCtx(ctx, ds, seed)
+	cfg := r.Config
+	cfg.defaults()
+	// Selection only consumes r* through ≥-threshold bucket membership, so
+	// rstarCtx may stop early once every bucket is decided (see allDecided).
+	rstar, err := r.rstarCtx(ctx, ds, seed, cfg.Thresholds)
 	if err != nil {
 		return nil, err
 	}
-	cfg := r.Config
-	cfg.defaults()
-	scorer := newSubsetScorer(ds, est, seed)
 	sweepSpan := r.span.Child("select.sweep", 0)
-	selected, err := sweepThresholds(ctx, rstar, cfg.Thresholds, cfg.Workers, scorer.score)
+	selected, err := r.sweep(ctx, ds, est, seed, rstar, &cfg)
 	if err != nil {
 		sweepSpan.End()
 		return nil, err
@@ -148,19 +169,57 @@ func (r *RIFS) SelectCtx(ctx context.Context, ds *ml.Dataset, est eval.Fitter, s
 	return selected, nil
 }
 
-// sweepThresholds is Algorithm 3's wrapper: walk the increasing threshold
-// set, keeping the subset {j : r*_j ≥ τ} while its holdout score stays
-// monotone, and return the last subset before the score decreases (nil when
-// even the loosest threshold selects nothing).
-//
-// The candidate subsets are nested — a tighter threshold always selects a
-// subset of a looser one — so the list ends at the first empty subset and a
-// subset is identified by its size. Distinct subsets are scored concurrently
-// (speculatively past the sequential stopping point; scoring is deterministic
-// on a fixed holdout split) and the monotone walk then replays over the
-// precomputed scores, returning exactly what the sequential sweep would.
+// sweep is Algorithm 3: walk the increasing threshold set, keeping the
+// subset {j : r*_j ≥ τ} while its holdout score stays monotone. The nested
+// candidate subsets are all contained in the loosest one, so the base
+// columns are gathered from ds once (eval.SubsetEvaluator) and each tighter
+// subset re-gathers from that compact matrix.
+func (r *RIFS) sweep(ctx context.Context, ds *ml.Dataset, est eval.Fitter, seed int64, rstar []float64, cfg *RIFSConfig) ([]int, error) {
+	subsets, uniq := thresholdSubsets(rstar, cfg.Thresholds)
+	if len(uniq) == 0 {
+		return nil, nil
+	}
+	// The same fixed stratified split all of this run's evaluations share,
+	// so subset comparisons are apples-to-apples.
+	split := eval.TrainTestSplit(ds, 0.25, seed)
+	ev := eval.NewSubsetEvaluator(ds, split, est, uniq[0])
+	// Distinct subsets are scored concurrently (speculatively past the
+	// sequential stopping point; scoring is deterministic on the fixed
+	// split), then the monotone walk replays over the precomputed scores,
+	// returning exactly what the sequential sweep would.
+	scores := make([]float64, len(uniq))
+	err := parallel.ForEachCtx(ctx, cfg.Workers, len(uniq), func(i int) {
+		scores[i] = ev.ScoreAt(positionsIn(uniq[0], uniq[i]))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return monotoneWalk(subsets, uniq, scores), nil
+}
+
+// sweepThresholds is the callback-scored form of Algorithm 3's wrapper,
+// kept for callers that bring their own subset scorer: walk the increasing
+// threshold set, keeping the subset {j : r*_j ≥ τ} while its holdout score
+// stays monotone, and return the last subset before the score decreases
+// (nil when even the loosest threshold selects nothing).
 func sweepThresholds(ctx context.Context, rstar, thresholds []float64, workers int, score func([]int) float64) ([]int, error) {
-	var subsets [][]int
+	subsets, uniq := thresholdSubsets(rstar, thresholds)
+	if len(uniq) == 0 {
+		return nil, nil
+	}
+	scores := make([]float64, len(uniq))
+	if err := parallel.ForEachCtx(ctx, workers, len(uniq), func(i int) { scores[i] = score(uniq[i]) }); err != nil {
+		return nil, err
+	}
+	return monotoneWalk(subsets, uniq, scores), nil
+}
+
+// thresholdSubsets materializes Algorithm 3's candidate subsets: for each
+// threshold τ (ascending), the features with r* ≥ τ. The subsets are nested
+// — a tighter threshold always selects a subset of a looser one — so the
+// list ends at the first empty subset; uniq holds one representative per
+// distinct size (a subset is identified by its size).
+func thresholdSubsets(rstar, thresholds []float64) (subsets, uniq [][]int) {
 	for _, tau := range thresholds {
 		var subset []int
 		for j, v := range rstar {
@@ -173,19 +232,17 @@ func sweepThresholds(ctx context.Context, rstar, thresholds []float64, workers i
 		}
 		subsets = append(subsets, subset)
 	}
-	if len(subsets) == 0 {
-		return nil, nil
-	}
-	var uniq [][]int
 	for _, s := range subsets {
 		if len(uniq) == 0 || len(uniq[len(uniq)-1]) != len(s) {
 			uniq = append(uniq, s)
 		}
 	}
-	scores := make([]float64, len(uniq))
-	if err := parallel.ForEachCtx(ctx, workers, len(uniq), func(i int) { scores[i] = score(uniq[i]) }); err != nil {
-		return nil, err
-	}
+	return subsets, uniq
+}
+
+// monotoneWalk replays the sequential threshold walk over precomputed
+// scores, returning the last subset before the score first decreases.
+func monotoneWalk(subsets, uniq [][]int, scores []float64) []int {
 	bySize := make(map[int]float64, len(uniq))
 	for i, s := range uniq {
 		bySize[len(s)] = scores[i]
@@ -199,18 +256,46 @@ func sweepThresholds(ctx context.Context, rstar, thresholds []float64, workers i
 		}
 		prev, prevScore = subset, sc
 	}
-	return prev, nil
+	return prev
+}
+
+// positionsIn maps sub's columns to their positions in base. Both slices are
+// ascending and sub ⊆ base (nested threshold subsets), so a single merge
+// walk suffices.
+func positionsIn(base, sub []int) []int {
+	pos := make([]int, len(sub))
+	b := 0
+	for i, c := range sub {
+		for base[b] != c {
+			b++
+		}
+		pos[i] = b
+	}
+	return pos
 }
 
 // RStar runs the injection repetitions of Algorithm 1 and returns, per real
 // feature, the fraction of repetitions in which it outranked every injected
-// random feature.
+// random feature. All K repetitions always run (r* values are the output
+// here, so no repetition can be skipped).
 func (r *RIFS) RStar(ds *ml.Dataset, seed int64) ([]float64, error) {
-	return r.rstarCtx(nil, ds, seed)
+	return r.rstarCtx(nil, ds, seed, nil)
 }
 
 // rstarCtx is RStar with cooperative cancellation over the K repetitions.
-func (r *RIFS) rstarCtx(ctx context.Context, ds *ml.Dataset, seed int64) ([]float64, error) {
+//
+// When thresholds is non-nil the caller only consumes r* through the bucket
+// memberships {r*_j ≥ τ}, which lets outstanding repetitions be skipped once
+// every membership is arithmetically decided: a feature with c outranking
+// repetitions so far and R still outstanding is certainly in a bucket
+// needing cNeed when c ≥ cNeed and certainly out when c+R < cNeed. The
+// repetitions run in a fixed wave schedule with the decision point checked
+// between waves, so the skip decision depends only on merged counts — never
+// on timing or worker count — and the returned fractions (skipped counts
+// over the full K) land in exactly the buckets the complete run would put
+// them in. Skipped repetitions surface as the select.reps_short_circuited
+// trace counter.
+func (r *RIFS) rstarCtx(ctx context.Context, ds *ml.Dataset, seed int64, thresholds []float64) ([]float64, error) {
 	cfg := r.Config
 	cfg.defaults()
 	d := ds.D
@@ -218,106 +303,284 @@ func (r *RIFS) rstarCtx(ctx context.Context, ds *ml.Dataset, seed int64) ([]floa
 	if t < 1 {
 		t = 1
 	}
-	inject, err := r.newInjector(ds, seed)
+	inject, err := r.injectorFor(ds, seed)
 	if err != nil {
 		return nil, err
 	}
-	// The K repetitions are independent: each derives every RNG it touches
-	// from (seed, rep) and produces a private outranked-noise indicator
-	// vector. Repetitions run concurrently on the worker pool and the counts
-	// merge in repetition order, so r* is identical for any worker count.
-	counts, err := parallel.MapReduceCtx(ctx, cfg.Workers, cfg.K,
-		func(rep int) ([]float64, error) {
-			repSpan := r.span.Child("select.rep", rep)
-			defer repSpan.End()
-			repSeed := parallel.SplitSeed(seed, int64(rep))
-			aug, err := injectColumns(ds, t, inject, repSeed)
-			if err != nil {
-				return nil, err
-			}
-			agg, err := r.aggregateRanking(aug, repSeed)
-			if err != nil {
-				return nil, err
-			}
-			maxNoise := math.Inf(-1)
-			for j := d; j < d+t; j++ {
-				if agg[j] > maxNoise {
-					maxNoise = agg[j]
-				}
-			}
-			beats := make([]float64, d)
-			outranked := int64(0)
-			for j := 0; j < d; j++ {
-				if agg[j] > maxNoise {
-					beats[j] = 1
-					outranked++
-				}
-			}
-			repSpan.SetInt("features_injected", int64(t))
-			repSpan.SetInt("features_outranked", outranked)
-			return beats, nil
-		},
-		make([]float64, d),
-		func(acc, beats []float64) []float64 {
-			for j := range acc {
-				acc[j] += beats[j]
-			}
-			return acc
-		})
-	if err != nil {
-		return nil, err
+	n, d2 := ds.N, d+t
+	// Pooled augmented-dataset workspaces: the first d columns hold the real
+	// features and are written once per workspace; repetitions reusing a
+	// workspace only refill the t noise columns. The pool is per-call, so a
+	// workspace's base columns always belong to this ds.
+	type repWorkspace struct {
+		x    []float64 // n×d2 row-major augmented design
+		col  []float64 // one injected column before the strided scatter
+		base bool      // real columns already written
 	}
-	for j := range counts {
-		counts[j] /= float64(cfg.K)
+	pool := parallel.NewScratchPool(func() *repWorkspace {
+		return &repWorkspace{x: make([]float64, n*d2), col: make([]float64, n)}
+	})
+	// Each repetition derives every RNG it touches from (seed, rep) and
+	// produces a private outranked-noise indicator vector; indicators merge
+	// in repetition order, so counts are identical for any worker count.
+	runRep := func(rep int) ([]byte, error) {
+		repSpan := r.span.Child("select.rep", rep)
+		defer repSpan.End()
+		repSeed := parallel.SplitSeed(seed, int64(rep))
+		ws := pool.Get()
+		defer pool.Put(ws)
+		if !ws.base {
+			for i := 0; i < n; i++ {
+				copy(ws.x[i*d2:i*d2+d], ds.Row(i))
+			}
+			ws.base = true
+		}
+		injectInto(ws.x, n, d, t, inject, repSeed, ws.col)
+		aug := &ml.Dataset{X: ws.x, N: n, D: d2, Y: ds.Y, Task: ds.Task, Classes: ds.Classes}
+		agg, err := r.aggregateRanking(&cfg, aug, repSeed)
+		if err != nil {
+			return nil, err
+		}
+		maxNoise := math.Inf(-1)
+		for j := d; j < d+t; j++ {
+			if agg[j] > maxNoise {
+				maxNoise = agg[j]
+			}
+		}
+		beats := make([]byte, d)
+		outranked := int64(0)
+		for j := 0; j < d; j++ {
+			if agg[j] > maxNoise {
+				beats[j] = 1
+				outranked++
+			}
+		}
+		repSpan.SetInt("features_injected", int64(t))
+		repSpan.SetInt("features_outranked", outranked)
+		return beats, nil
 	}
-	return counts, nil
+
+	counts := make([]int, d)
+	need := neededCounts(thresholds, cfg.K)
+	done, skipped := 0, 0
+	for _, wave := range repSchedule(cfg.K, need) {
+		if done > 0 && allDecided(counts, need, cfg.K-done) {
+			skipped = cfg.K - done
+			break
+		}
+		_, err := parallel.MapReduceCtx(ctx, cfg.Workers, wave,
+			func(i int) ([]byte, error) { return runRep(done + i) },
+			counts,
+			func(acc []int, beats []byte) []int {
+				for j, b := range beats {
+					acc[j] += int(b)
+				}
+				return acc
+			})
+		if err != nil {
+			return nil, err
+		}
+		done += wave
+	}
+	r.span.Trace().Counter("select.reps_short_circuited").Add(int64(skipped))
+	rstar := make([]float64, d)
+	for j, c := range counts {
+		rstar[j] = float64(c) / float64(cfg.K)
+	}
+	return rstar, nil
+}
+
+// waveSize is the base repetition schedule early termination checks
+// against: the first wave runs ⌈K/2⌉ repetitions, each later wave half of
+// what remains (at least one). The schedule depends only on (done, K), so
+// the decision points are the same for every worker count.
+func waveSize(done, k int) int {
+	if done == 0 {
+		return (k + 1) / 2
+	}
+	if w := (k - done) / 2; w > 1 {
+		return w
+	}
+	return 1
+}
+
+// repSchedule returns the wave sizes the K repetitions run in. Wave
+// boundaries only exist at decision points where early termination is
+// arithmetically possible for at least one count value, so configurations
+// whose (K, thresholds) can never decide early — e.g. small K with the
+// default threshold grid — collapse to a single barrier-free wave and pay
+// nothing for the machinery. Depends only on (k, need): deterministic.
+func repSchedule(k int, need []int) []int {
+	if need == nil {
+		return []int{k}
+	}
+	var waves []int
+	done := 0
+	for done < k {
+		w := waveSize(done, k)
+		for done+w < k && !decidablePoint(done+w, k, need) {
+			w += waveSize(done+w, k)
+		}
+		waves = append(waves, w)
+		done += w
+	}
+	return waves
+}
+
+// decidablePoint reports whether, after done of k repetitions, some count
+// value could have every threshold bucket decided — i.e. whether checking
+// allDecided there can ever pay off.
+func decidablePoint(done, k int, need []int) bool {
+	for c := 0; c <= done; c++ {
+		if countDecided(c, need, k-done) {
+			return true
+		}
+	}
+	return false
+}
+
+// neededCounts maps each threshold τ to the minimum repetition count c with
+// c/K ≥ τ: feature j belongs to τ's subset iff its final count reaches it.
+// Returns nil when thresholds is nil (no early termination).
+func neededCounts(thresholds []float64, k int) []int {
+	if thresholds == nil {
+		return nil
+	}
+	need := make([]int, 0, len(thresholds))
+	for _, tau := range thresholds {
+		c := int(math.Ceil(tau * float64(k)))
+		if c < 0 {
+			c = 0
+		}
+		// Fix up floating-point edges of the ceil so c is exactly the
+		// smallest count whose fraction clears τ under float64 division.
+		for c > 0 && float64(c-1)/float64(k) >= tau {
+			c--
+		}
+		for c <= k && float64(c)/float64(k) < tau {
+			c++
+		}
+		need = append(need, c)
+	}
+	return need
+}
+
+// allDecided reports whether, with rem repetitions outstanding, every
+// feature's membership in every threshold bucket is already fixed.
+func allDecided(counts, need []int, rem int) bool {
+	for _, c := range counts {
+		if !countDecided(c, need, rem) {
+			return false
+		}
+	}
+	return true
+}
+
+// countDecided reports whether a feature with count c has every threshold
+// bucket decided with rem repetitions outstanding: c ≥ cNeed can never fall
+// out of the bucket, and c+rem < cNeed can never get in.
+func countDecided(c int, need []int, rem int) bool {
+	for _, cn := range need {
+		if c < cn && c+rem >= cn {
+			return false
+		}
+	}
+	return true
 }
 
 // aggregateRanking computes the ν-weighted ensemble ranking (normalized rank
 // combination of forest importances and sparse-regression row norms) over
-// every column of aug.
-func (r *RIFS) aggregateRanking(aug *ml.Dataset, seed int64) ([]float64, error) {
-	cfg := r.Config
-	cfg.defaults()
-	// The two ensemble halves are independent; run them as two concurrent
-	// work items (each seeded identically to the sequential path).
+// every column of aug. At the ν endpoints only the weighted half is fitted:
+// the other half's weight is exactly zero, so its ranking cannot move the
+// aggregate, and skipping it returns bit-identical values.
+func (r *RIFS) aggregateRanking(cfg *RIFSConfig, aug *ml.Dataset, seed int64) ([]float64, error) {
 	var rfScores, srScores []float64
 	var rfErr, srErr error
-	parallel.ForEach(cfg.Workers, 2, func(half int) {
-		if half == 0 {
-			rfScores, rfErr = cfg.Forest.Rank(aug, seed)
-		} else {
-			sr := &SparseRegressionRanker{Config: cfg.Sparse}
-			srScores, srErr = sr.Rank(aug, seed)
-		}
-	})
+	switch {
+	case cfg.Nu == 1:
+		rfScores, rfErr = cfg.Forest.Rank(aug, seed)
+	case cfg.Nu == 0:
+		sr := &SparseRegressionRanker{Config: cfg.Sparse}
+		srScores, srErr = sr.Rank(aug, seed)
+	default:
+		// The two ensemble halves are independent; run them as two
+		// concurrent work items (each seeded identically to the sequential
+		// path).
+		parallel.ForEach(cfg.Workers, 2, func(half int) {
+			if half == 0 {
+				rfScores, rfErr = cfg.Forest.Rank(aug, seed)
+			} else {
+				sr := &SparseRegressionRanker{Config: cfg.Sparse}
+				srScores, srErr = sr.Rank(aug, seed)
+			}
+		})
+	}
 	if rfErr != nil {
 		return nil, fmt.Errorf("featsel: rifs forest ranking: %w", rfErr)
 	}
 	if srErr != nil {
 		return nil, fmt.Errorf("featsel: rifs sparse ranking: %w", srErr)
 	}
-	rfRank := RanksOf(rfScores)
-	srRank := RanksOf(srScores)
 	agg := make([]float64, aug.D)
-	for j := range agg {
-		agg[j] = cfg.Nu*rfRank[j] + (1-cfg.Nu)*srRank[j]
+	switch {
+	case cfg.Nu == 1:
+		copy(agg, RanksOf(rfScores))
+	case cfg.Nu == 0:
+		copy(agg, RanksOf(srScores))
+	default:
+		rfRank := RanksOf(rfScores)
+		srRank := RanksOf(srScores)
+		for j := range agg {
+			agg[j] = cfg.Nu*rfRank[j] + (1-cfg.Nu)*srRank[j]
+		}
 	}
 	return agg, nil
 }
 
-// injector produces one synthetic noise column per call.
-type injector func(repSeed int64, col int) []float64
+// injector fills out (length ds.N) with one synthetic noise column.
+type injector func(repSeed int64, col int, out []float64)
+
+
+// injectInto fills the noise block of the row-major augmented design x
+// (n rows, stride d+t, real features occupying columns [0, d)) with the t
+// injected columns for repSeed, using col as length-n gather scratch. Only
+// the noise block is written, so a workspace's real columns survive across
+// repetitions untouched.
+func injectInto(x []float64, n, d, t int, inject injector, repSeed int64, col []float64) {
+	d2 := d + t
+	for c := 0; c < t; c++ {
+		inject(repSeed, c, col)
+		for i := 0; i < n; i++ {
+			x[i*d2+d+c] = col[i]
+		}
+	}
+}
+
+// injectorFor returns the Algorithm 2 sampler for (ds, seed), reusing the
+// cached one when the pipeline asks repeatedly for the same pair.
+func (r *RIFS) injectorFor(ds *ml.Dataset, seed int64) (injector, error) {
+	r.injMu.Lock()
+	defer r.injMu.Unlock()
+	if r.inj != nil && r.injDS == ds && r.injSeed == seed {
+		return r.inj, nil
+	}
+	inj, err := r.newInjector(ds, seed)
+	if err != nil {
+		return nil, err
+	}
+	r.injDS, r.injSeed, r.inj = ds, seed, inj
+	return inj, nil
+}
 
 // newInjector builds the Algorithm 2 sampler for ds.
 func (r *RIFS) newInjector(ds *ml.Dataset, seed int64) (injector, error) {
 	cfg := r.Config
 	cfg.defaults()
 	if cfg.Injection == SimpleDistributions {
-		return func(repSeed int64, col int) []float64 {
+		return func(repSeed int64, col int, out []float64) {
 			rng := parallel.RNG(repSeed, int64(col))
 			dist := stats.Distribution(col % 4)
-			return stats.SampleColumn(dist, ds.N, rng)
+			stats.SampleColumnInto(dist, rng, out)
 		}, nil
 	}
 	// Moment-matched injection: µ is the mean feature vector (length n),
@@ -379,39 +642,27 @@ func (r *RIFS) newInjector(ds *ml.Dataset, seed int64) (injector, error) {
 	if err != nil {
 		return nil, fmt.Errorf("featsel: rifs moment-matched sampler: %w", err)
 	}
+	// Pooled draw scratch: SampleTo consumes the same NormFloat64 stream
+	// Sample would, so buffer reuse cannot change a drawn column.
+	type drawScratch struct{ s, z []float64 }
+	drawPool := parallel.NewScratchPool(func() *drawScratch {
+		return &drawScratch{s: make([]float64, n), z: make([]float64, n)}
+	})
 	full := rows == ds.N
-	return func(repSeed int64, col int) []float64 {
+	return func(repSeed int64, col int, out []float64) {
 		rng := parallel.RNG(repSeed, int64(col))
-		s := sampler.Sample(rng)
+		sc := drawPool.Get()
+		sampler.SampleTo(rng, sc.s, sc.z)
 		if full {
-			return s
+			copy(out, sc.s)
+		} else {
+			// The sampler was fit on a row subsample; tile the sampled
+			// pattern across all rows (values beyond the fit rows cycle
+			// through the draw).
+			for i := range out {
+				out[i] = sc.s[i%n]
+			}
 		}
-		// The sampler was fit on a row subsample; tile the sampled pattern
-		// across all rows (values beyond the fit rows cycle through s).
-		out := make([]float64, ds.N)
-		for i := range out {
-			out[i] = s[i%len(s)]
-		}
-		return out
+		drawPool.Put(sc)
 	}, nil
-}
-
-// injectColumns appends t synthetic columns to ds, returning a new dataset
-// of width d+t that shares the label vector.
-func injectColumns(ds *ml.Dataset, t int, inject injector, repSeed int64) (*ml.Dataset, error) {
-	d2 := ds.D + t
-	x := make([]float64, ds.N*d2)
-	for i := 0; i < ds.N; i++ {
-		copy(x[i*d2:], ds.Row(i))
-	}
-	for c := 0; c < t; c++ {
-		col := inject(repSeed, c)
-		if len(col) != ds.N {
-			return nil, fmt.Errorf("featsel: injected column has %d rows, want %d", len(col), ds.N)
-		}
-		for i := 0; i < ds.N; i++ {
-			x[i*d2+ds.D+c] = col[i]
-		}
-	}
-	return ml.NewDataset(x, ds.N, d2, ds.Y, ds.Task, ds.Classes)
 }

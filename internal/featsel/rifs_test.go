@@ -100,22 +100,21 @@ func TestRIFSDeterministic(t *testing.T) {
 	}
 }
 
-func TestInjectColumnsShape(t *testing.T) {
+func TestInjectIntoShape(t *testing.T) {
 	ds := planted(ml.Regression, 50, 1, 2, 39)
-	inject := func(repSeed int64, col int) []float64 {
-		out := make([]float64, ds.N)
+	inject := func(repSeed int64, col int, out []float64) {
 		for i := range out {
 			out[i] = float64(col)
 		}
-		return out
 	}
-	aug, err := injectColumns(ds, 4, inject, 1)
-	if err != nil {
-		t.Fatal(err)
+	const tcols = 4
+	d2 := ds.D + tcols
+	x := make([]float64, ds.N*d2)
+	for i := 0; i < ds.N; i++ {
+		copy(x[i*d2:i*d2+ds.D], ds.Row(i))
 	}
-	if aug.D != ds.D+4 || aug.N != ds.N {
-		t.Fatalf("augmented shape %dx%d", aug.N, aug.D)
-	}
+	injectInto(x, ds.N, ds.D, tcols, inject, 1, make([]float64, ds.N))
+	aug := &ml.Dataset{X: x, N: ds.N, D: d2, Y: ds.Y, Task: ds.Task, Classes: ds.Classes}
 	// Original features preserved, injected values in place.
 	for i := 0; i < ds.N; i++ {
 		for j := 0; j < ds.D; j++ {

@@ -192,22 +192,28 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 	}
 	n := a.Rows
 	l := NewMatrix(n, n)
+	// Row-slice addressing with the same accumulation order as the textbook
+	// At/Set form (sequential k), so results are bit-identical to it — this
+	// sits on the IRLS hot path, where indexing overhead dominated.
 	for j := 0; j < n; j++ {
+		lj := l.Row(j)[:j+1]
 		d := a.At(j, j)
-		for k := 0; k < j; k++ {
-			d -= l.At(j, k) * l.At(j, k)
+		for _, v := range lj[:j] {
+			d -= v * v
 		}
 		if d <= 0 || math.IsNaN(d) {
 			return nil, ErrNotSPD
 		}
 		d = math.Sqrt(d)
-		l.Set(j, j, d)
+		lj[j] = d
+		acol := a.Data[j:]
 		for i := j + 1; i < n; i++ {
-			s := a.At(i, j)
-			for k := 0; k < j; k++ {
-				s -= l.At(i, k) * l.At(j, k)
+			li := l.Row(i)[:j+1]
+			s := acol[i*n]
+			for k, v := range li[:j] {
+				s -= v * lj[k]
 			}
-			l.Set(i, j, s/d)
+			li[j] = s / d
 		}
 	}
 	return l, nil
@@ -256,18 +262,21 @@ func SolveCholesky(l *Matrix, b []float64) []float64 {
 	for i := 0; i < n; i++ {
 		s := b[i]
 		row := l.Row(i)
-		for k := 0; k < i; k++ {
-			s -= row[k] * y[k]
+		for k, v := range row[:i] {
+			s -= v * y[k]
 		}
 		y[i] = s / row[i]
 	}
 	x := make([]float64, n)
+	data := l.Data
 	for i := n - 1; i >= 0; i-- {
 		s := y[i]
+		// Walk column i below the diagonal (stride n), same order as the
+		// At form.
 		for k := i + 1; k < n; k++ {
-			s -= l.At(k, i) * x[k]
+			s -= data[k*n+i] * x[k]
 		}
-		x[i] = s / l.At(i, i)
+		x[i] = s / data[i*n+i]
 	}
 	return x
 }
@@ -352,19 +361,29 @@ func NewMVNSampler(mu []float64, sigma *Matrix) (*MVNSampler, error) {
 // Sample draws one vector from the distribution.
 func (s *MVNSampler) Sample(rng *rand.Rand) []float64 {
 	n := len(s.mu)
-	z := make([]float64, n)
-	for i := range z {
+	out := make([]float64, n)
+	s.SampleTo(rng, out, make([]float64, n))
+	return out
+}
+
+// SampleTo draws one vector into dst using z as standard-normal scratch
+// (both of the sampler's dimension). It consumes exactly the NormFloat64
+// stream Sample would and writes the same values, so callers can reuse
+// buffers across draws without changing a single output bit.
+func (s *MVNSampler) SampleTo(rng *rand.Rand, dst, z []float64) {
+	n := len(s.mu)
+	for i := 0; i < n; i++ {
 		z[i] = rng.NormFloat64()
 	}
-	out := make([]float64, n)
-	copy(out, s.mu)
+	copy(dst, s.mu)
 	for i := 0; i < n; i++ {
 		row := s.l.Row(i)
+		acc := dst[i]
 		for k := 0; k <= i; k++ {
-			out[i] += row[k] * z[k]
+			acc += row[k] * z[k]
 		}
+		dst[i] = acc
 	}
-	return out
 }
 
 // Mean returns the column-wise mean of m as a vector of length Cols.

@@ -25,6 +25,10 @@ type ForestConfig struct {
 	// (bounded by parallel.MaxWorkers). Per-tree RNGs derive from Seed and
 	// the tree index, so the fitted forest is identical either way.
 	Parallel bool
+	// legacyKernel grows trees with the original per-node sorting kernel
+	// instead of the shared presorted scaffold. Package-internal: only the
+	// kernel-equivalence tests and the `make bench-select` pairing set it.
+	legacyKernel bool
 }
 
 // Forest is a fitted random forest.
@@ -35,7 +39,10 @@ type Forest struct {
 	imp     []float64
 }
 
-// FitForest trains a random forest on ds with bootstrap resampling.
+// FitForest trains a random forest on ds with bootstrap resampling. The
+// dataset is presorted once into a shared split scaffold; each tree derives
+// its bootstrap sample's feature orders from it with a linear scan, so tree
+// growth never sorts (see splitset.go).
 func FitForest(ds *Dataset, cfg ForestConfig) *Forest {
 	if cfg.NTrees <= 0 {
 		cfg.NTrees = 100
@@ -64,14 +71,6 @@ func FitForest(ds *Dataset, cfg ForestConfig) *Forest {
 		task:    ds.Task,
 		classes: ds.Classes,
 	}
-	fit := func(t int) {
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*7919))
-		idx := make([]int, ds.N)
-		for i := range idx {
-			idx[i] = rng.Intn(ds.N)
-		}
-		f.Trees[t] = FitTree(ds, idx, tc, rng)
-	}
 	// Tree growth runs on the shared worker pool: when a forest fits inside
 	// an already-parallel stage (e.g. a RIFS repetition), the pool's global
 	// cap keeps the total worker count bounded instead of multiplying.
@@ -79,11 +78,42 @@ func FitForest(ds *Dataset, cfg ForestConfig) *Forest {
 	if cfg.Parallel {
 		workers = 0 // process-wide maximum
 	}
-	parallel.ForEach(workers, cfg.NTrees, fit)
+	if cfg.legacyKernel {
+		parallel.ForEach(workers, cfg.NTrees, func(t int) {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*7919))
+			idx := make([]int, ds.N)
+			for i := range idx {
+				idx[i] = rng.Intn(ds.N)
+			}
+			f.Trees[t] = fitTreeLegacy(ds, idx, tc, rng)
+		})
+	} else {
+		// All bootstrap trees have m == ds.N samples, so they all land in the
+		// same kernel regime; global orders are only built when the presorted
+		// regime will consume them.
+		needOrders := !useFlatKernel(resolveMTry(mtry, ds.D), ds.D, ds.N)
+		ss := buildSplitSet(ds, workers, needOrders)
+		parallel.ForEach(workers, cfg.NTrees, func(t int) {
+			// Identical RNG stream to the legacy path: n Intn draws for the
+			// bootstrap, then MTry shuffles inside tree growth.
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*7919))
+			ws := treeScratch.Get()
+			ws.cnt = growInt32(ws.cnt, ds.N)
+			cnt := ws.cnt
+			for i := range cnt {
+				cnt[i] = 0
+			}
+			for i := 0; i < ds.N; i++ {
+				cnt[rng.Intn(ds.N)]++
+			}
+			f.Trees[t] = fitTreeFromSplitSet(ss, tc, rng, ws)
+			treeScratch.Put(ws)
+		})
+	}
 	// Aggregate importances: mean of per-tree normalized importances.
 	f.imp = make([]float64, ds.D)
 	for _, tree := range f.Trees {
-		ti := tree.Importance()
+		ti := tree.importance
 		total := 0.0
 		for _, v := range ti {
 			total += v
@@ -131,5 +161,10 @@ func (f *Forest) Predict(x []float64) float64 {
 }
 
 // Importances returns the normalized mean-decrease-impurity importance of
-// each feature (sums to 1 when any splits occurred).
-func (f *Forest) Importances() []float64 { return f.imp }
+// each feature (sums to 1 when any splits occurred). The returned slice is a
+// copy; mutating it cannot corrupt the fitted forest.
+func (f *Forest) Importances() []float64 {
+	out := make([]float64, len(f.imp))
+	copy(out, f.imp)
+	return out
+}

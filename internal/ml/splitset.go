@@ -1,0 +1,430 @@
+package ml
+
+import (
+	"math/rand"
+
+	"github.com/arda-ml/arda/internal/parallel"
+)
+
+// treeWorkspace is the pooled per-tree scratch of the split kernel. One
+// workspace serves one FitTree call at a time; the pool amortizes the
+// columns, orders, and scan buffers across the hundreds of trees a RIFS run
+// fits. All slices are length-managed by the reserve helpers; contents are
+// garbage between trees except `left`, which is kept all-false by partition
+// so it never needs re-clearing.
+type treeWorkspace struct {
+	// Common scratch (both kernels).
+	ys      []float64 // target by tree position
+	labels  []int32   // class code by tree position (classification)
+	vbuf    []float64 // node values in sorted order (flat scan input)
+	ybuf    []float64 // node targets in sorted order
+	lbuf    []int32   // node labels in sorted order
+	lcnt    []float64 // class-count scratch (left / nodeStats)
+	rcnt    []float64 // class-count scratch (right)
+	rbuf    []float64 // one-row gather scratch
+	feats   []int     // feature permutation for MTry shuffles
+	samples []int32   // flat-kernel position lists, partitioned in place
+	pay     []int32   // flat-kernel sort payload (positions)
+	cnt     []int32   // bootstrap multiplicity per dataset row (forest path)
+	rowOf   []int32   // tree position → dataset row (flat forest path)
+	// Presorted-kernel scratch.
+	colv   []float64 // d×m column-major feature values by tree position
+	orders []int32   // d×m per-feature positions, value-sorted per node range
+	spill  []int32   // stable-partition scratch for right-bound positions
+	left   []bool    // goes-left mask during a split (all-false invariant)
+	base   []int32   // first tree position per dataset row (presorted derive)
+}
+
+var treeScratch = parallel.NewScratchPool(func() *treeWorkspace { return &treeWorkspace{} })
+
+// reserve sizes the common scratch for m samples, d features, and k classes
+// (0 for regression), growing allocations only when needed, and resets the
+// feature permutation to the identity (each tree starts its Fisher-Yates
+// state fresh, as the per-node sorting kernel did).
+func (ws *treeWorkspace) reserve(m, d, k int) {
+	ws.ys = growFloat(ws.ys, m)
+	ws.vbuf = growFloat(ws.vbuf, m)
+	ws.rbuf = growFloat(ws.rbuf, d)
+	ws.samples = growInt32(ws.samples, m)
+	ws.pay = growInt32(ws.pay, m)
+	if k > 0 {
+		ws.labels = growInt32(ws.labels, m)
+		ws.lbuf = growInt32(ws.lbuf, m)
+		ws.lcnt = growFloat(ws.lcnt, k)
+		ws.rcnt = growFloat(ws.rcnt, k)
+	} else {
+		ws.ybuf = growFloat(ws.ybuf, m)
+	}
+	if cap(ws.feats) < d {
+		ws.feats = make([]int, d)
+	}
+	ws.feats = ws.feats[:d]
+	for j := range ws.feats {
+		ws.feats[j] = j
+	}
+}
+
+// reserveCols sizes the per-tree column store.
+func (ws *treeWorkspace) reserveCols(m, d int) {
+	ws.colv = growFloat(ws.colv, m*d)
+}
+
+// reserveOrders sizes the presorted kernel's order arrays and partition
+// scratch.
+func (ws *treeWorkspace) reserveOrders(m, d int) {
+	ws.orders = growInt32(ws.orders, m*d)
+	ws.spill = growInt32(ws.spill, m)
+	if cap(ws.left) < m {
+		ws.left = make([]bool, m)
+	}
+	ws.left = ws.left[:m]
+}
+
+func growFloat(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// splitSet is a dataset's shared presort scaffold: column-major feature
+// values plus — in the presorted regime — per-feature row indices sorted by
+// (value, row). FitForest builds it once; every bootstrap tree either
+// derives its per-tree orders from the global ones with a linear counting
+// scan (large n) or reads the shared columns through its bootstrap row map
+// and sorts nodes flat (small n). Below the presort cutoff the global
+// orders are skipped entirely.
+type splitSet struct {
+	n, d    int
+	task    Task
+	classes int
+	colv    []float64 // d×n column-major values
+	orders  []int32   // d×n rows sorted by (value, row); nil below cutoff
+	ys      []float64
+	labels  []int32 // class codes (classification)
+}
+
+// buildSplitSet gathers ds into column-major form and, when needOrders is
+// set (the presorted regime), sorts each feature once on the worker pool
+// (per-feature sorts are independent, so parallelism cannot change the
+// result).
+func buildSplitSet(ds *Dataset, workers int, needOrders bool) *splitSet {
+	n, d := ds.N, ds.D
+	ss := &splitSet{
+		n:       n,
+		d:       d,
+		task:    ds.Task,
+		classes: ds.Classes,
+		colv:    make([]float64, n*d),
+		ys:      ds.Y,
+	}
+	rbuf := make([]float64, d)
+	for i := 0; i < n; i++ {
+		ds.RowTo(i, rbuf)
+		for j := 0; j < d; j++ {
+			ss.colv[j*n+i] = rbuf[j]
+		}
+	}
+	if ds.Task == Classification {
+		ss.labels = make([]int32, n)
+		for i := 0; i < n; i++ {
+			ss.labels[i] = int32(ds.Label(i))
+		}
+	}
+	if needOrders {
+		ss.orders = make([]int32, n*d)
+		parallel.ForEach(workers, d, func(j int) {
+			col := ss.colv[j*n : (j+1)*n]
+			ord := ss.orders[j*n : (j+1)*n]
+			for i := range ord {
+				ord[i] = int32(i)
+			}
+			sortOrder(col, ord)
+		})
+	}
+	return ss
+}
+
+// fitTreeFromSplitSet grows one tree over a bootstrap sample given as
+// per-row multiplicities ws.cnt (Σcnt samples total). Tree positions are
+// assigned row-major — row r's copies occupy consecutive positions — so in
+// the presorted regime, emitting rows in global value order yields per-tree
+// orders already sorted by (value, position) without comparing a single
+// value; in the flat regime the tree reads the shared columns through the
+// position→row map and no per-tree columns are materialized at all.
+func fitTreeFromSplitSet(ss *splitSet, cfg TreeConfig, rng *rand.Rand, ws *treeWorkspace) *Tree {
+	if cfg.MinLeaf <= 0 {
+		cfg.MinLeaf = 1
+	}
+	n, d := ss.n, ss.d
+	cnt := ws.cnt
+	m := 0
+	for r := 0; r < n; r++ {
+		m += int(cnt[r])
+	}
+	b := &treeBuilder{
+		cfg:     cfg,
+		rng:     rng,
+		tree:    &Tree{importance: make([]float64, d)},
+		task:    ss.task,
+		classes: ss.classes,
+		m:       m,
+		d:       d,
+		ws:      ws,
+	}
+	b.mtry = resolveMTry(cfg.MTry, d)
+	ws.reserve(m, d, b.classScratch())
+
+	if useFlatKernel(b.mtry, d, m) {
+		ws.rowOf = growInt32(ws.rowOf, m)
+		w := 0
+		for r := 0; r < n; r++ {
+			for k := int32(0); k < cnt[r]; k++ {
+				ws.rowOf[w] = int32(r)
+				ws.ys[w] = ss.ys[r]
+				if ss.labels != nil {
+					ws.labels[w] = ss.labels[r]
+				}
+				w++
+			}
+		}
+		b.colv, b.stride, b.rowOf = ss.colv, n, ws.rowOf
+		b.flatRoot()
+		return b.tree
+	}
+
+	ws.reserveCols(m, d)
+	ws.reserveOrders(m, d)
+	ws.base = growInt32(ws.base, n)
+	base := ws.base
+	w := 0
+	for r := 0; r < n; r++ {
+		base[r] = int32(w)
+		for k := int32(0); k < cnt[r]; k++ {
+			ws.ys[w] = ss.ys[r]
+			if ss.labels != nil {
+				ws.labels[w] = ss.labels[r]
+			}
+			w++
+		}
+	}
+	for j := 0; j < d; j++ {
+		gcol := ss.colv[j*n : (j+1)*n]
+		gord := ss.orders[j*n : (j+1)*n]
+		tcol := ws.colv[j*m : (j+1)*m]
+		tord := ws.orders[j*m : (j+1)*m]
+		w := 0
+		for _, r := range gord {
+			c := cnt[r]
+			if c == 0 {
+				continue
+			}
+			v := gcol[r]
+			p := base[r]
+			for k := int32(0); k < c; k++ {
+				tord[w] = p + k
+				tcol[p+k] = v
+				w++
+			}
+		}
+	}
+	b.colv, b.stride = ws.colv, m
+	b.grow(0, m, 0)
+	return b.tree
+}
+
+// sortOrder sorts ord in place by (key[ord[i]], ord[i]) ascending — the
+// index tie-break makes the relation a total order over distinct positions,
+// so the result is unique and any correct sort is deterministic. It is a
+// handwritten introsort specialized to float64 keys and int32 payloads,
+// replacing sort.Slice's interface comparator in the kernel's setup loop.
+func sortOrder(key []float64, ord []int32) {
+	limit := 1
+	for n := len(ord); n > 0; n >>= 1 {
+		limit += 2
+	}
+	introSortOrder(key, ord, limit)
+}
+
+func orderLess(key []float64, a, b int32) bool {
+	ka, kb := key[a], key[b]
+	return ka < kb || (ka == kb && a < b)
+}
+
+func introSortOrder(key []float64, ord []int32, limit int) {
+	for len(ord) > 16 {
+		if limit == 0 {
+			heapSortOrder(key, ord)
+			return
+		}
+		limit--
+		// Median-of-three pivot, moved to ord[0].
+		mid, last := len(ord)/2, len(ord)-1
+		if orderLess(key, ord[mid], ord[0]) {
+			ord[mid], ord[0] = ord[0], ord[mid]
+		}
+		if orderLess(key, ord[last], ord[0]) {
+			ord[last], ord[0] = ord[0], ord[last]
+		}
+		if orderLess(key, ord[last], ord[mid]) {
+			ord[last], ord[mid] = ord[mid], ord[last]
+		}
+		ord[0], ord[mid] = ord[mid], ord[0]
+		pv := ord[0]
+		i := 0
+		for j := 1; j < len(ord); j++ {
+			if orderLess(key, ord[j], pv) {
+				i++
+				ord[i], ord[j] = ord[j], ord[i]
+			}
+		}
+		ord[0], ord[i] = ord[i], ord[0]
+		// Recurse into the smaller half, loop on the larger.
+		if i < len(ord)-i-1 {
+			introSortOrder(key, ord[:i], limit)
+			ord = ord[i+1:]
+		} else {
+			introSortOrder(key, ord[i+1:], limit)
+			ord = ord[:i]
+		}
+	}
+	for i := 1; i < len(ord); i++ {
+		v := ord[i]
+		j := i - 1
+		for j >= 0 && orderLess(key, v, ord[j]) {
+			ord[j+1] = ord[j]
+			j--
+		}
+		ord[j+1] = v
+	}
+}
+
+func heapSortOrder(key []float64, ord []int32) {
+	n := len(ord)
+	siftDown := func(root, end int) {
+		for {
+			child := 2*root + 1
+			if child >= end {
+				return
+			}
+			if child+1 < end && orderLess(key, ord[child], ord[child+1]) {
+				child++
+			}
+			if !orderLess(key, ord[root], ord[child]) {
+				return
+			}
+			ord[root], ord[child] = ord[child], ord[root]
+			root = child
+		}
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		ord[0], ord[i] = ord[i], ord[0]
+		siftDown(0, i)
+	}
+}
+
+// sortKV sorts the parallel (key, payload) arrays in place by (key, payload)
+// ascending — same total order as sortOrder, over materialized keys. The
+// flat kernel calls it once per (node, candidate feature).
+func sortKV(key []float64, pay []int32) {
+	limit := 1
+	for n := len(key); n > 0; n >>= 1 {
+		limit += 2
+	}
+	introSortKV(key, pay, limit)
+}
+
+func kvLess(ka float64, pa int32, kb float64, pb int32) bool {
+	return ka < kb || (ka == kb && pa < pb)
+}
+
+func introSortKV(key []float64, pay []int32, limit int) {
+	for len(key) > 16 {
+		if limit == 0 {
+			heapSortKV(key, pay)
+			return
+		}
+		limit--
+		mid, last := len(key)/2, len(key)-1
+		if kvLess(key[mid], pay[mid], key[0], pay[0]) {
+			key[mid], key[0] = key[0], key[mid]
+			pay[mid], pay[0] = pay[0], pay[mid]
+		}
+		if kvLess(key[last], pay[last], key[0], pay[0]) {
+			key[last], key[0] = key[0], key[last]
+			pay[last], pay[0] = pay[0], pay[last]
+		}
+		if kvLess(key[last], pay[last], key[mid], pay[mid]) {
+			key[last], key[mid] = key[mid], key[last]
+			pay[last], pay[mid] = pay[mid], pay[last]
+		}
+		key[0], key[mid] = key[mid], key[0]
+		pay[0], pay[mid] = pay[mid], pay[0]
+		pk, pp := key[0], pay[0]
+		i := 0
+		for j := 1; j < len(key); j++ {
+			if kvLess(key[j], pay[j], pk, pp) {
+				i++
+				key[i], key[j] = key[j], key[i]
+				pay[i], pay[j] = pay[j], pay[i]
+			}
+		}
+		key[0], key[i] = key[i], key[0]
+		pay[0], pay[i] = pay[i], pay[0]
+		if i < len(key)-i-1 {
+			introSortKV(key[:i], pay[:i], limit)
+			key, pay = key[i+1:], pay[i+1:]
+		} else {
+			introSortKV(key[i+1:], pay[i+1:], limit)
+			key, pay = key[:i], pay[:i]
+		}
+	}
+	for i := 1; i < len(key); i++ {
+		kv, pv := key[i], pay[i]
+		j := i - 1
+		for j >= 0 && kvLess(kv, pv, key[j], pay[j]) {
+			key[j+1], pay[j+1] = key[j], pay[j]
+			j--
+		}
+		key[j+1], pay[j+1] = kv, pv
+	}
+}
+
+func heapSortKV(key []float64, pay []int32) {
+	n := len(key)
+	siftDown := func(root, end int) {
+		for {
+			child := 2*root + 1
+			if child >= end {
+				return
+			}
+			if child+1 < end && kvLess(key[child], pay[child], key[child+1], pay[child+1]) {
+				child++
+			}
+			if !kvLess(key[root], pay[root], key[child], pay[child]) {
+				return
+			}
+			key[root], key[child] = key[child], key[root]
+			pay[root], pay[child] = pay[child], pay[root]
+			root = child
+		}
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		key[0], key[i] = key[i], key[0]
+		pay[0], pay[i] = pay[i], pay[0]
+		siftDown(0, i)
+	}
+}

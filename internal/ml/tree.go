@@ -2,8 +2,8 @@ package ml
 
 import (
 	"math"
+	"math/bits"
 	"math/rand"
-	"sort"
 )
 
 // TreeConfig controls CART decision-tree growth.
@@ -15,6 +15,38 @@ type TreeConfig struct {
 	// MTry is the number of features considered per split; <= 0 means all.
 	// Random forests set sqrt(d) for classification and d/3 for regression.
 	MTry int
+}
+
+// The split kernel has two regimes, chosen per subtree by sample count only
+// (never by data values or scheduling, so the choice is deterministic):
+//
+//   - presorted (m > presortCutoff): per-feature orders are computed once —
+//     derived linearly from the forest's shared split set, or sorted once
+//     per tree — and stably partitioned down the tree, so nodes never sort.
+//     Each split pays O(d·m) to repartition every feature's order.
+//   - flat (m <= presortCutoff, and subtrees below smallNodeCutoff): nodes
+//     gather the node's values into flat scratch and sort with a
+//     specialized (float64 key, int32 payload) introsort. Each split pays
+//     O(mtry·m·log m) with tiny constants and no d-factor.
+//
+// The crossover is decided by comparing the two per-split costs: presorted
+// partitioning repartitions all d features (O(d·m)), flat sorting sorts
+// only the mtry candidates (O(mtry·m·log m)), so flat wins exactly when
+// mtry·log₂(m) < d. That boundary separates ARDA's two forest shapes:
+// classification selection forests on a coreset (mtry = √d with d ≈
+// 100-200 → flat) and regression or evaluation forests (mtry = d/3, or
+// thousands of samples → presorted). useFlatKernel evaluates the rule; it
+// is monotone in m, so once a subtree crosses into the flat regime it
+// stays there.
+const smallNodeCutoff = 64
+
+// useFlatKernel reports whether the flat kernel is the cheaper regime for a
+// (sub)tree of m samples with the given resolved mtry.
+func useFlatKernel(mtry, d, m int) bool {
+	if d == 0 || m <= smallNodeCutoff {
+		return true
+	}
+	return mtry*bits.Len(uint(m-1)) < d
 }
 
 // treeNode is one node of a fitted CART tree. Leaves have feature == -1.
@@ -50,108 +82,192 @@ func (t *Tree) Predict(x []float64) float64 {
 }
 
 // Importance returns the per-feature total impurity decrease (unnormalized).
-func (t *Tree) Importance() []float64 { return t.importance }
+// The returned slice is a copy; mutating it cannot corrupt the fitted tree.
+func (t *Tree) Importance() []float64 {
+	out := make([]float64, len(t.importance))
+	copy(out, t.importance)
+	return out
+}
 
 // NumNodes returns the number of nodes in the tree.
 func (t *Tree) NumNodes() int { return len(t.nodes) }
 
-// treeBuilder holds mutable state for growing one tree.
+// treeBuilder grows one tree. Sample identity is a tree-local position
+// p ∈ [0, m). Feature values live in a column-major store: the tree's own
+// gathered columns (stride m, rowOf nil) or the forest's shared split-set
+// columns addressed through the bootstrap row map (stride n, rowOf set).
 type treeBuilder struct {
-	ds     *Dataset
-	cfg    TreeConfig
-	rng    *rand.Rand
-	tree   *Tree
-	counts []float64 // class-count scratch (classification)
-	order  []int     // scratch for per-node feature sort
-	feats  []int     // feature indices for MTry shuffles
+	cfg     TreeConfig
+	rng     *rand.Rand
+	tree    *Tree
+	task    Task
+	classes int
+	m, d    int
+	mtry    int
+	ws      *treeWorkspace
+
+	colv   []float64 // column-major values, d columns of length stride
+	stride int
+	rowOf  []int32 // tree position → column-store row; nil means identity
 }
 
 // FitTree grows a CART tree over the samples indexed by idx (all samples if
-// idx is nil). rng is only used when cfg.MTry restricts the feature set.
+// idx is nil; duplicate indices are allowed and count with multiplicity).
+// rng is only used when cfg.MTry restricts the feature set.
 func FitTree(ds *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand) *Tree {
 	if cfg.MinLeaf <= 0 {
 		cfg.MinLeaf = 1
 	}
-	if idx == nil {
-		idx = make([]int, ds.N)
-		for i := range idx {
-			idx[i] = i
+	m := ds.N
+	if idx != nil {
+		m = len(idx)
+	}
+	ws := treeScratch.Get()
+	b := &treeBuilder{
+		cfg:     cfg,
+		rng:     rng,
+		tree:    &Tree{importance: make([]float64, ds.D)},
+		task:    ds.Task,
+		classes: ds.Classes,
+		m:       m,
+		d:       ds.D,
+		ws:      ws,
+	}
+	b.mtry = resolveMTry(cfg.MTry, ds.D)
+	ws.reserve(m, ds.D, b.classScratch())
+	ws.reserveCols(m, ds.D)
+	b.colv, b.stride = ws.colv, m
+	rbuf := ws.rbuf
+	for p := 0; p < m; p++ {
+		i := p
+		if idx != nil {
+			i = idx[p]
+		}
+		ws.ys[p] = ds.Y[i]
+		if b.task == Classification {
+			ws.labels[p] = int32(ds.Label(i))
+		}
+		ds.RowTo(i, rbuf)
+		for j := 0; j < ds.D; j++ {
+			ws.colv[j*m+p] = rbuf[j]
 		}
 	}
-	b := &treeBuilder{
-		ds:   ds,
-		cfg:  cfg,
-		rng:  rng,
-		tree: &Tree{importance: make([]float64, ds.D)},
+	if !useFlatKernel(b.mtry, ds.D, m) {
+		ws.reserveOrders(m, ds.D)
+		for j := 0; j < ds.D; j++ {
+			col := ws.colv[j*m : (j+1)*m]
+			ord := ws.orders[j*m : (j+1)*m]
+			for p := range ord {
+				ord[p] = int32(p)
+			}
+			sortOrder(col, ord)
+		}
+		b.grow(0, m, 0)
+	} else {
+		b.flatRoot()
 	}
-	if ds.Task == Classification {
-		b.counts = make([]float64, ds.Classes)
-	}
-	b.feats = make([]int, ds.D)
-	for j := range b.feats {
-		b.feats[j] = j
-	}
-	work := make([]int, len(idx))
-	copy(work, idx)
-	b.grow(work, 0)
+	treeScratch.Put(ws)
 	return b.tree
 }
 
-// grow recursively builds the subtree over samples and returns its node index.
-func (b *treeBuilder) grow(samples []int, depth int) int32 {
-	node := treeNode{feature: -1}
-	imp, value := b.nodeStats(samples)
-	node.value = value
-	id := int32(len(b.tree.nodes))
-	b.tree.nodes = append(b.tree.nodes, node)
+// classScratch is the class-count scratch size (0 for regression).
+func (b *treeBuilder) classScratch() int {
+	if b.task == Classification {
+		return b.classes
+	}
+	return 0
+}
 
-	if imp <= 1e-12 || len(samples) < 2*b.cfg.MinLeaf ||
+// flatRoot grows the whole tree with the flat kernel (a lone leaf when
+// there are no samples, mirroring the original kernel's degenerate output).
+func (b *treeBuilder) flatRoot() {
+	if b.m == 0 {
+		v := math.NaN()
+		if b.task == Classification {
+			v = 0
+		}
+		b.tree.nodes = append(b.tree.nodes, treeNode{feature: -1, value: v})
+		return
+	}
+	s := b.ws.samples[:b.m]
+	for i := range s {
+		s[i] = int32(i)
+	}
+	b.growFlat(s, 0)
+}
+
+// row maps a tree position to its row in the column store.
+func (b *treeBuilder) row(p int32) int32 {
+	if b.rowOf != nil {
+		return b.rowOf[p]
+	}
+	return p
+}
+
+// ---- presorted kernel ----
+
+// grow recursively builds the subtree over positions [start, end) of every
+// feature's order array and returns its node index. Small subtrees hand off
+// to the flat kernel: their positions are read out of any one feature's
+// (already partitioned) order range, after which the per-feature orders for
+// that range are simply abandoned.
+func (b *treeBuilder) grow(start, end, depth int) int32 {
+	if useFlatKernel(b.mtry, b.d, end-start) {
+		s := b.ws.samples[start:end]
+		copy(s, b.ws.orders[start:end])
+		return b.growFlat(s, depth)
+	}
+	m := end - start
+	imp, value := b.nodeStats(start, end)
+	id := int32(len(b.tree.nodes))
+	b.tree.nodes = append(b.tree.nodes, treeNode{feature: -1, value: value})
+	if imp <= 1e-12 || m < 2*b.cfg.MinLeaf ||
 		(b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) {
 		return id
 	}
 	// Zero-gain splits are allowed (impurity gain is non-negative for
 	// concave criteria, and e.g. XOR's first split has exactly zero gain).
-	feat, thr, gain := b.bestSplit(samples, imp)
+	feat, thr, gain := b.bestSplit(start, end, imp)
 	if feat < 0 || gain < 0 {
 		return id
 	}
-	// Partition samples in place around the threshold.
-	lo, hi := 0, len(samples)
-	for lo < hi {
-		if b.ds.At(samples[lo], feat) <= thr {
-			lo++
-		} else {
-			hi--
-			samples[lo], samples[hi] = samples[hi], samples[lo]
-		}
-	}
-	if lo == 0 || lo == len(samples) {
+	nl := b.partition(feat, thr, start, end)
+	if nl == 0 || nl == m {
+		// Threshold rounding put every sample on one side (midpoints of
+		// adjacent floats can round onto an endpoint); keep the leaf so
+		// Predict's `<= threshold` walk always agrees with training.
 		return id
 	}
-	b.tree.importance[feat] += gain * float64(len(samples))
-	left := b.grow(samples[:lo], depth+1)
-	right := b.grow(samples[lo:], depth+1)
-	b.tree.nodes[id].feature = feat
-	b.tree.nodes[id].threshold = thr
-	b.tree.nodes[id].left = left
-	b.tree.nodes[id].right = right
+	b.tree.importance[feat] += gain * float64(m)
+	left := b.grow(start, start+nl, depth+1)
+	right := b.grow(start+nl, end, depth+1)
+	nd := &b.tree.nodes[id]
+	nd.feature = feat
+	nd.threshold = thr
+	nd.left = left
+	nd.right = right
 	return id
 }
 
-// nodeStats returns the node impurity (Gini for classification, variance for
-// regression) and the node prediction.
-func (b *treeBuilder) nodeStats(samples []int) (imp, value float64) {
-	n := float64(len(samples))
-	if b.ds.Task == Classification {
-		for k := range b.counts {
-			b.counts[k] = 0
+// nodeStats returns the node impurity (Gini for classification, variance
+// for regression) and the node prediction, iterating the node's positions
+// via feature 0's order range (every feature's range holds the same
+// position set; the presorted path requires d > 0).
+func (b *treeBuilder) nodeStats(start, end int) (imp, value float64) {
+	ws := b.ws
+	n := float64(end - start)
+	ord := ws.orders[start:end]
+	if b.task == Classification {
+		cnt := ws.lcnt
+		for k := range cnt {
+			cnt[k] = 0
 		}
-		for _, i := range samples {
-			b.counts[b.ds.Label(i)]++
+		for _, p := range ord {
+			cnt[ws.labels[p]]++
 		}
 		gini := 1.0
 		best, bestK := -1.0, 0
-		for k, c := range b.counts {
+		for k, c := range cnt {
 			p := c / n
 			gini -= p * p
 			if c > best {
@@ -161,8 +277,8 @@ func (b *treeBuilder) nodeStats(samples []int) (imp, value float64) {
 		return gini, float64(bestK)
 	}
 	sum, sumSq := 0.0, 0.0
-	for _, i := range samples {
-		y := b.ds.Y[i]
+	for _, p := range ord {
+		y := ws.ys[p]
 		sum += y
 		sumSq += y * y
 	}
@@ -171,32 +287,47 @@ func (b *treeBuilder) nodeStats(samples []int) (imp, value float64) {
 }
 
 // bestSplit scans MTry candidate features and returns the best (feature,
-// threshold, impurity gain).
-func (b *treeBuilder) bestSplit(samples []int, parentImp float64) (int, float64, float64) {
-	mtry := b.cfg.MTry
-	if mtry <= 0 || mtry > b.ds.D {
-		mtry = b.ds.D
-	}
-	if mtry < b.ds.D {
-		// Partial Fisher-Yates: draw mtry distinct features.
-		for j := 0; j < mtry; j++ {
-			k := j + b.rng.Intn(b.ds.D-j)
-			b.feats[j], b.feats[k] = b.feats[k], b.feats[j]
-		}
-	}
-	if cap(b.order) < len(samples) {
-		b.order = make([]int, len(samples))
-	}
-	order := b.order[:len(samples)]
-
+// threshold, impurity gain). The feats permutation persists across nodes of
+// one tree, exactly like the original kernel's partial Fisher-Yates state.
+func (b *treeBuilder) bestSplit(start, end int, parentImp float64) (int, float64, float64) {
+	mtry := b.shuffleFeats()
+	ws := b.ws
+	feats := ws.feats
+	m := end - start
+	mt := b.m
+	vbuf := ws.vbuf[:m]
 	bestFeat, bestThr, bestGain := -1, 0.0, math.Inf(-1)
+	if b.task == Classification {
+		lbuf := ws.lbuf[:m]
+		for f := 0; f < mtry; f++ {
+			feat := feats[f]
+			col := ws.colv[feat*mt : (feat+1)*mt]
+			for i, p := range ws.orders[feat*mt+start : feat*mt+end] {
+				vbuf[i] = col[p]
+				lbuf[i] = ws.labels[p]
+			}
+			if vbuf[0] == vbuf[m-1] {
+				continue // constant feature in this node: no split exists
+			}
+			thr, gain := scanSplitsClass(vbuf, lbuf, ws.lcnt, ws.rcnt, parentImp, b.cfg.MinLeaf)
+			if gain > bestGain {
+				bestFeat, bestThr, bestGain = feat, thr, gain
+			}
+		}
+		return bestFeat, bestThr, bestGain
+	}
+	ybuf := ws.ybuf[:m]
 	for f := 0; f < mtry; f++ {
-		feat := b.feats[f]
-		copy(order, samples)
-		sort.Slice(order, func(a, c int) bool {
-			return b.ds.At(order[a], feat) < b.ds.At(order[c], feat)
-		})
-		thr, gain := b.scanSplits(order, feat, parentImp)
+		feat := feats[f]
+		col := ws.colv[feat*mt : (feat+1)*mt]
+		for i, p := range ws.orders[feat*mt+start : feat*mt+end] {
+			vbuf[i] = col[p]
+			ybuf[i] = ws.ys[p]
+		}
+		if vbuf[0] == vbuf[m-1] {
+			continue
+		}
+		thr, gain := scanSplitsReg(vbuf, ybuf, parentImp, b.cfg.MinLeaf)
 		if gain > bestGain {
 			bestFeat, bestThr, bestGain = feat, thr, gain
 		}
@@ -204,64 +335,300 @@ func (b *treeBuilder) bestSplit(samples []int, parentImp float64) (int, float64,
 	return bestFeat, bestThr, bestGain
 }
 
-// scanSplits sweeps sorted samples for feature feat and returns the best
-// threshold and gain.
-func (b *treeBuilder) scanSplits(order []int, feat int, parentImp float64) (float64, float64) {
-	n := len(order)
-	fn := float64(n)
-	minLeaf := b.cfg.MinLeaf
-	bestThr, bestGain := 0.0, math.Inf(-1)
+// resolveMTry applies TreeConfig.MTry's defaulting rule.
+func resolveMTry(mtry, d int) int {
+	if mtry <= 0 || mtry > d {
+		return d
+	}
+	return mtry
+}
 
-	if b.ds.Task == Classification {
-		k := b.ds.Classes
-		leftCnt := make([]float64, k)
-		rightCnt := make([]float64, k)
-		for _, i := range order {
-			rightCnt[b.ds.Label(i)]++
+// shuffleFeats runs the partial Fisher-Yates draw of candidate features
+// into ws.feats, returning mtry.
+func (b *treeBuilder) shuffleFeats() int {
+	d := b.d
+	mtry := b.mtry
+	feats := b.ws.feats
+	if mtry < d {
+		// Partial Fisher-Yates: draw mtry distinct features.
+		for j := 0; j < mtry; j++ {
+			k := j + b.rng.Intn(d-j)
+			feats[j], feats[k] = feats[k], feats[j]
 		}
-		leftSq, rightSq := 0.0, 0.0
-		for _, c := range rightCnt {
-			rightSq += c * c
+	}
+	return mtry
+}
+
+// partition splits [start, end) around `feat <= thr`: the split feature's
+// order is already value-sorted, so the left size falls out of a binary
+// search, and every other feature's range is stably compacted around the
+// goes-left mask — keeping both child ranges value-sorted without
+// resorting. Returns the left child's size (0 or m means the split is void
+// and the caller must keep the leaf).
+func (b *treeBuilder) partition(feat int, thr float64, start, end int) int {
+	ws := b.ws
+	mt := b.m
+	col := ws.colv[feat*mt : (feat+1)*mt]
+	ord := ws.orders[feat*mt+start : feat*mt+end]
+	lo, hi := 0, len(ord)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if col[ord[mid]] <= thr {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
-		for pos := 1; pos < n; pos++ {
-			c := float64(b.ds.Label(order[pos-1]))
-			cls := int(c)
-			leftSq += 2*leftCnt[cls] + 1
-			rightSq += -2*rightCnt[cls] + 1
-			leftCnt[cls]++
-			rightCnt[cls]--
-			v0 := b.ds.At(order[pos-1], feat)
-			v1 := b.ds.At(order[pos], feat)
-			if v0 == v1 || pos < minLeaf || n-pos < minLeaf {
+	}
+	nl := lo
+	if nl == 0 || nl == len(ord) {
+		return nl
+	}
+	left := ws.left
+	for _, p := range ord[:nl] {
+		left[p] = true
+	}
+	spill := ws.spill
+	for j := 0; j < b.d; j++ {
+		if j == feat {
+			continue // already value-sorted: its first nl entries are the left side
+		}
+		seg := ws.orders[j*mt+start : j*mt+end]
+		w, r := 0, 0
+		for _, p := range seg {
+			if left[p] {
+				seg[w] = p
+				w++
+			} else {
+				spill[r] = p
+				r++
+			}
+		}
+		copy(seg[w:], spill[:r])
+	}
+	// Restore the all-false mask invariant for the next split.
+	for _, p := range ord[:nl] {
+		left[p] = false
+	}
+	return nl
+}
+
+// ---- flat kernel ----
+
+// growFlat recursively builds the subtree over the given tree positions,
+// sorting each candidate feature's node values into flat scratch per split.
+func (b *treeBuilder) growFlat(samples []int32, depth int) int32 {
+	m := len(samples)
+	imp, value := b.nodeStatsFlat(samples)
+	id := int32(len(b.tree.nodes))
+	b.tree.nodes = append(b.tree.nodes, treeNode{feature: -1, value: value})
+	if imp <= 1e-12 || m < 2*b.cfg.MinLeaf ||
+		(b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) {
+		return id
+	}
+	feat, thr, gain := b.bestSplitFlat(samples, imp)
+	if feat < 0 || gain < 0 {
+		return id
+	}
+	nl := b.partitionFlat(samples, feat, thr)
+	if nl == 0 || nl == m {
+		return id
+	}
+	b.tree.importance[feat] += gain * float64(m)
+	left := b.growFlat(samples[:nl], depth+1)
+	right := b.growFlat(samples[nl:], depth+1)
+	nd := &b.tree.nodes[id]
+	nd.feature = feat
+	nd.threshold = thr
+	nd.left = left
+	nd.right = right
+	return id
+}
+
+// nodeStatsFlat is nodeStats over an explicit position list.
+func (b *treeBuilder) nodeStatsFlat(samples []int32) (imp, value float64) {
+	ws := b.ws
+	n := float64(len(samples))
+	if b.task == Classification {
+		cnt := ws.lcnt
+		for k := range cnt {
+			cnt[k] = 0
+		}
+		for _, p := range samples {
+			cnt[ws.labels[p]]++
+		}
+		gini := 1.0
+		best, bestK := -1.0, 0
+		for k, c := range cnt {
+			p := c / n
+			gini -= p * p
+			if c > best {
+				best, bestK = c, k
+			}
+		}
+		return gini, float64(bestK)
+	}
+	sum, sumSq := 0.0, 0.0
+	for _, p := range samples {
+		y := ws.ys[p]
+		sum += y
+		sumSq += y * y
+	}
+	mean := sum / n
+	return sumSq/n - mean*mean, mean
+}
+
+// bestSplitFlat gathers each candidate feature's (value, position) pairs,
+// sorts them with the specialized pair sort, and sweeps the flat scan.
+func (b *treeBuilder) bestSplitFlat(samples []int32, parentImp float64) (int, float64, float64) {
+	mtry := b.shuffleFeats()
+	ws := b.ws
+	feats := ws.feats
+	m := len(samples)
+	vbuf := ws.vbuf[:m]
+	pay := ws.pay[:m]
+	bestFeat, bestThr, bestGain := -1, 0.0, math.Inf(-1)
+	if b.task == Classification {
+		lbuf := ws.lbuf[:m]
+		for f := 0; f < mtry; f++ {
+			feat := feats[f]
+			col := b.colv[feat*b.stride : (feat+1)*b.stride]
+			if b.rowOf != nil {
+				for i, p := range samples {
+					vbuf[i] = col[b.rowOf[p]]
+					pay[i] = p
+				}
+			} else {
+				for i, p := range samples {
+					vbuf[i] = col[p]
+					pay[i] = p
+				}
+			}
+			sortKV(vbuf, pay)
+			if vbuf[0] == vbuf[m-1] {
 				continue
 			}
-			nl, nr := float64(pos), float64(n-pos)
-			giniL := 1 - leftSq/(nl*nl)
-			giniR := 1 - rightSq/(nr*nr)
-			gain := parentImp - (nl/fn)*giniL - (nr/fn)*giniR
+			for i, p := range pay {
+				lbuf[i] = ws.labels[p]
+			}
+			thr, gain := scanSplitsClass(vbuf, lbuf, ws.lcnt, ws.rcnt, parentImp, b.cfg.MinLeaf)
 			if gain > bestGain {
-				bestGain = gain
-				bestThr = v0 + (v1-v0)/2
+				bestFeat, bestThr, bestGain = feat, thr, gain
 			}
 		}
-		return bestThr, bestGain
+		return bestFeat, bestThr, bestGain
 	}
+	ybuf := ws.ybuf[:m]
+	for f := 0; f < mtry; f++ {
+		feat := feats[f]
+		col := b.colv[feat*b.stride : (feat+1)*b.stride]
+		if b.rowOf != nil {
+			for i, p := range samples {
+				vbuf[i] = col[b.rowOf[p]]
+				pay[i] = p
+			}
+		} else {
+			for i, p := range samples {
+				vbuf[i] = col[p]
+				pay[i] = p
+			}
+		}
+		sortKV(vbuf, pay)
+		if vbuf[0] == vbuf[m-1] {
+			continue
+		}
+		for i, p := range pay {
+			ybuf[i] = ws.ys[p]
+		}
+		thr, gain := scanSplitsReg(vbuf, ybuf, parentImp, b.cfg.MinLeaf)
+		if gain > bestGain {
+			bestFeat, bestThr, bestGain = feat, thr, gain
+		}
+	}
+	return bestFeat, bestThr, bestGain
+}
 
-	// Regression: incremental variance via sums.
+// partitionFlat partitions samples in place around `feat <= thr` and
+// returns the left side's size.
+func (b *treeBuilder) partitionFlat(samples []int32, feat int, thr float64) int {
+	col := b.colv[feat*b.stride : (feat+1)*b.stride]
+	ro := b.rowOf
+	lo, hi := 0, len(samples)
+	for lo < hi {
+		r := samples[lo]
+		if ro != nil {
+			r = ro[r]
+		}
+		if col[r] <= thr {
+			lo++
+		} else {
+			hi--
+			samples[lo], samples[hi] = samples[hi], samples[lo]
+		}
+	}
+	return lo
+}
+
+// ---- shared scan loops ----
+
+// scanSplitsClass sweeps a node's value-sorted (values, labels) pair for the
+// best Gini split. leftCnt/rightCnt are caller-owned class-count scratch.
+// The incremental trick: moving one sample of class c from right to left
+// changes Σcnt² by ±(2·cnt[c]∓1), so each position updates in O(1).
+func scanSplitsClass(vals []float64, labels []int32, leftCnt, rightCnt []float64, parentImp float64, minLeaf int) (float64, float64) {
+	n := len(vals)
+	fn := float64(n)
+	for k := range leftCnt {
+		leftCnt[k] = 0
+		rightCnt[k] = 0
+	}
+	for _, c := range labels {
+		rightCnt[c]++
+	}
+	leftSq, rightSq := 0.0, 0.0
+	for _, c := range rightCnt {
+		rightSq += c * c
+	}
+	bestThr, bestGain := 0.0, math.Inf(-1)
+	for pos := 1; pos < n; pos++ {
+		cls := labels[pos-1]
+		leftSq += 2*leftCnt[cls] + 1
+		rightSq += -2*rightCnt[cls] + 1
+		leftCnt[cls]++
+		rightCnt[cls]--
+		v0, v1 := vals[pos-1], vals[pos]
+		if v0 == v1 || pos < minLeaf || n-pos < minLeaf {
+			continue
+		}
+		nl, nr := float64(pos), float64(n-pos)
+		giniL := 1 - leftSq/(nl*nl)
+		giniR := 1 - rightSq/(nr*nr)
+		gain := parentImp - (nl/fn)*giniL - (nr/fn)*giniR
+		if gain > bestGain {
+			bestGain = gain
+			bestThr = v0 + (v1-v0)/2
+		}
+	}
+	return bestThr, bestGain
+}
+
+// scanSplitsReg sweeps a node's value-sorted (values, targets) pair for the
+// best variance-reduction split via incremental sums.
+func scanSplitsReg(vals, ys []float64, parentImp float64, minLeaf int) (float64, float64) {
+	n := len(vals)
+	fn := float64(n)
 	var sumL, sqL, sumR, sqR float64
-	for _, i := range order {
-		y := b.ds.Y[i]
+	for _, y := range ys {
 		sumR += y
 		sqR += y * y
 	}
+	bestThr, bestGain := 0.0, math.Inf(-1)
 	for pos := 1; pos < n; pos++ {
-		y := b.ds.Y[order[pos-1]]
+		y := ys[pos-1]
 		sumL += y
 		sqL += y * y
 		sumR -= y
 		sqR -= y * y
-		v0 := b.ds.At(order[pos-1], feat)
-		v1 := b.ds.At(order[pos], feat)
+		v0, v1 := vals[pos-1], vals[pos]
 		if v0 == v1 || pos < minLeaf || n-pos < minLeaf {
 			continue
 		}

@@ -191,6 +191,17 @@ type Span struct {
 // same-named siblings (batch index, candidate ordinal, repetition number);
 // snapshots order siblings by (ord, name), so the tree structure never
 // depends on goroutine scheduling.
+// Trace returns the trace this span records into (nil for a nil span). It
+// lets code that was handed only a span — e.g. a selector via SpanAttacher —
+// bump trace-level counters without threading the Trace separately; the
+// whole chain span.Trace().Counter(...).Add(...) is nil-safe.
+func (s *Span) Trace() *Trace {
+	if s == nil {
+		return nil
+	}
+	return s.trace
+}
+
 func (s *Span) Child(name string, ord int) *Span {
 	if s == nil {
 		return nil

@@ -1,0 +1,28 @@
+package parallel
+
+import "sync"
+
+// ScratchPool is a typed free list of reusable scratch workspaces for pool
+// work items. It wraps sync.Pool, so idle workspaces are reclaimed by the
+// garbage collector instead of pinning peak memory forever.
+//
+// The determinism contract of this package extends to scratch reuse: a
+// workspace handed out by Get may hold arbitrary garbage from a previous
+// work item, so users must either overwrite every cell they read or maintain
+// an explicit cleared-on-Put invariant. Scratch contents must never leak
+// into results except through such deterministic initialization.
+type ScratchPool[T any] struct {
+	p sync.Pool
+}
+
+// NewScratchPool returns a pool whose Get falls back to calling fresh when
+// the free list is empty. fresh must not be nil.
+func NewScratchPool[T any](fresh func() T) *ScratchPool[T] {
+	return &ScratchPool[T]{p: sync.Pool{New: func() any { return fresh() }}}
+}
+
+// Get takes a workspace from the pool, creating one if none is free.
+func (p *ScratchPool[T]) Get() T { return p.p.Get().(T) }
+
+// Put returns a workspace to the pool for reuse.
+func (p *ScratchPool[T]) Put(v T) { p.p.Put(v) }

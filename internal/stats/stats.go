@@ -298,6 +298,14 @@ const (
 // randomly-initialized parameters as in the paper's micro benchmarks.
 func SampleColumn(d Distribution, n int, rng *rand.Rand) []float64 {
 	out := make([]float64, n)
+	SampleColumnInto(d, rng, out)
+	return out
+}
+
+// SampleColumnInto is SampleColumn writing into a caller-owned buffer: it
+// draws the same random stream and fully overwrites out, so reusing a
+// scratch column across draws cannot change a single value.
+func SampleColumnInto(d Distribution, rng *rand.Rand, out []float64) {
 	switch d {
 	case Normal:
 		mu := rng.NormFloat64()
@@ -310,6 +318,8 @@ func SampleColumn(d Distribution, n int, rng *rand.Rand) []float64 {
 		for i := range out {
 			if rng.Float64() < p {
 				out[i] = 1
+			} else {
+				out[i] = 0
 			}
 		}
 	case Uniform:
@@ -323,8 +333,11 @@ func SampleColumn(d Distribution, n int, rng *rand.Rand) []float64 {
 		for i := range out {
 			out[i] = float64(poisson(lambda, rng))
 		}
+	default:
+		for i := range out {
+			out[i] = 0
+		}
 	}
-	return out
 }
 
 // poisson draws a Poisson(lambda) variate with Knuth's method (adequate for
