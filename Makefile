@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race alloc chaos crash bench bench-parallel bench-dataplane trace-smoke bench-stages bench-checkpoint bench-select
+.PHONY: check vet build test race alloc chaos crash bench bench-parallel bench-dataplane trace-smoke bench-stages bench-checkpoint bench-select profile-select
 
 check: vet build race alloc chaos crash trace-smoke
 
@@ -86,6 +86,15 @@ bench-select:
 		./internal/ml/ \
 		| $(GO) run ./cmd/benchjson > BENCH_select.json
 	@grep -c '"op"' BENCH_select.json >/dev/null && echo "wrote BENCH_select.json"
+
+# CPU profile of one RIFS selection run (the K injection repetitions with
+# their ranking ensembles — the pipeline's dominant cost): inspect with
+# `go tool pprof select.pprof`.
+profile-select:
+	$(GO) test -bench='^BenchmarkRStar$$' -benchtime=3x -run=^$$ \
+		-cpuprofile=select.pprof ./internal/featsel/
+	@rm -f featsel.test
+	@echo "wrote select.pprof (go tool pprof select.pprof)"
 
 # Checkpoint-overhead benchmark: the same pipeline with durability off
 # ("plain") and on ("checkpointed"); benchjson pairs the variants into a

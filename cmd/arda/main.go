@@ -287,6 +287,13 @@ func main() {
 func reportAttrition(res *arda.Result, verbose bool) {
 	fmt.Printf("candidates: %d considered → %d after dedupe → %d after tuple-ratio\n",
 		res.CandidatesConsidered, res.CandidatesDeduped, res.CandidatesDeduped-res.CandidatesFiltered)
+	if res.Trace != nil {
+		c := res.Trace.Counters
+		if hits, misses := c["select.splitset_cache_hits"], c["select.splitset_cache_misses"]; hits+misses > 0 {
+			fmt.Printf("selection presort cache: %d hits / %d misses; %d sweep trees scheduled as waves\n",
+				hits, misses, c["select.trees_scheduled"])
+		}
+	}
 	if len(res.Degraded) > 0 {
 		fmt.Printf("degraded: %d budget step(s) applied\n", len(res.Degraded))
 		for _, d := range res.Degraded {

@@ -168,17 +168,26 @@ func sample(task ml.Task, rng *rand.Rand, seed int64) candidate {
 	}
 }
 
+// DefaultForestConfig is the forest configuration behind DefaultEstimator,
+// exposed so the pipeline can declare the default estimator's shape to
+// selectors that fast-path known forest estimators
+// (featsel.ForestEstimatorAware).
+func DefaultForestConfig(seed int64) ml.ForestConfig {
+	return ml.ForestConfig{
+		NTrees:   60,
+		MaxDepth: 12,
+		Seed:     seed,
+		Parallel: true,
+	}
+}
+
 // DefaultEstimator is the paper's "lightly auto-optimized random forest"
 // default estimator, used by ARDA for feature-selection scoring and the
 // final estimate.
 func DefaultEstimator(seed int64) eval.Fitter {
+	cfg := DefaultForestConfig(seed)
 	return func(d *ml.Dataset) ml.Model {
-		return ml.FitForest(d, ml.ForestConfig{
-			NTrees:   60,
-			MaxDepth: 12,
-			Seed:     seed,
-			Parallel: true,
-		})
+		return ml.FitForest(d, cfg)
 	}
 }
 

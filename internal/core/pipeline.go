@@ -90,8 +90,11 @@ func AugmentContext(ctx context.Context, base *dataframe.Table, cands []discover
 		parallel.SetMaxWorkers(opts.Workers)
 	}
 	estimator := opts.Estimator
+	estForest := opts.EstimatorForest
 	if estimator == nil {
 		estimator = automl.DefaultEstimator(opts.Seed)
+		fc := automl.DefaultForestConfig(opts.Seed)
+		estForest = &fc
 	}
 
 	// Tracing is observational only: spans and counters never feed back into
@@ -104,9 +107,15 @@ func AugmentContext(ctx context.Context, base *dataframe.Table, cands []discover
 	cCandSkipped := tr.Counter("join.candidates_skipped")
 	cFeatOffered := tr.Counter("select.features_offered")
 	cFeatKept := tr.Counter("select.features_kept")
-	// Pre-registered so metrics always carry the key; RIFS adds to it when
-	// decided threshold buckets let it skip outstanding repetitions.
+	// Pre-registered so metrics always carry the keys; RIFS adds to the
+	// first when decided threshold buckets let it skip outstanding
+	// repetitions, to the cache pair when the run-level split cache serves
+	// (or cold-builds) presorted columns, and to the last when the sweep
+	// schedules nested candidate forests as one cross-forest tree wave.
 	tr.Counter("select.reps_short_circuited")
+	tr.Counter("select.splitset_cache_hits")
+	tr.Counter("select.splitset_cache_misses")
+	tr.Counter("select.trees_scheduled")
 	cQuarantined := tr.Counter("quarantine.total")
 	cCkSaved := tr.Counter("checkpoint.saved")
 	cCkFailed := tr.Counter("checkpoint.write_failures")
@@ -450,11 +459,17 @@ func AugmentContext(ctx context.Context, base *dataframe.Table, cands []discover
 		if sa, ok := opts.Selector.(obs.SpanAttacher); ok {
 			sa.AttachSpan(selSpan)
 		}
+		if fa, ok := opts.Selector.(featsel.ForestEstimatorAware); ok && estForest != nil {
+			fa.SetEstimatorForest(estForest)
+		}
 		selStart := time.Now()
 		selected, err := selectWith(ctx, opts.Selector, ds, estimator, opts.Seed+int64(bi+1))
 		res.SelectionElapsed += time.Since(selStart)
 		if sa, ok := opts.Selector.(obs.SpanAttacher); ok {
 			sa.AttachSpan(nil)
+		}
+		if fa, ok := opts.Selector.(featsel.ForestEstimatorAware); ok && estForest != nil {
+			fa.SetEstimatorForest(nil)
 		}
 		if err != nil {
 			if isInterrupt(err) {

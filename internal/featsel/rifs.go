@@ -72,6 +72,15 @@ type RIFSConfig struct {
 	// (seed, repetition) and counts merge in repetition order, so the
 	// selected features are identical for any worker count.
 	Workers int
+	// SweepForest, when non-nil, declares that the estimator passed to
+	// Select is a random forest fitted with exactly this configuration. The
+	// threshold sweep then presorts the train columns once and fits every
+	// nested candidate forest in one flattened cross-forest tree wave
+	// (eval.SubsetEvaluator.ScoreForestWave) instead of invoking the opaque
+	// Fitter per subset. Scores — and therefore the selected features — are
+	// bit-identical either way, so this is purely a fast path; setting it
+	// for an estimator that is not this exact forest breaks selection.
+	SweepForest *ml.ForestConfig
 }
 
 func (c *RIFSConfig) defaults() {
@@ -133,6 +142,21 @@ type RIFS struct {
 // or off. Attach nil to detach. Not safe to call concurrently with Select.
 func (r *RIFS) AttachSpan(s *obs.Span) { r.span = s }
 
+// ForestEstimatorAware is implemented by selectors whose wrapper search can
+// exploit knowing that the estimator is a random forest with a specific
+// configuration. The pipeline forwards its estimator's forest config through
+// this interface when it has one; the declaration is an optimization hint
+// only and must never change what gets selected.
+type ForestEstimatorAware interface {
+	SetEstimatorForest(fc *ml.ForestConfig)
+}
+
+// SetEstimatorForest implements ForestEstimatorAware: it declares the
+// Fitter passed to Select to be ml.FitForest under fc, enabling the sweep's
+// cross-forest wave fast path. Pass nil to revert to the opaque-estimator
+// path. Not safe to call concurrently with Select.
+func (r *RIFS) SetEstimatorForest(fc *ml.ForestConfig) { r.Config.SweepForest = fc }
+
 // Name implements Selector.
 func (r *RIFS) Name() string { return "RIFS" }
 
@@ -187,14 +211,46 @@ func (r *RIFS) sweep(ctx context.Context, ds *ml.Dataset, est eval.Fitter, seed 
 	// sequential stopping point; scoring is deterministic on the fixed
 	// split), then the monotone walk replays over the precomputed scores,
 	// returning exactly what the sequential sweep would.
-	scores := make([]float64, len(uniq))
-	err := parallel.ForEachCtx(ctx, cfg.Workers, len(uniq), func(i int) {
-		scores[i] = ev.ScoreAt(positionsIn(uniq[0], uniq[i]))
-	})
-	if err != nil {
-		return nil, err
+	var scores []float64
+	if fc := cfg.SweepForest; fc != nil {
+		// The estimator is a declared forest: presort the train columns once
+		// and fit every candidate forest in one flattened tree wave. The wave
+		// is a single barrier, so cancellation is checked at its edges.
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		posSets := make([][]int, len(uniq))
+		for i := range uniq {
+			posSets[i] = positionsIn(uniq[0], uniq[i])
+		}
+		var trees int
+		scores, trees = ev.ScoreForestWave(posSets, *fc, cfg.Workers)
+		tr := r.span.Trace()
+		tr.Counter("select.trees_scheduled").Add(int64(trees))
+		st := ev.SplitCacheStats()
+		tr.Counter("select.splitset_cache_hits").Add(st.Hits)
+		tr.Counter("select.splitset_cache_misses").Add(st.Misses)
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+	} else {
+		scores = make([]float64, len(uniq))
+		err := parallel.ForEachCtx(ctx, cfg.Workers, len(uniq), func(i int) {
+			scores[i] = ev.ScoreAt(positionsIn(uniq[0], uniq[i]))
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	return monotoneWalk(subsets, uniq, scores), nil
+}
+
+// ctxErr is ctx.Err() tolerating the package's nil-context convention.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // sweepThresholds is the callback-scored form of Algorithm 3's wrapper,
@@ -308,17 +364,42 @@ func (r *RIFS) rstarCtx(ctx context.Context, ds *ml.Dataset, seed int64, thresho
 		return nil, err
 	}
 	n, d2 := ds.N, d+t
+	// Run-level split cache: the d real columns are presorted exactly once
+	// per run and every repetition's forest reads them through a per-rep
+	// view, so only the t refreshed noise columns are presorted per
+	// repetition (inside the workspace's reusable buffers). The sparse half
+	// ignores the attachment. Skipped entirely at ν = 0, where no forest
+	// ever fits. The cold build happens before the repetition fan-out, so
+	// the hit/miss counters are independent of worker count.
+	useViews := cfg.Nu > 0
+	var scache *ml.SplitCache
+	var realIdx []int
+	if useViews {
+		scache = ml.NewSplitCache(ds)
+		realIdx = make([]int, d)
+		for j := range realIdx {
+			realIdx[j] = j
+		}
+		scache.Columns(realIdx, true)
+	}
 	// Pooled augmented-dataset workspaces: the first d columns hold the real
 	// features and are written once per workspace; repetitions reusing a
 	// workspace only refill the t noise columns. The pool is per-call, so a
 	// workspace's base columns always belong to this ds.
 	type repWorkspace struct {
-		x    []float64 // n×d2 row-major augmented design
-		col  []float64 // one injected column before the strided scatter
-		base bool      // real columns already written
+		x      []float64        // n×d2 row-major augmented design
+		base   bool             // real columns already written
+		noiseV []float64        // t×n columnar copies of the injected columns
+		noiseO []int32          // t×n noise presort order buffers
+		noise  []ml.SplitColumn // t presorted noise column headers
 	}
 	pool := parallel.NewScratchPool(func() *repWorkspace {
-		return &repWorkspace{x: make([]float64, n*d2), col: make([]float64, n)}
+		ws := &repWorkspace{x: make([]float64, n*d2), noiseV: make([]float64, t*n)}
+		if useViews {
+			ws.noiseO = make([]int32, t*n)
+			ws.noise = make([]ml.SplitColumn, t)
+		}
+		return ws
 	})
 	// Each repetition derives every RNG it touches from (seed, rep) and
 	// produces a private outranked-noise indicator vector; indicators merge
@@ -335,8 +416,14 @@ func (r *RIFS) rstarCtx(ctx context.Context, ds *ml.Dataset, seed int64, thresho
 			}
 			ws.base = true
 		}
-		injectInto(ws.x, n, d, t, inject, repSeed, ws.col)
+		injectInto(ws.x, n, d, t, inject, repSeed, ws.noiseV)
 		aug := &ml.Dataset{X: ws.x, N: n, D: d2, Y: ds.Y, Task: ds.Task, Classes: ds.Classes}
+		if useViews {
+			for c := 0; c < t; c++ {
+				ws.noise[c] = ml.NewSplitColumn(ws.noiseV[c*n:(c+1)*n], ws.noiseO[c*n:(c+1)*n])
+			}
+			aug.AttachSplits(scache.View(scache.Columns(realIdx, true), ws.noise))
+		}
 		agg, err := r.aggregateRanking(&cfg, aug, repSeed)
 		if err != nil {
 			return nil, err
@@ -362,8 +449,16 @@ func (r *RIFS) rstarCtx(ctx context.Context, ds *ml.Dataset, seed int64, thresho
 
 	counts := make([]int, d)
 	need := neededCounts(thresholds, cfg.K)
+	waves := repSchedule(cfg.K, need)
+	// A schedule that collapsed to one barrier-free wave can never
+	// short-circuit, so reps_short_circuited == 0 is structural there, not a
+	// near-miss; the span records which case a trace is looking at.
+	r.span.SetInt("rep_waves", int64(len(waves)))
+	if len(waves) == 1 && need != nil {
+		r.span.SetInt("rep_schedule_collapsed", 1)
+	}
 	done, skipped := 0, 0
-	for _, wave := range repSchedule(cfg.K, need) {
+	for _, wave := range waves {
 		if done > 0 && allDecided(counts, need, cfg.K-done) {
 			skipped = cfg.K - done
 			break
@@ -383,6 +478,12 @@ func (r *RIFS) rstarCtx(ctx context.Context, ds *ml.Dataset, seed int64, thresho
 		done += wave
 	}
 	r.span.Trace().Counter("select.reps_short_circuited").Add(int64(skipped))
+	if scache != nil {
+		st := scache.Stats()
+		tr := r.span.Trace()
+		tr.Counter("select.splitset_cache_hits").Add(st.Hits)
+		tr.Counter("select.splitset_cache_misses").Add(st.Misses)
+	}
 	rstar := make([]float64, d)
 	for j, c := range counts {
 		rstar[j] = float64(c) / float64(cfg.K)
@@ -543,12 +644,15 @@ type injector func(repSeed int64, col int, out []float64)
 
 // injectInto fills the noise block of the row-major augmented design x
 // (n rows, stride d+t, real features occupying columns [0, d)) with the t
-// injected columns for repSeed, using col as length-n gather scratch. Only
-// the noise block is written, so a workspace's real columns survive across
+// injected columns for repSeed. cols is t×n scratch; each injected column is
+// drawn into its cols[c*n:(c+1)*n] slot before the strided scatter, leaving a
+// columnar copy behind for callers that presort the noise columns. Only the
+// noise block of x is written, so a workspace's real columns survive across
 // repetitions untouched.
-func injectInto(x []float64, n, d, t int, inject injector, repSeed int64, col []float64) {
+func injectInto(x []float64, n, d, t int, inject injector, repSeed int64, cols []float64) {
 	d2 := d + t
 	for c := 0; c < t; c++ {
+		col := cols[c*n : (c+1)*n]
 		inject(repSeed, c, col)
 		for i := 0; i < n; i++ {
 			x[i*d2+d+c] = col[i]

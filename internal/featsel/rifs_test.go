@@ -113,7 +113,14 @@ func TestInjectIntoShape(t *testing.T) {
 	for i := 0; i < ds.N; i++ {
 		copy(x[i*d2:i*d2+ds.D], ds.Row(i))
 	}
-	injectInto(x, ds.N, ds.D, tcols, inject, 1, make([]float64, ds.N))
+	cols := make([]float64, tcols*ds.N)
+	injectInto(x, ds.N, ds.D, tcols, inject, 1, cols)
+	// The columnar scratch retains each injected column for presorting.
+	for c := 0; c < tcols; c++ {
+		if cols[c*ds.N] != float64(c) {
+			t.Fatal("columnar copy missing after injection")
+		}
+	}
 	aug := &ml.Dataset{X: x, N: ds.N, D: d2, Y: ds.Y, Task: ds.Task, Classes: ds.Classes}
 	// Original features preserved, injected values in place.
 	for i := 0; i < ds.N; i++ {

@@ -91,10 +91,23 @@ func (m *Matrix) T() *Matrix {
 // blocks; each row's accumulation order is the same as the sequential kernel,
 // so results are bit-identical for any worker count.
 func Mul(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, b.Cols)
+	MulInto(out, a, b)
+	return out
+}
+
+// MulInto computes a·b into out (which must be a.Rows×b.Cols), zeroing it
+// first — same arithmetic as Mul, without the per-call allocation.
+func MulInto(out, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("linalg: mul dims %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := NewMatrix(a.Rows, b.Cols)
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: mul out dims %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
+	}
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
 	parallel.Blocks(0, a.Rows, kernelBlockRows(a.Cols*b.Cols), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.Row(i)
@@ -110,7 +123,6 @@ func Mul(a, b *Matrix) *Matrix {
 			}
 		}
 	})
-	return out
 }
 
 // MulABt returns the product a·bᵀ without materializing the transpose:
@@ -126,7 +138,12 @@ func MulABt(a, b *Matrix) *Matrix {
 		for i := lo; i < hi; i++ {
 			arow := a.Row(i)
 			orow := out.Row(i)
-			for j := range orow {
+			j := 0
+			for ; j+4 <= len(orow); j += 4 {
+				orow[j], orow[j+1], orow[j+2], orow[j+3] =
+					Dot4(arow, b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3))
+			}
+			for ; j < len(orow); j++ {
 				orow[j] = Dot(arow, b.Row(j))
 			}
 		}
@@ -148,13 +165,45 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 	return out
 }
 
-// Dot returns the inner product of equal-length vectors.
+// Dot returns the inner product of equal-length vectors. The loop is
+// unrolled 4× into a single accumulator — the additions happen in exactly
+// the sequential order of the plain loop, so the result is bit-identical;
+// the explicit re-slice just lifts the bounds checks out of the body.
 func Dot(a, b []float64) float64 {
+	b = b[:len(a)]
 	s := 0.0
-	for i, v := range a {
-		s += v * b[i]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s += a[i] * b[i]
+		s += a[i+1] * b[i+1]
+		s += a[i+2] * b[i+2]
+		s += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
 	}
 	return s
+}
+
+// Dot4 returns the four inner products ⟨a,b0⟩…⟨a,b3⟩ in one pass over a.
+// Each product uses its own accumulator updated in plain sequential order,
+// so every result is bit-identical to a separate Dot call — but the four
+// independent dependency chains hide floating-point add latency, which a
+// lone running sum cannot. Gram-style kernels (many dot products sharing one
+// left vector) are latency-bound, not bandwidth-bound, making this the
+// profitable shape.
+func Dot4(a, b0, b1, b2, b3 []float64) (s0, s1, s2, s3 float64) {
+	b0 = b0[:len(a)]
+	b1 = b1[:len(a)]
+	b2 = b2[:len(a)]
+	b3 = b3[:len(a)]
+	for i, v := range a {
+		s0 += v * b0[i]
+		s1 += v * b1[i]
+		s2 += v * b2[i]
+		s3 += v * b3[i]
+	}
+	return
 }
 
 // Norm2 returns the Euclidean norm of v.
@@ -190,8 +239,19 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("linalg: cholesky of non-square %dx%d", a.Rows, a.Cols)
 	}
+	l := NewMatrix(a.Rows, a.Rows)
+	if err := choleskyInto(l, a); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// choleskyInto factors a into the caller-provided l (n×n). Only entries on
+// or below l's diagonal are written, and the algorithm only reads entries it
+// wrote during this call, so l may hold garbage from a previous solve — no
+// clearing needed.
+func choleskyInto(l, a *Matrix) error {
 	n := a.Rows
-	l := NewMatrix(n, n)
 	// Row-slice addressing with the same accumulation order as the textbook
 	// At/Set form (sequential k), so results are bit-identical to it — this
 	// sits on the IRLS hot path, where indexing overhead dominated.
@@ -202,12 +262,37 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 			d -= v * v
 		}
 		if d <= 0 || math.IsNaN(d) {
-			return nil, ErrNotSPD
+			return ErrNotSPD
 		}
 		d = math.Sqrt(d)
 		lj[j] = d
 		acol := a.Data[j:]
-		for i := j + 1; i < n; i++ {
+		// The column update dots every lower row against lj. Four rows per
+		// pass — each output with its own accumulator in plain sequential
+		// order, so each is bit-identical to the one-row form — hide the
+		// dependent-subtract latency the lone running sum serializes on.
+		i := j + 1
+		for ; i+4 <= n; i += 4 {
+			r0 := l.Row(i)[:j+1]
+			r1 := l.Row(i+1)[:j+1]
+			r2 := l.Row(i+2)[:j+1]
+			r3 := l.Row(i+3)[:j+1]
+			s0 := acol[i*n]
+			s1 := acol[(i+1)*n]
+			s2 := acol[(i+2)*n]
+			s3 := acol[(i+3)*n]
+			for k, v := range lj[:j] {
+				s0 -= r0[k] * v
+				s1 -= r1[k] * v
+				s2 -= r2[k] * v
+				s3 -= r3[k] * v
+			}
+			r0[j] = s0 / d
+			r1[j] = s1 / d
+			r2[j] = s2 / d
+			r3[j] = s3 / d
+		}
+		for ; i < n; i++ {
 			li := l.Row(i)[:j+1]
 			s := acol[i*n]
 			for k, v := range li[:j] {
@@ -216,7 +301,7 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 			li[j] = s / d
 		}
 	}
-	return l, nil
+	return nil
 }
 
 // CholeskyJittered computes a Cholesky factor of a + jitter·I, doubling the
@@ -224,6 +309,20 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 // factorization succeeds or the jitter exceeds the matrix scale by a large
 // factor.
 func CholeskyJittered(a *Matrix, start float64) (*Matrix, error) {
+	l := NewMatrix(a.Rows, a.Rows)
+	if err := choleskyJitteredInto(l, a.Clone(), a, start); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// choleskyJitteredInto is CholeskyJittered with caller-provided buffers:
+// l receives the factor, work must already hold a copy of a (it is consumed
+// as jitter scratch). Same jitter sequence, same arithmetic.
+func choleskyJitteredInto(l, work, a *Matrix, start float64) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("linalg: cholesky of non-square %dx%d", a.Rows, a.Cols)
+	}
 	scale := 0.0
 	for i := 0; i < a.Rows; i++ {
 		if v := math.Abs(a.At(i, i)); v > scale {
@@ -237,11 +336,10 @@ func CholeskyJittered(a *Matrix, start float64) (*Matrix, error) {
 	if jitter <= 0 {
 		jitter = 1e-10 * scale
 	}
-	work := a.Clone()
 	for iter := 0; iter < 60; iter++ {
-		l, err := Cholesky(work)
+		err := choleskyInto(l, work)
 		if err == nil {
-			return l, nil
+			return nil
 		}
 		for i := 0; i < work.Rows; i++ {
 			work.Set(i, i, a.At(i, i)+jitter)
@@ -251,14 +349,21 @@ func CholeskyJittered(a *Matrix, start float64) (*Matrix, error) {
 			break
 		}
 	}
-	return nil, ErrNotSPD
+	return ErrNotSPD
 }
 
 // SolveCholesky solves A·x = b given the Cholesky factor L of A, by forward
 // then backward substitution.
 func SolveCholesky(l *Matrix, b []float64) []float64 {
+	x := make([]float64, l.Rows)
+	solveCholeskyInto(l, b, make([]float64, l.Rows), x)
+	return x
+}
+
+// solveCholeskyInto is SolveCholesky with caller-provided scratch: y holds
+// the forward-substitution intermediate, x receives the solution.
+func solveCholeskyInto(l *Matrix, b, y, x []float64) {
 	n := l.Rows
-	y := make([]float64, n)
 	for i := 0; i < n; i++ {
 		s := b[i]
 		row := l.Row(i)
@@ -267,7 +372,6 @@ func SolveCholesky(l *Matrix, b []float64) []float64 {
 		}
 		y[i] = s / row[i]
 	}
-	x := make([]float64, n)
 	data := l.Data
 	for i := n - 1; i >= 0; i-- {
 		s := y[i]
@@ -278,28 +382,69 @@ func SolveCholesky(l *Matrix, b []float64) []float64 {
 		}
 		x[i] = s / data[i*n+i]
 	}
-	return x
 }
 
 // SolveSPD solves A·X = B for symmetric positive-definite A (jittered if
 // needed), where B has one column per solve.
 func SolveSPD(a, b *Matrix) (*Matrix, error) {
-	l, err := CholeskyJittered(a, 0)
+	var s SPDSolver
+	out, err := s.Solve(a, b)
 	if err != nil {
 		return nil, err
 	}
-	out := NewMatrix(a.Rows, b.Cols)
-	col := make([]float64, a.Rows)
+	return out, nil
+}
+
+// SPDSolver solves a sequence of same-shape SPD systems (e.g. successive
+// IRLS iterations) reusing its factorization and solution buffers, so only
+// the first Solve allocates. Arithmetic is identical to SolveSPD. The
+// returned matrix is owned by the solver and valid until the next Solve;
+// clone it to retain.
+type SPDSolver struct {
+	work, l, out *Matrix
+	col, y, x    []float64
+}
+
+// reuseMatrix returns m resized to r×c, reallocating only on growth. The
+// contents are unspecified; callers must fully overwrite what they read.
+func reuseMatrix(m *Matrix, r, c int) *Matrix {
+	if m == nil || cap(m.Data) < r*c {
+		return NewMatrix(r, c)
+	}
+	m.Rows, m.Cols, m.Data = r, c, m.Data[:r*c]
+	return m
+}
+
+func reuseVec(v []float64, n int) []float64 {
+	if cap(v) < n {
+		return make([]float64, n)
+	}
+	return v[:n]
+}
+
+// Solve solves A·X = B like SolveSPD, into the solver's reused buffers.
+func (s *SPDSolver) Solve(a, b *Matrix) (*Matrix, error) {
+	n := a.Rows
+	s.work = reuseMatrix(s.work, n, n)
+	copy(s.work.Data, a.Data)
+	s.l = reuseMatrix(s.l, n, n)
+	if err := choleskyJitteredInto(s.l, s.work, a, 0); err != nil {
+		return nil, err
+	}
+	s.out = reuseMatrix(s.out, n, b.Cols)
+	s.col = reuseVec(s.col, n)
+	s.y = reuseVec(s.y, n)
+	s.x = reuseVec(s.x, n)
 	for j := 0; j < b.Cols; j++ {
-		for i := 0; i < a.Rows; i++ {
-			col[i] = b.At(i, j)
+		for i := 0; i < n; i++ {
+			s.col[i] = b.At(i, j)
 		}
-		x := SolveCholesky(l, col)
-		for i := 0; i < a.Rows; i++ {
-			out.Set(i, j, x[i])
+		solveCholeskyInto(s.l, s.col, s.y, s.x)
+		for i := 0; i < n; i++ {
+			s.out.Set(i, j, s.x[i])
 		}
 	}
-	return out, nil
+	return s.out, nil
 }
 
 // RidgeSolve solves the regularized least squares problem

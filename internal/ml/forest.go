@@ -39,11 +39,11 @@ type Forest struct {
 	imp     []float64
 }
 
-// FitForest trains a random forest on ds with bootstrap resampling. The
-// dataset is presorted once into a shared split scaffold; each tree derives
-// its bootstrap sample's feature orders from it with a linear scan, so tree
-// growth never sorts (see splitset.go).
-func FitForest(ds *Dataset, cfg ForestConfig) *Forest {
+// resolveForestConfig applies FitForest's defaulting rules, returning the
+// normalized config and the per-tree config it implies. Shared by FitForest
+// and the cross-forest FitForests scheduler so a forest fits identically
+// through either entry point.
+func resolveForestConfig(ds *Dataset, cfg ForestConfig) (ForestConfig, TreeConfig) {
 	if cfg.NTrees <= 0 {
 		cfg.NTrees = 100
 	}
@@ -65,53 +65,46 @@ func FitForest(ds *Dataset, cfg ForestConfig) *Forest {
 			mtry = 1
 		}
 	}
-	tc := TreeConfig{MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf, MTry: mtry}
-	f := &Forest{
-		Trees:   make([]*Tree, cfg.NTrees),
-		task:    ds.Task,
-		classes: ds.Classes,
+	return cfg, TreeConfig{MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf, MTry: mtry}
+}
+
+// splitSetFor returns the split set backing a forest fit on ds: the attached
+// run-level view when one matches (presort already paid), a fresh per-forest
+// build otherwise. All bootstrap trees have m == ds.N samples, so they all
+// land in the same kernel regime; global orders are only required when the
+// presorted regime will consume them.
+func splitSetFor(ds *Dataset, tc TreeConfig, workers int) *splitSet {
+	needOrders := !useFlatKernel(resolveMTry(tc.MTry, ds.D), ds.D, ds.N)
+	if ss := ds.attachedSplits(needOrders); ss != nil {
+		return ss
 	}
-	// Tree growth runs on the shared worker pool: when a forest fits inside
-	// an already-parallel stage (e.g. a RIFS repetition), the pool's global
-	// cap keeps the total worker count bounded instead of multiplying.
-	workers := 1
-	if cfg.Parallel {
-		workers = 0 // process-wide maximum
+	return buildSplitSet(ds, workers, needOrders)
+}
+
+// bootstrapTree draws one bootstrap sample and grows one tree from the
+// shared split set. The RNG stream is identical to the legacy path: n Intn
+// draws for the bootstrap, then MTry shuffles inside tree growth.
+func bootstrapTree(ss *splitSet, tc TreeConfig, seed int64) *Tree {
+	rng := rand.New(rand.NewSource(seed))
+	ws := treeScratch.Get()
+	n := ss.n
+	ws.cnt = growInt32(ws.cnt, n)
+	cnt := ws.cnt
+	for i := range cnt {
+		cnt[i] = 0
 	}
-	if cfg.legacyKernel {
-		parallel.ForEach(workers, cfg.NTrees, func(t int) {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*7919))
-			idx := make([]int, ds.N)
-			for i := range idx {
-				idx[i] = rng.Intn(ds.N)
-			}
-			f.Trees[t] = fitTreeLegacy(ds, idx, tc, rng)
-		})
-	} else {
-		// All bootstrap trees have m == ds.N samples, so they all land in the
-		// same kernel regime; global orders are only built when the presorted
-		// regime will consume them.
-		needOrders := !useFlatKernel(resolveMTry(mtry, ds.D), ds.D, ds.N)
-		ss := buildSplitSet(ds, workers, needOrders)
-		parallel.ForEach(workers, cfg.NTrees, func(t int) {
-			// Identical RNG stream to the legacy path: n Intn draws for the
-			// bootstrap, then MTry shuffles inside tree growth.
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*7919))
-			ws := treeScratch.Get()
-			ws.cnt = growInt32(ws.cnt, ds.N)
-			cnt := ws.cnt
-			for i := range cnt {
-				cnt[i] = 0
-			}
-			for i := 0; i < ds.N; i++ {
-				cnt[rng.Intn(ds.N)]++
-			}
-			f.Trees[t] = fitTreeFromSplitSet(ss, tc, rng, ws)
-			treeScratch.Put(ws)
-		})
+	for i := 0; i < n; i++ {
+		cnt[rng.Intn(n)]++
 	}
-	// Aggregate importances: mean of per-tree normalized importances.
-	f.imp = make([]float64, ds.D)
+	t := fitTreeFromSplitSet(ss, tc, rng, ws)
+	treeScratch.Put(ws)
+	return t
+}
+
+// aggregateImportances fills f.imp with the normalized mean of per-tree
+// normalized importances.
+func aggregateImportances(f *Forest, d int) {
+	f.imp = make([]float64, d)
 	for _, tree := range f.Trees {
 		ti := tree.importance
 		total := 0.0
@@ -134,6 +127,43 @@ func FitForest(ds *Dataset, cfg ForestConfig) *Forest {
 			f.imp[j] /= total
 		}
 	}
+}
+
+// FitForest trains a random forest on ds with bootstrap resampling. The
+// dataset is presorted once into a shared split scaffold — or read from an
+// attached run-level split view (AttachSplits) when one matches — and each
+// tree derives its bootstrap sample's feature orders from it with a linear
+// scan, so tree growth never sorts (see splitset.go).
+func FitForest(ds *Dataset, cfg ForestConfig) *Forest {
+	cfg, tc := resolveForestConfig(ds, cfg)
+	f := &Forest{
+		Trees:   make([]*Tree, cfg.NTrees),
+		task:    ds.Task,
+		classes: ds.Classes,
+	}
+	// Tree growth runs on the shared worker pool: when a forest fits inside
+	// an already-parallel stage (e.g. a RIFS repetition), the pool's global
+	// cap keeps the total worker count bounded instead of multiplying.
+	workers := 1
+	if cfg.Parallel {
+		workers = 0 // process-wide maximum
+	}
+	if cfg.legacyKernel {
+		parallel.ForEach(workers, cfg.NTrees, func(t int) {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*7919))
+			idx := make([]int, ds.N)
+			for i := range idx {
+				idx[i] = rng.Intn(ds.N)
+			}
+			f.Trees[t] = fitTreeLegacy(ds, idx, tc, rng)
+		})
+	} else {
+		ss := splitSetFor(ds, tc, workers)
+		parallel.ForEach(workers, cfg.NTrees, func(t int) {
+			f.Trees[t] = bootstrapTree(ss, tc, cfg.Seed+int64(t)*7919)
+		})
+	}
+	aggregateImportances(f, ds.D)
 	return f
 }
 

@@ -50,6 +50,12 @@ type Dataset struct {
 	// backing columns, and stride is the backing row width.
 	cols   []int
 	stride int
+
+	// splits is an optionally attached prebuilt split view (AttachSplits):
+	// forest fitting reads the dataset's columns from it instead of
+	// gathering and presorting again. Never propagated by View/Subset —
+	// attachment is always explicit.
+	splits *splitSet
 }
 
 // NewDataset wraps the given storage, validating shape consistency.

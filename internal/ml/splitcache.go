@@ -1,0 +1,207 @@
+package ml
+
+import (
+	"sync"
+)
+
+// SplitColumn is one feature column of a split set: the column's values over
+// a fixed row set, plus — when presorted — the row indices sorted by
+// (value, row). A SplitColumn is immutable once published: the split kernel
+// only reads it, so one column can back any number of concurrently fitted
+// forests over the same rows.
+type SplitColumn struct {
+	v   []float64
+	ord []int32 // rows sorted by (value, row); nil when not presorted
+}
+
+// NewSplitColumn wraps caller-owned buffers as a split column. When ord is
+// non-nil it must have len(values) entries; it is filled in place with the
+// (value, row)-sorted permutation — the same unique total order the split
+// kernel's own presort produces, so a caller-presorted column is
+// indistinguishable from a cache-built one. Pass a nil ord for a values-only
+// column (the flat kernel then sorts nodes on demand).
+func NewSplitColumn(values []float64, ord []int32) SplitColumn {
+	if ord != nil {
+		ord = ord[:len(values)]
+		for i := range ord {
+			ord[i] = int32(i)
+		}
+		sortOrder(values, ord)
+	}
+	return SplitColumn{v: values, ord: ord}
+}
+
+// Presorted reports whether the column carries a (value, row) order.
+func (c SplitColumn) Presorted() bool { return c.ord != nil }
+
+// SplitCacheStats reports a cache's column traffic: misses are column
+// requests that had to build (gather values and/or presort), hits are
+// requests served entirely from already-built state.
+type SplitCacheStats struct {
+	Hits, Misses int64
+}
+
+// SplitCache is a run-level store of presorted split columns over one
+// dataset's rows. Where the per-forest split set dies with its forest, the
+// cache outlives every forest fitted during a run: the K RIFS repetitions
+// and the threshold sweep's nested forests all draw the immutable real
+// columns from here and pay the gather + presort exactly once per run.
+//
+// Builds are serialized by a mutex and the (value, row) sort is a unique
+// total order, so the cached columns are identical no matter which caller
+// builds them first or how many workers race to ask. For deterministic
+// hit/miss counts, prewarm the cache (one Columns call for every index)
+// before fanning work out to the pool.
+type SplitCache struct {
+	ds      *Dataset
+	n       int
+	task    Task
+	classes int
+	ys      []float64
+	labels  []int32
+
+	mu     sync.Mutex
+	cols   []SplitColumn
+	valsOK []bool
+	ordsOK []bool
+	stats  SplitCacheStats
+}
+
+// NewSplitCache prepares an empty cache over ds's rows. Columns build
+// lazily; ys and class labels are captured eagerly (they are shared by every
+// view). ds must stay alive and unmodified for the cache's lifetime.
+func NewSplitCache(ds *Dataset) *SplitCache {
+	c := &SplitCache{
+		ds:      ds,
+		n:       ds.N,
+		task:    ds.Task,
+		classes: ds.Classes,
+		ys:      ds.Y,
+		cols:    make([]SplitColumn, ds.D),
+		valsOK:  make([]bool, ds.D),
+		ordsOK:  make([]bool, ds.D),
+	}
+	if ds.Task == Classification {
+		c.labels = make([]int32, ds.N)
+		for i := 0; i < ds.N; i++ {
+			c.labels[i] = int32(ds.Label(i))
+		}
+	}
+	return c
+}
+
+// Columns returns the cached split columns for the given source-column
+// indices, building any that are missing (values always; orders only when
+// withOrders). The returned slice is freshly allocated; the columns it holds
+// are shared and immutable.
+func (c *SplitCache) Columns(idx []int, withOrders bool) []SplitColumn {
+	out := make([]SplitColumn, len(idx))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, j := range idx {
+		built := false
+		if !c.valsOK[j] {
+			v := make([]float64, c.n)
+			for r := 0; r < c.n; r++ {
+				v[r] = c.ds.At(r, j)
+			}
+			c.cols[j] = SplitColumn{v: v}
+			c.valsOK[j] = true
+			built = true
+		}
+		if withOrders && !c.ordsOK[j] {
+			col := c.cols[j]
+			ord := make([]int32, c.n)
+			for r := range ord {
+				ord[r] = int32(r)
+			}
+			sortOrder(col.v, ord)
+			col.ord = ord
+			c.cols[j] = col
+			c.ordsOK[j] = true
+			built = true
+		}
+		if built {
+			c.stats.Misses++
+		} else {
+			c.stats.Hits++
+		}
+		out[i] = c.cols[j]
+	}
+	return out
+}
+
+// Stats returns the cache's hit/miss counters so far.
+func (c *SplitCache) Stats() SplitCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// View assembles a per-forest split view: cols (typically cached real
+// columns, in dataset column order) followed by extra per-forest columns
+// (e.g. a repetition's freshly injected noise columns). The view borrows the
+// cache's row metadata; the dataset it is attached to must therefore share
+// this cache's rows and targets.
+func (c *SplitCache) View(cols []SplitColumn, extra []SplitColumn) *SplitView {
+	all := make([]SplitColumn, 0, len(cols)+len(extra))
+	all = append(all, cols...)
+	all = append(all, extra...)
+	return &SplitView{ss: &splitSet{
+		n:       c.n,
+		d:       len(all),
+		task:    c.task,
+		classes: c.classes,
+		ys:      c.ys,
+		labels:  c.labels,
+		cols:    all,
+	}}
+}
+
+// SplitView is an assembled column set ready to back forest fitting; attach
+// it to a Dataset with AttachSplits. Views are cheap (column headers only)
+// and immutable.
+type SplitView struct {
+	ss *splitSet
+}
+
+// NumColumns returns the number of columns in the view.
+func (v *SplitView) NumColumns() int {
+	if v == nil {
+		return 0
+	}
+	return v.ss.d
+}
+
+// AttachSplits hands the dataset a prebuilt split view: FitForest (and the
+// flattened FitForests scheduler) will fit trees straight from the view's
+// columns instead of gathering and presorting the dataset again. The view
+// must describe exactly this dataset's columns over exactly its rows — same
+// values, same order; the fitted forest is then bit-identical to one grown
+// without the view. Attach nil to detach. The attachment is advisory: a
+// shape mismatch makes FitForest fall back to its own build.
+func (ds *Dataset) AttachSplits(v *SplitView) {
+	if v == nil {
+		ds.splits = nil
+		return
+	}
+	ds.splits = v.ss
+}
+
+// attachedSplits returns the dataset's split set when one is attached and
+// structurally consistent with ds (and, when orders are required, fully
+// presorted); nil otherwise.
+func (ds *Dataset) attachedSplits(needOrders bool) *splitSet {
+	ss := ds.splits
+	if ss == nil || ss.n != ds.N || ss.d != ds.D || ss.task != ds.Task {
+		return nil
+	}
+	if needOrders {
+		for _, col := range ss.cols {
+			if col.ord == nil {
+				return nil
+			}
+		}
+	}
+	return ss
+}

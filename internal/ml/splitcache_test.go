@@ -1,0 +1,217 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/arda-ml/arda/internal/testenv"
+)
+
+func sameForest(t *testing.T, want, got *Forest) {
+	t.Helper()
+	if len(want.Trees) != len(got.Trees) {
+		t.Fatalf("tree count %d != %d", len(got.Trees), len(want.Trees))
+	}
+	for i := range want.Trees {
+		if !sameTree(want.Trees[i], got.Trees[i]) {
+			t.Fatalf("tree %d differs", i)
+		}
+	}
+	wi, gi := want.Importances(), got.Importances()
+	for j := range wi {
+		if wi[j] != gi[j] {
+			t.Fatalf("importance[%d] %v != %v", j, gi[j], wi[j])
+		}
+	}
+}
+
+// TestSplitViewForestEquivalence: a forest fitted from an attached run-level
+// split view must be bit-identical to one that builds its own split set —
+// in the flat regime (where the view's global orders additionally enable
+// counting-scan extraction at large nodes) and in the presorted regime.
+func TestSplitViewForestEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		task Task
+		cfg  ForestConfig
+	}{
+		// mtry restricted → flat regime; the cached orders light up the
+		// counting-scan path that plain FitForest never builds.
+		{"flat_scan_classification", Classification, ForestConfig{NTrees: 8, MaxDepth: 10, MTry: 3, Seed: 4}},
+		{"flat_scan_regression", Regression, ForestConfig{NTrees: 8, MaxDepth: 10, MTry: 2, Seed: 4}},
+		// defaults → presorted regime for regression at d=24.
+		{"presorted_regression", Regression, ForestConfig{NTrees: 6, MaxDepth: 8, Seed: 11}},
+		{"presorted_classification", Classification, ForestConfig{NTrees: 6, MaxDepth: 8, MTry: 20, Seed: 11}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := kernelFixture(220, 24, tc.task, 17)
+			want := FitForest(ds, tc.cfg)
+
+			cache := NewSplitCache(ds)
+			idx := make([]int, ds.D)
+			for j := range idx {
+				idx[j] = j
+			}
+			cols := cache.Columns(idx, true)
+			ds.AttachSplits(cache.View(cols, nil))
+			got := FitForest(ds, tc.cfg)
+			ds.AttachSplits(nil)
+
+			sameForest(t, want, got)
+		})
+	}
+}
+
+// TestSplitViewWithExtraColumns mirrors the RIFS repetition shape: a dense
+// augmented design whose first d columns are cached real columns and whose
+// last t columns are caller-presorted per-repetition noise. The view-backed
+// forest must equal the plain one bit-for-bit.
+func TestSplitViewWithExtraColumns(t *testing.T) {
+	base := kernelFixture(180, 12, Classification, 23)
+	n, d, extra := base.N, base.D, 5
+	d2 := d + extra
+	x := make([]float64, n*d2)
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < n; i++ {
+		copy(x[i*d2:], base.Row(i))
+		for c := 0; c < extra; c++ {
+			x[i*d2+d+c] = rng.NormFloat64()
+		}
+	}
+	aug := &Dataset{X: x, N: n, D: d2, Y: base.Y, Task: base.Task, Classes: base.Classes}
+	cfg := ForestConfig{NTrees: 10, MaxDepth: 10, Seed: 2}
+	want := FitForest(aug, cfg)
+
+	cache := NewSplitCache(base)
+	idx := make([]int, d)
+	for j := range idx {
+		idx[j] = j
+	}
+	real := cache.Columns(idx, true)
+	noise := make([]SplitColumn, extra)
+	for c := 0; c < extra; c++ {
+		vals := make([]float64, n)
+		for i := 0; i < n; i++ {
+			vals[i] = x[i*d2+d+c]
+		}
+		noise[c] = NewSplitColumn(vals, make([]int32, n))
+	}
+	aug.AttachSplits(cache.View(real, noise))
+	got := FitForest(aug, cfg)
+	aug.AttachSplits(nil)
+
+	sameForest(t, want, got)
+	if s := cache.Stats(); s.Misses != int64(d) || s.Hits != 0 {
+		t.Fatalf("stats = %+v, want %d misses, 0 hits", s, d)
+	}
+}
+
+// TestSplitViewShapeMismatchFallsBack: a stale or mismatched attachment must
+// be ignored, not trusted.
+func TestSplitViewShapeMismatchFallsBack(t *testing.T) {
+	ds := kernelFixture(120, 8, Classification, 5)
+	other := kernelFixture(120, 6, Classification, 5) // fewer columns
+	cache := NewSplitCache(other)
+	idx := []int{0, 1, 2, 3, 4, 5}
+	ds.AttachSplits(cache.View(cache.Columns(idx, true), nil))
+	want := FitForest(ds, ForestConfig{NTrees: 4, Seed: 1})
+	ds.AttachSplits(nil)
+	plain := FitForest(ds, ForestConfig{NTrees: 4, Seed: 1})
+	sameForest(t, plain, want)
+}
+
+// TestFitForestsMatchesSequential: the flattened (forest, tree) scheduler
+// must reproduce forest-at-a-time fitting bit-for-bit at any worker count,
+// across mixed tasks, sizes, and seeds sharing one wave.
+func TestFitForestsMatchesSequential(t *testing.T) {
+	dsC := kernelFixture(150, 10, Classification, 3)
+	dsR := kernelFixture(90, 6, Regression, 9)
+	jobs := []ForestJob{
+		{DS: dsC, Cfg: ForestConfig{NTrees: 7, MaxDepth: 8, Seed: 100}},
+		{DS: dsC, Cfg: ForestConfig{NTrees: 3, MaxDepth: 4, MTry: 2, Seed: 7}},
+		{DS: dsR, Cfg: ForestConfig{NTrees: 5, MaxDepth: 6, Seed: 42}},
+		{DS: dsR, Cfg: ForestConfig{NTrees: 1, Seed: 0}},
+	}
+	want := make([]*Forest, len(jobs))
+	for i, j := range jobs {
+		want[i] = FitForest(j.DS, j.Cfg)
+	}
+	for _, workers := range []int{1, 8} {
+		got := FitForests(workers, jobs)
+		for i := range jobs {
+			sameForest(t, want[i], got[i])
+		}
+	}
+}
+
+// TestFitForestsSharedView: jobs sharing one attached cache view (the sweep
+// shape) still match sequential fitting.
+func TestFitForestsSharedView(t *testing.T) {
+	ds := kernelFixture(160, 14, Classification, 13)
+	cache := NewSplitCache(ds)
+	idx := make([]int, ds.D)
+	for j := range idx {
+		idx[j] = j
+	}
+	ds.AttachSplits(cache.View(cache.Columns(idx, true), nil))
+	defer ds.AttachSplits(nil)
+	jobs := []ForestJob{
+		{DS: ds, Cfg: ForestConfig{NTrees: 6, MaxDepth: 8, Seed: 5}},
+		{DS: ds, Cfg: ForestConfig{NTrees: 6, MaxDepth: 8, Seed: 5}},
+	}
+	want := FitForest(ds, jobs[0].Cfg)
+	got := FitForests(0, jobs)
+	sameForest(t, want, got[0])
+	sameForest(t, want, got[1])
+}
+
+// TestNewSplitColumnMatchesCacheOrder: a caller-presorted column must carry
+// exactly the order the cache itself would build.
+func TestNewSplitColumnMatchesCacheOrder(t *testing.T) {
+	ds := kernelFixture(200, 3, Regression, 77)
+	cache := NewSplitCache(ds)
+	want := cache.Columns([]int{1}, true)[0]
+	vals := make([]float64, ds.N)
+	for i := 0; i < ds.N; i++ {
+		vals[i] = ds.At(i, 1)
+	}
+	got := NewSplitColumn(vals, make([]int32, ds.N))
+	if !got.Presorted() {
+		t.Fatal("NewSplitColumn with ord buffer must presort")
+	}
+	for i := range want.ord {
+		if want.ord[i] != got.ord[i] {
+			t.Fatalf("ord[%d] = %d, want %d", i, got.ord[i], want.ord[i])
+		}
+	}
+}
+
+// TestSplitCacheWarmAllocs is the run-level alloc gate: once the real
+// columns are built, a warm repetition's Columns call allocates only the
+// returned header slice — no value or order buffers.
+func TestSplitCacheWarmAllocs(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("AllocsPerRun counts the race detector's bookkeeping; run via `make alloc`")
+	}
+	ds := kernelFixture(256, 20, Classification, 8)
+	cache := NewSplitCache(ds)
+	idx := make([]int, ds.D)
+	for j := range idx {
+		idx[j] = j
+	}
+	cache.Columns(idx, true) // cold build
+	warm := testing.AllocsPerRun(20, func() {
+		cache.Columns(idx, true)
+	})
+	if warm > 1 {
+		t.Fatalf("warm Columns allocates %.0f objects per call, want <= 1 (header slice only)", warm)
+	}
+	s := cache.Stats()
+	if s.Misses != int64(ds.D) {
+		t.Fatalf("misses = %d after warm calls, want %d (cold build only)", s.Misses, ds.D)
+	}
+	if s.Hits == 0 {
+		t.Fatal("warm calls recorded no hits")
+	}
+}

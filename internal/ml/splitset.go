@@ -27,15 +27,32 @@ type treeWorkspace struct {
 	pay     []int32   // flat-kernel sort payload (positions)
 	cnt     []int32   // bootstrap multiplicity per dataset row (forest path)
 	rowOf   []int32   // tree position → dataset row (flat forest path)
+	scols   []SplitColumn // per-feature column headers handed to the builder
 	// Presorted-kernel scratch.
 	colv   []float64 // d×m column-major feature values by tree position
 	orders []int32   // d×m per-feature positions, value-sorted per node range
 	spill  []int32   // stable-partition scratch for right-bound positions
 	left   []bool    // goes-left mask during a split (all-false invariant)
-	base   []int32   // first tree position per dataset row (presorted derive)
+	base   []int32   // first tree position per dataset row (counting scans)
+	ncnt   []int32   // in-node multiplicity per dataset row (all-zero invariant)
 }
 
-var treeScratch = parallel.NewScratchPool(func() *treeWorkspace { return &treeWorkspace{} })
+// retained is the workspace's pooled footprint in bytes (slice capacities,
+// not lengths); the d×m presorted-kernel planes dominate. It feeds the
+// pool's retention cap so sweep-sized trees don't keep base-table-sized
+// scratch alive.
+func (ws *treeWorkspace) retained() int {
+	f := cap(ws.ys) + cap(ws.vbuf) + cap(ws.ybuf) + cap(ws.lcnt) + cap(ws.rcnt) +
+		cap(ws.rbuf) + cap(ws.colv)
+	i := cap(ws.labels) + cap(ws.lbuf) + cap(ws.samples) + cap(ws.pay) + cap(ws.cnt) +
+		cap(ws.rowOf) + cap(ws.orders) + cap(ws.spill) + cap(ws.base) + cap(ws.ncnt)
+	return f*8 + i*4 + cap(ws.feats)*8 + cap(ws.left) + cap(ws.scols)*48
+}
+
+var treeScratch = parallel.NewScratchPoolSized(
+	func() *treeWorkspace { return &treeWorkspace{} },
+	(*treeWorkspace).retained,
+)
 
 // reserve sizes the common scratch for m samples, d features, and k classes
 // (0 for regression), growing allocations only when needed, and resets the
@@ -67,6 +84,14 @@ func (ws *treeWorkspace) reserve(m, d, k int) {
 // reserveCols sizes the per-tree column store.
 func (ws *treeWorkspace) reserveCols(m, d int) {
 	ws.colv = growFloat(ws.colv, m*d)
+}
+
+// reserveColHeaders sizes the per-feature column-header slice.
+func (ws *treeWorkspace) reserveColHeaders(d int) {
+	if cap(ws.scols) < d {
+		ws.scols = make([]SplitColumn, d)
+	}
+	ws.scols = ws.scols[:d]
 }
 
 // reserveOrders sizes the presorted kernel's order arrays and partition
@@ -105,8 +130,7 @@ type splitSet struct {
 	n, d    int
 	task    Task
 	classes int
-	colv    []float64 // d×n column-major values
-	orders  []int32   // d×n rows sorted by (value, row); nil below cutoff
+	cols    []SplitColumn // per-feature values (+ (value,row) orders when presorted)
 	ys      []float64
 	labels  []int32 // class codes (classification)
 }
@@ -122,15 +146,19 @@ func buildSplitSet(ds *Dataset, workers int, needOrders bool) *splitSet {
 		d:       d,
 		task:    ds.Task,
 		classes: ds.Classes,
-		colv:    make([]float64, n*d),
+		cols:    make([]SplitColumn, d),
 		ys:      ds.Y,
 	}
+	colv := make([]float64, n*d)
 	rbuf := make([]float64, d)
 	for i := 0; i < n; i++ {
 		ds.RowTo(i, rbuf)
 		for j := 0; j < d; j++ {
-			ss.colv[j*n+i] = rbuf[j]
+			colv[j*n+i] = rbuf[j]
 		}
+	}
+	for j := 0; j < d; j++ {
+		ss.cols[j].v = colv[j*n : (j+1)*n]
 	}
 	if ds.Task == Classification {
 		ss.labels = make([]int32, n)
@@ -139,14 +167,14 @@ func buildSplitSet(ds *Dataset, workers int, needOrders bool) *splitSet {
 		}
 	}
 	if needOrders {
-		ss.orders = make([]int32, n*d)
+		orders := make([]int32, n*d)
 		parallel.ForEach(workers, d, func(j int) {
-			col := ss.colv[j*n : (j+1)*n]
-			ord := ss.orders[j*n : (j+1)*n]
+			ord := orders[j*n : (j+1)*n]
 			for i := range ord {
 				ord[i] = int32(i)
 			}
-			sortOrder(col, ord)
+			sortOrder(ss.cols[j].v, ord)
+			ss.cols[j].ord = ord
 		})
 	}
 	return ss
@@ -184,8 +212,11 @@ func fitTreeFromSplitSet(ss *splitSet, cfg TreeConfig, rng *rand.Rand, ws *treeW
 
 	if useFlatKernel(b.mtry, d, m) {
 		ws.rowOf = growInt32(ws.rowOf, m)
+		ws.base = growInt32(ws.base, n)
+		base := ws.base
 		w := 0
 		for r := 0; r < n; r++ {
+			base[r] = int32(w)
 			for k := int32(0); k < cnt[r]; k++ {
 				ws.rowOf[w] = int32(r)
 				ws.ys[w] = ss.ys[r]
@@ -195,7 +226,21 @@ func fitTreeFromSplitSet(ss *splitSet, cfg TreeConfig, rng *rand.Rand, ws *treeW
 				w++
 			}
 		}
-		b.colv, b.stride, b.rowOf = ss.colv, n, ws.rowOf
+		b.scols, b.rowOf, b.ssn = ss.cols, ws.rowOf, n
+		// Large nodes can skip the per-node sort when a feature carries a
+		// global (value, row) order: walking that order and emitting each
+		// in-node row's copies in ascending position order reproduces the
+		// sort's (value, position) sequence exactly. Interior nodes register
+		// their membership as per-row counts in ws.ncnt (zeroed by make and
+		// kept all-zero by growFlat's mark/clear pairing), so the scan skips
+		// out-of-node rows without per-position mask checks.
+		for _, col := range ss.cols {
+			if col.ord != nil {
+				b.canScan = true
+				ws.ncnt = growInt32(ws.ncnt, n)
+				break
+			}
+		}
 		b.flatRoot()
 		return b.tree
 	}
@@ -215,9 +260,10 @@ func fitTreeFromSplitSet(ss *splitSet, cfg TreeConfig, rng *rand.Rand, ws *treeW
 			w++
 		}
 	}
+	ws.reserveColHeaders(d)
 	for j := 0; j < d; j++ {
-		gcol := ss.colv[j*n : (j+1)*n]
-		gord := ss.orders[j*n : (j+1)*n]
+		gcol := ss.cols[j].v
+		gord := ss.cols[j].ord
 		tcol := ws.colv[j*m : (j+1)*m]
 		tord := ws.orders[j*m : (j+1)*m]
 		w := 0
@@ -234,8 +280,9 @@ func fitTreeFromSplitSet(ss *splitSet, cfg TreeConfig, rng *rand.Rand, ws *treeW
 				w++
 			}
 		}
+		ws.scols[j] = SplitColumn{v: tcol}
 	}
-	b.colv, b.stride = ws.colv, m
+	b.scols = ws.scols
 	b.grow(0, m, 0)
 	return b.tree
 }

@@ -93,9 +93,10 @@ func (t *Tree) Importance() []float64 {
 func (t *Tree) NumNodes() int { return len(t.nodes) }
 
 // treeBuilder grows one tree. Sample identity is a tree-local position
-// p ∈ [0, m). Feature values live in a column-major store: the tree's own
-// gathered columns (stride m, rowOf nil) or the forest's shared split-set
-// columns addressed through the bootstrap row map (stride n, rowOf set).
+// p ∈ [0, m). Feature values live in per-feature split columns: the tree's
+// own gathered columns (length m, rowOf nil) or the forest's shared
+// split-set columns addressed through the bootstrap row map (length n,
+// rowOf set).
 type treeBuilder struct {
 	cfg     TreeConfig
 	rng     *rand.Rand
@@ -106,9 +107,13 @@ type treeBuilder struct {
 	mtry    int
 	ws      *treeWorkspace
 
-	colv   []float64 // column-major values, d columns of length stride
-	stride int
-	rowOf  []int32 // tree position → column-store row; nil means identity
+	scols []SplitColumn // per-feature values (+ global orders when shared)
+	rowOf []int32       // tree position → column row; nil means identity
+	ssn   int           // shared split-set row count (scan cost rule)
+	// canScan marks the shared-column flat path where tree positions are
+	// row-major: large nodes then extract their sorted (value, position)
+	// sequence from a column's global order instead of sorting.
+	canScan bool
 }
 
 // FitTree grows a CART tree over the samples indexed by idx (all samples if
@@ -136,7 +141,11 @@ func FitTree(ds *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand) *Tree {
 	b.mtry = resolveMTry(cfg.MTry, ds.D)
 	ws.reserve(m, ds.D, b.classScratch())
 	ws.reserveCols(m, ds.D)
-	b.colv, b.stride = ws.colv, m
+	ws.reserveColHeaders(ds.D)
+	for j := 0; j < ds.D; j++ {
+		ws.scols[j] = SplitColumn{v: ws.colv[j*m : (j+1)*m]}
+	}
+	b.scols = ws.scols
 	rbuf := ws.rbuf
 	for p := 0; p < m; p++ {
 		i := p
@@ -425,7 +434,30 @@ func (b *treeBuilder) growFlat(samples []int32, depth int) int32 {
 		(b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) {
 		return id
 	}
-	feat, thr, gain := b.bestSplitFlat(samples, imp)
+	// Scan extraction beats per-node sorting only while the node is large:
+	// the scan pays O(n + m) per feature regardless of node size, the sort
+	// pays O(m·log m) on the node alone — but a sort comparison (call,
+	// float compare, ~50% mispredicted branch) costs several times a scan
+	// step (sequential loads, predictable branches), hence the 2× weight on
+	// the sort side. Either kernel yields identical pairs, so the crossover
+	// only affects speed; the rule depends only on sample counts, keeping
+	// the choice deterministic. Interior nodes register membership as
+	// per-row counts (cleared right after the split search, restoring the
+	// all-zero invariant); the root's counts are the bootstrap's own.
+	scan := b.canScan && 2*m*bits.Len(uint(m-1)) > b.ssn+m
+	if scan && m != b.m {
+		ncnt, ro := b.ws.ncnt, b.rowOf
+		for _, p := range samples {
+			ncnt[ro[p]]++
+		}
+	}
+	feat, thr, gain := b.bestSplitFlat(samples, imp, scan)
+	if scan && m != b.m {
+		ncnt, ro := b.ws.ncnt, b.rowOf
+		for _, p := range samples {
+			ncnt[ro[p]] = 0
+		}
+	}
 	if feat < 0 || gain < 0 {
 		return id
 	}
@@ -477,9 +509,72 @@ func (b *treeBuilder) nodeStatsFlat(samples []int32) (imp, value float64) {
 	return sumSq/n - mean*mean, mean
 }
 
-// bestSplitFlat gathers each candidate feature's (value, position) pairs,
-// sorts them with the specialized pair sort, and sweeps the flat scan.
-func (b *treeBuilder) bestSplitFlat(samples []int32, parentImp float64) (int, float64, float64) {
+// sortedPairs fills (vbuf, pay) with the node's (value, position) pairs in
+// ascending (value, position) order by gathering and sorting. Nodes eligible
+// for counting-scan extraction use scanVals instead.
+func (b *treeBuilder) sortedPairs(samples []int32, feat int, vbuf []float64, pay []int32) {
+	col := b.scols[feat].v
+	if b.rowOf != nil {
+		for i, p := range samples {
+			vbuf[i] = col[b.rowOf[p]]
+			pay[i] = p
+		}
+	} else {
+		for i, p := range samples {
+			vbuf[i] = col[p]
+			pay[i] = p
+		}
+	}
+	sortKV(vbuf, pay)
+}
+
+// scanVals fills (vbuf, out) with the node's ascending (value, payload)
+// pairs via a counting scan of the feature's global (value, row) order —
+// tree positions are row-major (row r's bootstrap copies are consecutive and
+// rows appear in index order), so walking rows in global value order and
+// emitting each in-node row's copies produces exactly the sequence sortKV
+// would: same comparison relation, unique total order, zero comparisons.
+// The payload is the per-position label (classification) or target
+// (regression) rather than the position itself: bootstrap copies of a row
+// share the row's label/target, so one load per row replaces the sort path's
+// per-position payload gather, and in-node membership reduces to a per-row
+// count — no per-copy mask checks. Returns false when the feature carries no
+// global order (caller falls back to the sort).
+func scanVals[T int32 | float64](b *treeBuilder, feat, m int, vbuf []float64, out, payload []T) bool {
+	sc := b.scols[feat]
+	if sc.ord == nil {
+		return false
+	}
+	ws := b.ws
+	// The root's in-node counts are the bootstrap multiplicities themselves;
+	// interior nodes deposited theirs in ncnt (growFlat's mark/clear pairing).
+	counts := ws.cnt
+	if m != b.m {
+		counts = ws.ncnt
+	}
+	base := ws.base
+	col := sc.v
+	k := 0
+	for _, r := range sc.ord {
+		c := counts[r]
+		if c == 0 {
+			continue
+		}
+		v := col[r]
+		pv := payload[base[r]]
+		for e := int32(0); e < c; e++ {
+			vbuf[k] = v
+			out[k] = pv
+			k++
+		}
+	}
+	return true
+}
+
+// bestSplitFlat produces each candidate feature's sorted (value, position)
+// pairs — per-node sort or counting-scan extraction — and sweeps the flat
+// scan.
+func (b *treeBuilder) bestSplitFlat(samples []int32, parentImp float64, scan bool) (int, float64, float64) {
 	mtry := b.shuffleFeats()
 	ws := b.ws
 	feats := ws.feats
@@ -491,24 +586,16 @@ func (b *treeBuilder) bestSplitFlat(samples []int32, parentImp float64) (int, fl
 		lbuf := ws.lbuf[:m]
 		for f := 0; f < mtry; f++ {
 			feat := feats[f]
-			col := b.colv[feat*b.stride : (feat+1)*b.stride]
-			if b.rowOf != nil {
-				for i, p := range samples {
-					vbuf[i] = col[b.rowOf[p]]
-					pay[i] = p
+			if !scan || !scanVals(b, feat, m, vbuf, lbuf, ws.labels) {
+				b.sortedPairs(samples, feat, vbuf, pay)
+				if vbuf[0] == vbuf[m-1] {
+					continue
 				}
-			} else {
-				for i, p := range samples {
-					vbuf[i] = col[p]
-					pay[i] = p
+				for i, p := range pay {
+					lbuf[i] = ws.labels[p]
 				}
-			}
-			sortKV(vbuf, pay)
-			if vbuf[0] == vbuf[m-1] {
+			} else if vbuf[0] == vbuf[m-1] {
 				continue
-			}
-			for i, p := range pay {
-				lbuf[i] = ws.labels[p]
 			}
 			thr, gain := scanSplitsClass(vbuf, lbuf, ws.lcnt, ws.rcnt, parentImp, b.cfg.MinLeaf)
 			if gain > bestGain {
@@ -520,24 +607,16 @@ func (b *treeBuilder) bestSplitFlat(samples []int32, parentImp float64) (int, fl
 	ybuf := ws.ybuf[:m]
 	for f := 0; f < mtry; f++ {
 		feat := feats[f]
-		col := b.colv[feat*b.stride : (feat+1)*b.stride]
-		if b.rowOf != nil {
-			for i, p := range samples {
-				vbuf[i] = col[b.rowOf[p]]
-				pay[i] = p
+		if !scan || !scanVals(b, feat, m, vbuf, ybuf, ws.ys) {
+			b.sortedPairs(samples, feat, vbuf, pay)
+			if vbuf[0] == vbuf[m-1] {
+				continue
 			}
-		} else {
-			for i, p := range samples {
-				vbuf[i] = col[p]
-				pay[i] = p
+			for i, p := range pay {
+				ybuf[i] = ws.ys[p]
 			}
-		}
-		sortKV(vbuf, pay)
-		if vbuf[0] == vbuf[m-1] {
+		} else if vbuf[0] == vbuf[m-1] {
 			continue
-		}
-		for i, p := range pay {
-			ybuf[i] = ws.ys[p]
 		}
 		thr, gain := scanSplitsReg(vbuf, ybuf, parentImp, b.cfg.MinLeaf)
 		if gain > bestGain {
@@ -550,7 +629,7 @@ func (b *treeBuilder) bestSplitFlat(samples []int32, parentImp float64) (int, fl
 // partitionFlat partitions samples in place around `feat <= thr` and
 // returns the left side's size.
 func (b *treeBuilder) partitionFlat(samples []int32, feat int, thr float64) int {
-	col := b.colv[feat*b.stride : (feat+1)*b.stride]
+	col := b.scols[feat].v
 	ro := b.rowOf
 	lo, hi := 0, len(samples)
 	for lo < hi {

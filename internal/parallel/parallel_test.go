@@ -356,3 +356,64 @@ func TestMapCtxCanceled(t *testing.T) {
 		t.Fatalf("MapCtx under canceled ctx = %v, want context.Canceled", err)
 	}
 }
+
+// TestScratchPoolSizedRetention: a sized pool must keep workspaces near the
+// recent high-water mark (including exactly 2× it) and drop ones that dwarf
+// it, so a burst of oversized work cannot pin its peak in the free list.
+func TestScratchPoolSizedRetention(t *testing.T) {
+	fresh := func() []byte { return make([]byte, 8) }
+	p := NewScratchPoolSized(fresh, func(b []byte) int { return cap(b) })
+
+	// Establish a 100-byte high-water mark across one full epoch.
+	for i := 0; i < scratchEpochPuts+1; i++ {
+		p.Put(make([]byte, 100))
+	}
+	// Exactly 2× the mark is retained; the pool should hand it back.
+	boundary := make([]byte, 200)
+	p.Put(boundary)
+	found := false
+	for i := 0; i < scratchEpochPuts+2; i++ {
+		if b := p.Get(); cap(b) == 200 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("workspace at exactly 2x the high-water mark was dropped")
+	}
+
+	// Far above the mark is dropped: no Get may ever see it again.
+	for i := 0; i < 8; i++ {
+		p.Put(make([]byte, 100))
+	}
+	p.Put(make([]byte, 100<<10))
+	for i := 0; i < scratchEpochPuts+2; i++ {
+		if b := p.Get(); cap(b) >= 100<<10 {
+			t.Fatalf("oversized workspace (cap %d) was retained", cap(b))
+		}
+	}
+
+	// The very first put of a fresh sized pool is always retained (no mark
+	// to compare against yet).
+	p2 := NewScratchPoolSized(fresh, func(b []byte) int { return cap(b) })
+	p2.Put(make([]byte, 1<<20))
+	if b := p2.Get(); cap(b) != 1<<20 {
+		t.Fatal("first put must establish, not trip, the high-water mark")
+	}
+}
+
+// TestScratchPoolSizedEpochAging: after two epochs of small puts, the old
+// large mark ages out and large workspaces are dropped again.
+func TestScratchPoolSizedEpochAging(t *testing.T) {
+	p := NewScratchPoolSized(func() []byte { return nil }, func(b []byte) int { return cap(b) })
+	p.Put(make([]byte, 1<<20)) // one huge burst workspace
+	for i := 0; i < 2*scratchEpochPuts; i++ {
+		p.Put(make([]byte, 64))
+	}
+	if !p.oversized(1 << 20) {
+		t.Fatal("burst-sized workspace still within cap after the mark aged out")
+	}
+	if p.oversized(100) {
+		t.Fatal("normal-sized workspace dropped")
+	}
+}

@@ -12,8 +12,20 @@ import "sync"
 // an explicit cleared-on-Put invariant. Scratch contents must never leak
 // into results except through such deterministic initialization.
 type ScratchPool[T any] struct {
-	p sync.Pool
+	p    sync.Pool
+	size func(T) int
+
+	// High-water tracking for sized pools, over a sliding pair of put
+	// epochs so a one-off burst of large workspaces ages out instead of
+	// setting the retention bar forever.
+	mu      sync.Mutex
+	puts    int
+	curMax  int
+	prevMax int
 }
+
+// scratchEpochPuts is how many Puts one high-water epoch spans.
+const scratchEpochPuts = 64
 
 // NewScratchPool returns a pool whose Get falls back to calling fresh when
 // the free list is empty. fresh must not be nil.
@@ -21,8 +33,50 @@ func NewScratchPool[T any](fresh func() T) *ScratchPool[T] {
 	return &ScratchPool[T]{p: sync.Pool{New: func() any { return fresh() }}}
 }
 
+// NewScratchPoolSized is NewScratchPool with a retention cap: size reports a
+// workspace's retained footprint (e.g. summed slice capacities), and Put
+// releases a workspace larger than twice the recent high-water mark to the
+// garbage collector instead of pooling it. Long-lived pools shared across
+// stages of very different scale (huge base-table forests, then many small
+// sweep forests) stop pinning the largest stage's peak. Dropping affects
+// memory only — Get transparently rebuilds via fresh, and reuse stays
+// governed by the same overwrite-before-read contract.
+func NewScratchPoolSized[T any](fresh func() T, size func(T) int) *ScratchPool[T] {
+	p := NewScratchPool(fresh)
+	p.size = size
+	return p
+}
+
 // Get takes a workspace from the pool, creating one if none is free.
 func (p *ScratchPool[T]) Get() T { return p.p.Get().(T) }
 
-// Put returns a workspace to the pool for reuse.
-func (p *ScratchPool[T]) Put(v T) { p.p.Put(v) }
+// Put returns a workspace to the pool for reuse — or, in a sized pool,
+// drops it when it dwarfs the recent high-water mark (see
+// NewScratchPoolSized).
+func (p *ScratchPool[T]) Put(v T) {
+	if p.size != nil && p.oversized(p.size(v)) {
+		return
+	}
+	p.p.Put(v)
+}
+
+// oversized folds sz into the epoch high-water bookkeeping and reports
+// whether it exceeds twice the high-water mark of the recent epochs
+// (excluding sz itself, so the first workspace of any size is retained).
+func (p *ScratchPool[T]) oversized(sz int) bool {
+	p.mu.Lock()
+	high := p.curMax
+	if p.prevMax > high {
+		high = p.prevMax
+	}
+	if sz > p.curMax {
+		p.curMax = sz
+	}
+	p.puts++
+	if p.puts >= scratchEpochPuts {
+		p.puts = 0
+		p.prevMax, p.curMax = p.curMax, 0
+	}
+	p.mu.Unlock()
+	return high > 0 && sz > 2*high
+}
