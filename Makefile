@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race alloc chaos crash bench bench-parallel bench-dataplane trace-smoke bench-stages bench-checkpoint bench-select profile-select
+.PHONY: check vet build test race alloc chaos crash bench bench-parallel bench-dataplane trace-smoke metrics-smoke bench-stages bench-checkpoint bench-select bench-obs profile-select
 
-check: vet build race alloc chaos crash trace-smoke
+check: vet build race alloc chaos crash trace-smoke metrics-smoke
 
 vet:
 	$(GO) vet ./...
@@ -63,6 +63,26 @@ trace-smoke:
 		-stages prefilter,coreset,join,impute,select,materialize,evaluate \
 		/tmp/arda-trace-smoke/trace.ndjson
 
+# Telemetry smoke: run the pipeline with the live metrics server enabled and
+# validate it from outside while the run executes — /metrics must be
+# syntactically valid Prometheus text exposition containing the stage
+# histograms and worker gauges, and /events must stream a complete,
+# schema-valid span stream ending with the terminal run event.
+metrics-smoke:
+	@rm -rf /tmp/arda-metrics-smoke && mkdir -p /tmp/arda-metrics-smoke
+	$(GO) build -o /tmp/arda-metrics-smoke/arda ./cmd/arda
+	$(GO) build -o /tmp/arda-metrics-smoke/tracecheck ./cmd/tracecheck
+	$(GO) run ./cmd/datagen -corpus school-l -scale 0.1 -out /tmp/arda-metrics-smoke/data
+	@/tmp/arda-metrics-smoke/arda -dir /tmp/arda-metrics-smoke/data -base school-l \
+		-target performance -size 192 -seed 1 -metrics-addr 127.0.0.1:19753 \
+		-out /tmp/arda-metrics-smoke/augmented.csv & \
+	pid=$$!; \
+	/tmp/arda-metrics-smoke/tracecheck -scrape http://127.0.0.1:19753 \
+		-stages prefilter,coreset,join,impute,select,materialize,evaluate \
+		-require-metrics arda_join_seconds,arda_select_seconds,arda_workers_in_flight,arda_workers_max,arda_runtime_goroutines,arda_runtime_heap_alloc_bytes \
+		|| { kill $$pid 2>/dev/null; exit 1; }; \
+	wait $$pid
+
 # Stage-cost breakdown over the five corpora via the tracing layer; writes
 # BENCH_stages.json.
 bench-stages:
@@ -104,3 +124,13 @@ bench-checkpoint:
 		./internal/core/ \
 		| $(GO) run ./cmd/benchjson > BENCH_checkpoint.json
 	@grep -c '"op"' BENCH_checkpoint.json >/dev/null && echo "wrote BENCH_checkpoint.json"
+
+# Telemetry-overhead benchmark: the same pipeline with the full plane off
+# ("plain") and on ("telemetry": trace + histograms + event stream + runtime
+# sampler); benchjson pairs the variants into a headline overhead ratio. The
+# contract is ≲3% overhead.
+bench-obs:
+	$(GO) test -bench='ObsOverhead' -benchmem -benchtime=3x -run=^$$ \
+		./internal/core/ \
+		| $(GO) run ./cmd/benchjson > BENCH_obs.json
+	@grep -c '"op"' BENCH_obs.json >/dev/null && echo "wrote BENCH_obs.json"

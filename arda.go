@@ -271,6 +271,23 @@ func NewTraceFile(path string) (*obs.NDJSONFileSink, error) { return obs.NewNDJS
 // default mux (see cmd/arda's -pprof flag).
 func PublishTraceExpvar(t *Trace) { obs.PublishExpvar(t) }
 
+// TraceHistogram is a lock-free power-of-two-bucket latency distribution;
+// traces record one per stage and per-item span name automatically (plus
+// per-tree fit and subset-score distributions during selection). Read them
+// from RunStats.Histograms; Quantile estimates p50/p95/p99.
+type TraceHistogram = obs.HistogramStat
+
+// TraceStream is a live fan-out sink: every trace event is offered to all
+// subscribers over bounded channels with per-subscriber drop accounting, and
+// the first events are replayed to late subscribers — the substrate behind
+// cmd/arda's /events endpoint and any streaming-progress consumer.
+type TraceStream = obs.StreamSink
+
+// NewTraceStream returns a live event bus whose replay buffer holds
+// historyCap events (<= 0 selects a default that comfortably covers a full
+// run). Wire it into NewTrace as a sink and read via Subscribe.
+func NewTraceStream(historyCap int) *TraceStream { return obs.NewStreamSink(historyCap) }
+
 // Augment runs the ARDA pipeline and returns the augmented table together
 // with base-vs-augmented model scores. See Options for tuning knobs; the
 // defaults follow the paper (uniform coreset, budget-join plan, RIFS

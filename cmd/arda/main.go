@@ -10,10 +10,15 @@
 // Flags tune the pipeline: -selector picks the feature-selection method
 // (default RIFS), -plan the join plan (budget|table|full), -coreset the
 // row-reduction strategy (uniform|stratified|sketch), -tau enables the
-// Tuple-Ratio prefilter. Observability: -v streams live stage progress to
-// stderr, -trace writes the run's span/counter event stream as NDJSON
-// (published atomically when the run finishes), and -pprof serves
-// net/http/pprof plus the run counters as the expvar "arda.counters".
+// Tuple-Ratio prefilter. Observability: -v streams live stage progress plus
+// the stage-cost tree with per-stage p50/p95/p99 latencies to stderr,
+// -trace writes the run's span/counter event stream as NDJSON (published
+// atomically when the run finishes — including canceled and timed-out
+// runs), -pprof serves net/http/pprof plus the run counters as the expvar
+// "arda.counters", and -metrics-addr serves live telemetry: /metrics
+// (Prometheus text exposition of counters, gauges, and latency histograms),
+// /statusz (the live rendered stage tree), and /events (the NDJSON event
+// stream, replayed from the start of the run).
 //
 // Durability: -checkpoint-dir snapshots pipeline state after every stage so
 // a killed run can continue with -resume; -max-cells and
@@ -38,6 +43,7 @@ import (
 
 	"github.com/arda-ml/arda"
 	"github.com/arda-ml/arda/internal/cli"
+	"github.com/arda-ml/arda/internal/metrics"
 )
 
 // Exit codes for scripted callers.
@@ -70,6 +76,7 @@ func main() {
 		verbose    = flag.Bool("v", false, "stream pipeline progress and the stage-cost tree to stderr")
 		traceFile  = flag.String("trace", "", "write the run's trace event stream to this file as NDJSON")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and expvar run counters on this address (e.g. localhost:6060)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live run telemetry on this address: /metrics (Prometheus), /statusz (stage tree), /events (NDJSON stream)")
 		ckDir      = flag.String("checkpoint-dir", "", "snapshot pipeline state into this directory after every stage (crash-safe)")
 		resume     = flag.Bool("resume", false, "continue from the last completed stage recorded in -checkpoint-dir")
 		maxCells   = flag.Int64("max-cells", 0, "bound the augmented working set to this many cells, degrading deterministically (0 = unbounded)")
@@ -77,6 +84,52 @@ func main() {
 	)
 	flag.Parse()
 	cli.Setup("arda", *verbose)
+
+	// Observability: a trace is attached when anything will consume it — an
+	// NDJSON file, the verbose stage tree, a pprof/expvar endpoint, or the
+	// live telemetry server. Set up before the (possibly slow) CSV load so
+	// /metrics and /events answer from the moment the process is up; the
+	// stream sink's replay buffer means even a subscriber that connects
+	// later sees the run from its first span.
+	var sinks []arda.TraceSink
+	var traceSink interface{ Flush() error }
+	if *traceFile != "" {
+		s, err := arda.NewTraceFile(*traceFile)
+		if err != nil {
+			cli.Fatalf("creating trace file: %v", err)
+		}
+		traceSink = s
+		sinks = append(sinks, s)
+	}
+	var stream *arda.TraceStream
+	serveMetrics := *metricsAddr != "" && *mode == "augment"
+	if serveMetrics {
+		stream = arda.NewTraceStream(0)
+		sinks = append(sinks, stream)
+	}
+	var trace *arda.Trace
+	if *traceFile != "" || *verbose || *pprofAddr != "" || serveMetrics {
+		trace = arda.NewTrace(sinks...)
+	}
+	var msrv *metrics.Server
+	if serveMetrics {
+		srv, err := metrics.NewServer(*metricsAddr, trace, stream)
+		if err != nil {
+			cli.Fatalf("starting telemetry server: %v", err)
+		}
+		msrv = srv
+		cli.Noticef("telemetry serving on http://%s/metrics (also /statusz, /events)", srv.Addr())
+	}
+	if *pprofAddr != "" {
+		arda.PublishTraceExpvar(trace)
+		ln := *pprofAddr
+		go func() {
+			if err := http.ListenAndServe(ln, nil); err != nil {
+				cli.Errorf("pprof server: %v", err)
+			}
+		}()
+		cli.Noticef("pprof/expvar serving on http://%s/debug/pprof (counters at /debug/vars)", ln)
+	}
 
 	tables, err := arda.LoadCSVDir(*dir)
 	if err != nil {
@@ -123,32 +176,7 @@ func main() {
 	if *verbose {
 		opts.Logf = cli.Progressf
 	}
-
-	// Observability: a trace is attached when anything will consume it — an
-	// NDJSON file, the verbose stage tree, or a pprof/expvar endpoint.
-	var sinks []arda.TraceSink
-	var traceSink interface{ Flush() error }
-	if *traceFile != "" {
-		s, err := arda.NewTraceFile(*traceFile)
-		if err != nil {
-			cli.Fatalf("creating trace file: %v", err)
-		}
-		traceSink = s
-		sinks = append(sinks, s)
-	}
-	if *traceFile != "" || *verbose || *pprofAddr != "" {
-		opts.Trace = arda.NewTrace(sinks...)
-	}
-	if *pprofAddr != "" {
-		arda.PublishTraceExpvar(opts.Trace)
-		ln := *pprofAddr
-		go func() {
-			if err := http.ListenAndServe(ln, nil); err != nil {
-				cli.Errorf("pprof server: %v", err)
-			}
-		}()
-		cli.Noticef("pprof/expvar serving on http://%s/debug/pprof (counters at /debug/vars)", ln)
-	}
+	opts.Trace = trace
 
 	switch *plan {
 	case "budget":
@@ -224,13 +252,33 @@ func main() {
 	defer stop()
 
 	res, err := arda.AugmentContext(ctx, base, cands, opts)
+	// publishTrace flushes the NDJSON file sink (atomic publish) — the
+	// pipeline finishes the trace even on interrupted exits, so canceled and
+	// timed-out runs leave a valid, complete trace file too.
+	publishTrace := func() error {
+		if traceSink == nil {
+			return nil
+		}
+		if err := traceSink.Flush(); err != nil {
+			return err
+		}
+		cli.Noticef("trace written to %s", *traceFile)
+		return nil
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, arda.ErrCanceled), errors.Is(err, arda.ErrDeadline):
 			cli.Errorf("%v — partial report:", err)
 			if res != nil {
 				reportAttrition(res, *verbose)
+				if res.Trace != nil {
+					cli.Dump(res.Trace.Render())
+				}
 			}
+			if err := publishTrace(); err != nil {
+				cli.Errorf("writing trace file: %v", err)
+			}
+			msrv.Close()
 			if *ckDir != "" {
 				cli.Noticef("rerun with -resume to continue from the last completed stage in %s", *ckDir)
 			}
@@ -265,14 +313,14 @@ func main() {
 	if res.Trace != nil {
 		cli.Dump(res.Trace.Render())
 	}
-	if traceSink != nil {
-		// Trace.Finish already flushed inside the pipeline; the idempotent
-		// re-Flush surfaces any publish error.
-		if err := traceSink.Flush(); err != nil {
-			cli.Fatalf("writing trace file: %v", err)
-		}
-		cli.Noticef("trace written to %s", *traceFile)
+	// Trace.Finish already flushed inside the pipeline; the idempotent
+	// re-Flush surfaces any publish error. The telemetry server closes after
+	// the finished trace flushed the stream, so /events readers drain the
+	// complete run before the listener goes away.
+	if err := publishTrace(); err != nil {
+		cli.Fatalf("writing trace file: %v", err)
 	}
+	msrv.Close()
 
 	if *out != "" {
 		if err := res.Table.WriteCSVFile(*out); err != nil {

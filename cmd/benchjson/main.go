@@ -52,6 +52,7 @@ var variantPairs = map[string]string{
 	"pooled":       "materialized",
 	"checkpointed": "plain",
 	"presorted":    "sorted",
+	"telemetry":    "plain",
 }
 
 // parseLine parses one `go test -bench` result line; ok is false for

@@ -5,10 +5,17 @@
 // -stages it additionally requires span coverage of the named pipeline
 // stages — the `make trace-smoke` gate.
 //
+// With -scrape it instead validates a live `arda -metrics-addr` server: it
+// connects to /events (retrying until the server is up), scrapes /metrics
+// mid-run and checks the Prometheus text exposition syntax (plus any
+// -require-metrics names), then drains the event stream to completion and
+// validates it like a trace file — the `make metrics-smoke` gate.
+//
 // Usage:
 //
 //	tracecheck trace.ndjson
 //	tracecheck -stages prefilter,coreset,join,impute,select,materialize,evaluate trace.ndjson
+//	tracecheck -scrape http://127.0.0.1:9090 -stages ... -require-metrics arda_join_seconds,arda_workers_in_flight
 //	arda ... -trace /dev/stdout | tracecheck -
 package main
 
@@ -19,8 +26,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/arda-ml/arda/internal/cli"
 	"github.com/arda-ml/arda/internal/obs"
@@ -28,11 +37,31 @@ import (
 
 func main() {
 	var (
-		stages  = flag.String("stages", "", "comma-separated span names that must appear in the trace")
-		verbose = flag.Bool("v", false, "print a per-type event summary")
+		stages   = flag.String("stages", "", "comma-separated span names that must appear in the trace")
+		scrape   = flag.String("scrape", "", "base URL of a live arda -metrics-addr server to validate instead of a trace file")
+		reqMet   = flag.String("require-metrics", "", "comma-separated metric-name prefixes the /metrics exposition must contain (with -scrape)")
+		waitSecs = flag.Int("scrape-wait", 30, "seconds to retry connecting to the -scrape server")
+		verbose  = flag.Bool("v", false, "print a per-type event summary")
 	)
 	flag.Parse()
 	cli.Setup("tracecheck", *verbose)
+
+	required := map[string]bool{}
+	for _, s := range strings.Split(*stages, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			required[s] = true
+		}
+	}
+
+	if *scrape != "" {
+		if flag.NArg() != 0 {
+			cli.Fatalf("-scrape takes no trace file argument")
+		}
+		if err := scrapeLive(*scrape, required, splitList(*reqMet), time.Duration(*waitSecs)*time.Second); err != nil {
+			cli.Fatalf("%s: %v", *scrape, err)
+		}
+		return
+	}
 
 	in := os.Stdin
 	src := "stdin"
@@ -49,27 +78,104 @@ func main() {
 		src = flag.Arg(0)
 	}
 
-	required := map[string]bool{}
-	for _, s := range strings.Split(*stages, ",") {
-		if s = strings.TrimSpace(s); s != "" {
-			required[s] = true
-		}
-	}
-
 	summary, err := validate(in, required)
 	if err != nil {
 		cli.Fatalf("%s: %v", src, err)
 	}
-	fmt.Printf("trace OK: %d spans, %d counters, root %q (%d distinct span names)\n",
-		summary.spans, summary.counters, summary.root, len(summary.names))
+	fmt.Printf("trace OK: %d spans, %d counters, %d histograms, root %q (%d distinct span names)\n",
+		summary.spans, summary.counters, summary.hists, summary.root, len(summary.names))
 	cli.Progressf("span names: %s", strings.Join(summary.sortedNames(), ", "))
+}
+
+// splitList parses a comma-separated flag into trimmed non-empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// scrapeLive validates a running telemetry server end-to-end: it subscribes
+// to /events first (so the scrape provably happens while the run is live),
+// checks the /metrics exposition, then drains the event stream — which
+// terminates when the run finishes — and validates it as a full trace.
+func scrapeLive(base string, requiredStages map[string]bool, requiredMetrics []string, wait time.Duration) error {
+	base = strings.TrimRight(base, "/")
+	var events *http.Response
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := http.Get(base + "/events")
+		if err == nil && resp.StatusCode == http.StatusOK {
+			events = resp
+			break
+		}
+		if err == nil {
+			resp.Body.Close()
+			err = fmt.Errorf("status %s", resp.Status)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("connecting to /events: %v", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	defer events.Body.Close()
+
+	// The run is live now (the /events stream is open and unterminated):
+	// scrape and validate the exposition. The server comes up before the
+	// pipeline registers its stage histograms, so retry until the required
+	// names appear — every scrape must still be syntactically valid.
+	var metricNames map[string]bool
+	for {
+		mresp, err := http.Get(base + "/metrics")
+		if err != nil {
+			return fmt.Errorf("scraping /metrics: %v", err)
+		}
+		metricNames, err = validateExposition(mresp.Body)
+		mresp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("/metrics exposition: %v", err)
+		}
+		var missing []string
+		for _, want := range requiredMetrics {
+			found := false
+			for name := range metricNames {
+				if strings.HasPrefix(name, want) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				missing = append(missing, want)
+			}
+		}
+		if len(missing) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("/metrics missing required metrics: %s", strings.Join(missing, ", "))
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Printf("metrics OK: %d metric families exposed\n", len(metricNames))
+
+	// Drain the stream to completion and validate it like a trace file.
+	sum, err := validate(events.Body, requiredStages)
+	if err != nil {
+		return fmt.Errorf("/events stream: %v", err)
+	}
+	fmt.Printf("events OK: %d spans, %d counters, %d histograms, root %q (%d distinct span names)\n",
+		sum.spans, sum.counters, sum.hists, sum.root, len(sum.names))
+	return nil
 }
 
 // summary accumulates what the trace contained.
 type summary struct {
-	spans, counters int
-	root            string
-	names           map[string]int
+	spans, counters, hists int
+	root                   string
+	names                  map[string]int
 }
 
 func (s *summary) sortedNames() []string {
@@ -135,6 +241,11 @@ func validate(r io.Reader, required map[string]bool) (*summary, error) {
 			sum.names[ev.Name]++
 		case obs.EventCounter:
 			sum.counters++
+		case obs.EventHist:
+			if ev.Value < 0 {
+				return nil, fmt.Errorf("line %d: histogram %q has negative count", line, ev.Name)
+			}
+			sum.hists++
 		case obs.EventRun:
 			runSeen = true
 		default:

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/arda-ml/arda/internal/discovery"
+	"github.com/arda-ml/arda/internal/obs"
+	"github.com/arda-ml/arda/internal/parallel"
+	"github.com/arda-ml/arda/internal/synth"
+)
+
+// BenchmarkObsOverhead runs the same School pipeline with telemetry off
+// ("plain") and with the full plane on ("telemetry": trace + histograms +
+// live event stream + runtime sampler). benchjson pairs the two variants
+// into the headline overhead ratio for BENCH_obs.json; the PR contract is
+// that telemetry costs ≲3%.
+func BenchmarkObsOverhead(b *testing.B) {
+	defer parallel.SetMaxWorkers(0)
+	corpus := synth.SchoolL(synth.Config{Seed: 61, Scale: 0.15})
+	cands := discovery.Discover(corpus.Base, corpus.Repo, corpus.Target, discovery.Options{})
+	if len(cands) == 0 {
+		b.Fatal("discovery found nothing")
+	}
+	b.Run("plain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			opts := chaosOptions(corpus, 0, nil)
+			if _, err := Augment(corpus.Base, cands, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("telemetry", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// Mirrors what -metrics-addr attaches: an event-stream subscriber
+			// (8192 slots hold this run's full stream) and the runtime
+			// sampler at the metrics server's 250ms interval.
+			stream := obs.NewStreamSink(0)
+			sub := stream.Subscribe(1 << 13)
+			tr := obs.New("augment", stream)
+			sampler := obs.StartRuntimeSampler(tr, 250*time.Millisecond, map[string]func() int64{
+				"workers.in_flight": func() int64 { return int64(parallel.InFlight()) },
+			})
+			opts := chaosOptions(corpus, 0, nil)
+			opts.Trace = tr
+			if _, err := Augment(corpus.Base, cands, opts); err != nil {
+				b.Fatal(err)
+			}
+			sampler.Stop()
+			for range sub.Events() {
+			}
+		}
+	})
+}

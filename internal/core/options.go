@@ -150,8 +150,13 @@ type Options struct {
 	// Augment finishes the trace and stores the snapshot in Result.Trace.
 	// Create one obs.Trace per run. Tracing only observes: output is
 	// bit-identical with Trace nil (the default, which costs nothing) or set.
-	// If Augment returns an error the trace is left unfinished so the caller
-	// can still Finish it for the partial span tree.
+	// When Augment returns an error alongside a partial Result (cancellation,
+	// timeout, a fatal stage error), the trace is finished too: open spans
+	// close at their partial durations, sinks flush, and Result.Trace holds
+	// the partial snapshot — so interrupted runs still leave valid -trace
+	// files and terminated event streams. Only a nil Result (options or
+	// checkpoint-open errors, before the pipeline starts) leaves the trace
+	// unfinished for the caller.
 	Trace *obs.Trace
 }
 

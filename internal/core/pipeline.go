@@ -119,6 +119,18 @@ func AugmentContext(ctx context.Context, base *dataframe.Table, cands []discover
 	cQuarantined := tr.Counter("quarantine.total")
 	cCkSaved := tr.Counter("checkpoint.saved")
 	cCkFailed := tr.Counter("checkpoint.write_failures")
+	// Latency histograms, pre-registered for the same reason: a live scrape
+	// (`-metrics-addr`) must expose every stage's distribution from the first
+	// request, not only after the stage first completes. Ended spans feed the
+	// histogram of their name automatically; the last two are fed below span
+	// granularity by ml tree fits and eval subset scoring.
+	for _, h := range []string{
+		"prefilter", "coreset", "batch", "join", "join.cand", "impute",
+		"select", "select.rep", "select.sweep", "materialize",
+		"materialize.cand", "evaluate", "select.tree_fit", "select.subset_score",
+	} {
+		tr.Histogram(h)
+	}
 
 	res := &Result{CandidatesConsidered: len(cands)}
 	inj := opts.FaultInjector
@@ -193,6 +205,11 @@ func AugmentContext(ctx context.Context, base *dataframe.Table, cands []discover
 	}
 	partial := func(err error) (*Result, error) {
 		res.Elapsed = time.Since(start)
+		// An interrupted run still finishes its trace: Finish closes the open
+		// spans at their partial durations, emits the terminal metrics and run
+		// event, and flushes the sinks — so -trace files and live /events
+		// streams end valid (and complete) on cancellation or timeout too.
+		res.Trace = tr.Finish()
 		return res, err
 	}
 	cands = DedupeCandidates(base, cands)

@@ -8,8 +8,10 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/arda-ml/arda/internal/ml"
+	"github.com/arda-ml/arda/internal/obs"
 )
 
 // Accuracy returns the fraction of equal entries in pred and truth.
@@ -287,7 +289,16 @@ type SubsetEvaluator struct {
 	cacheOnce sync.Once
 	trainDS   *ml.Dataset
 	cache     *ml.SplitCache
+
+	// scoreDur, when attached, observes per-subset scoring latency (the
+	// whole fit+predict for ScoreAt; the holdout evaluation for wave-fitted
+	// forests). Observability only; nil costs one branch per score.
+	scoreDur *obs.Histogram
 }
+
+// AttachHistogram wires a latency histogram into subsequent scoring calls
+// (nil detaches). Attach before handing the evaluator to concurrent scorers.
+func (e *SubsetEvaluator) AttachHistogram(h *obs.Histogram) { e.scoreDur = h }
 
 // NewSubsetEvaluator gathers the base feature columns of ds over sp once.
 // base must be ascending; candidate subsets passed to ScoreAt address its
@@ -318,6 +329,9 @@ func (e *SubsetEvaluator) ScoreAt(pos []int) float64 {
 	k := len(pos)
 	if k == 0 {
 		return math.Inf(-1)
+	}
+	if e.scoreDur != nil {
+		defer e.scoreDur.ObserveSince(time.Now())
 	}
 	n := e.nTr + e.nTe
 	sb := subsetScratch.Get().(*subsetBufs)
@@ -394,6 +408,9 @@ func (e *SubsetEvaluator) ScoreForestWave(posSets [][]int, cfg ml.ForestConfig, 
 // base-column positions pos, gathering through the same pooled scratch and
 // row-major layout as ScoreAt's test half.
 func (e *SubsetEvaluator) scoreModel(m ml.Model, pos []int) float64 {
+	if e.scoreDur != nil {
+		defer e.scoreDur.ObserveSince(time.Now())
+	}
 	k := len(pos)
 	sb := subsetScratch.Get().(*subsetBufs)
 	defer subsetScratch.Put(sb)

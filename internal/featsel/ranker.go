@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"github.com/arda-ml/arda/internal/ml"
+	"github.com/arda-ml/arda/internal/obs"
 	"github.com/arda-ml/arda/internal/stats"
 )
 
@@ -93,6 +94,9 @@ func Order(scores []float64) []int {
 type ForestRanker struct {
 	// NTrees, MaxDepth configure the ranking forest (defaults 60, 12).
 	NTrees, MaxDepth int
+	// TreeDur, when non-nil, observes each ranking tree's fit latency —
+	// RIFS threads the run's "select.tree_fit" histogram here.
+	TreeDur *obs.Histogram
 }
 
 // Name implements Ranker.
@@ -116,6 +120,7 @@ func (r *ForestRanker) Rank(ds *ml.Dataset, seed int64) ([]float64, error) {
 		MaxDepth: depth,
 		Seed:     seed,
 		Parallel: true,
+		TreeDur:  r.TreeDur,
 	})
 	return f.Importances(), nil
 }

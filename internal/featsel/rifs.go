@@ -207,6 +207,7 @@ func (r *RIFS) sweep(ctx context.Context, ds *ml.Dataset, est eval.Fitter, seed 
 	// so subset comparisons are apples-to-apples.
 	split := eval.TrainTestSplit(ds, 0.25, seed)
 	ev := eval.NewSubsetEvaluator(ds, split, est, uniq[0])
+	ev.AttachHistogram(r.span.Trace().Histogram("select.subset_score"))
 	// Distinct subsets are scored concurrently (speculatively past the
 	// sequential stopping point; scoring is deterministic on the fixed
 	// split), then the monotone walk replays over the precomputed scores,
@@ -224,7 +225,9 @@ func (r *RIFS) sweep(ctx context.Context, ds *ml.Dataset, est eval.Fitter, seed 
 			posSets[i] = positionsIn(uniq[0], uniq[i])
 		}
 		var trees int
-		scores, trees = ev.ScoreForestWave(posSets, *fc, cfg.Workers)
+		wcfg := *fc
+		wcfg.TreeDur = r.span.Trace().Histogram("select.tree_fit")
+		scores, trees = ev.ScoreForestWave(posSets, wcfg, cfg.Workers)
 		tr := r.span.Trace()
 		tr.Counter("select.trees_scheduled").Add(int64(trees))
 		st := ev.SplitCacheStats()
@@ -354,6 +357,9 @@ func (r *RIFS) RStar(ds *ml.Dataset, seed int64) ([]float64, error) {
 func (r *RIFS) rstarCtx(ctx context.Context, ds *ml.Dataset, seed int64, thresholds []float64) ([]float64, error) {
 	cfg := r.Config
 	cfg.defaults()
+	// Every ranking-forest tree fit in the repetitions lands in the run's
+	// per-tree latency histogram (nil — free — when tracing is off).
+	cfg.Forest.TreeDur = r.span.Trace().Histogram("select.tree_fit")
 	d := ds.D
 	t := int(math.Ceil(cfg.Eta * float64(d)))
 	if t < 1 {

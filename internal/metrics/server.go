@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/arda-ml/arda/internal/obs"
+	"github.com/arda-ml/arda/internal/parallel"
+)
+
+// samplerInterval is the runtime-sampler cadence for served traces: fast
+// enough that a scraper sees live heap/worker numbers, slow enough that
+// ReadMemStats stays invisible in profiles.
+const samplerInterval = 250 * time.Millisecond
+
+// Server is the live telemetry endpoint for one run:
+//
+//	/metrics — Prometheus text exposition of counters, gauges, histograms
+//	/statusz — the rendered live stage tree + attrition counters
+//	/events  — the run's NDJSON event stream (replayed from the start,
+//	           then live, closing when the run finishes)
+//
+// It owns a runtime sampler feeding heap/GC/goroutine gauges and worker-pool
+// utilization into the trace, so scrapes always see fresh values. The
+// sampler makes gauge values wall-clock dependent, which is why serving is
+// opt-in (`-metrics-addr`) and never wired in deterministic test paths.
+type Server struct {
+	ln      net.Listener
+	srv     *http.Server
+	tr      *obs.Trace
+	stream  *obs.StreamSink
+	sampler *obs.RuntimeSampler
+}
+
+// NewServer listens on addr and starts serving tr's telemetry. stream must
+// be one of tr's sinks (it feeds /events); a nil stream disables /events
+// with 404s. The returned server is already running; stop it with Close.
+func NewServer(addr string, tr *obs.Trace, stream *obs.StreamSink) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	s := &Server{ln: ln, tr: tr, stream: stream}
+	s.sampler = obs.StartRuntimeSampler(tr, samplerInterval, map[string]func() int64{
+		"workers.in_flight": func() int64 { return int64(parallel.InFlight()) },
+		"workers.max":       func() int64 { return int64(parallel.MaxWorkers()) },
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/events", s.handleEvents)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the sampler and shuts the server down, waiting briefly for
+// in-flight requests (an /events stream drains once the trace finished).
+// Safe on a nil server.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.sampler.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WritePrometheus(w, s.tr.Metrics(), s.tr.Histograms())
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	snap := s.tr.Snapshot()
+	fmt.Fprintf(w, "run: %s\nelapsed: %s\n\n", snap.Name, snap.Elapsed.Round(time.Millisecond))
+	fmt.Fprint(w, snap.Render())
+}
+
+// handleEvents streams the run's events as NDJSON: the recorded history
+// first (so a scraper that connects mid-run sees the run from the start),
+// then live events, terminating when the trace finishes or the client goes
+// away.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.stream == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush() // commit headers so clients know they are connected
+	}
+	sub := s.stream.Subscribe(4096)
+	defer sub.Close()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

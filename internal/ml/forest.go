@@ -3,7 +3,9 @@ package ml
 import (
 	"math"
 	"math/rand"
+	"time"
 
+	"github.com/arda-ml/arda/internal/obs"
 	"github.com/arda-ml/arda/internal/parallel"
 )
 
@@ -25,10 +27,36 @@ type ForestConfig struct {
 	// (bounded by parallel.MaxWorkers). Per-tree RNGs derive from Seed and
 	// the tree index, so the fitted forest is identical either way.
 	Parallel bool
+	// TreeDur, when non-nil, observes every fitted tree's wall-clock growth
+	// time (bootstrap draw included) in nanoseconds — the per-tree latency
+	// distribution behind the select stage's telemetry. Observability only:
+	// it never affects the fitted forest, and nil (the default) costs one
+	// branch per tree.
+	TreeDur *obs.Histogram
 	// legacyKernel grows trees with the original per-node sorting kernel
 	// instead of the shared presorted scaffold. Package-internal: only the
 	// kernel-equivalence tests and the `make bench-select` pairing set it.
 	legacyKernel bool
+}
+
+// treeTimer times one tree fit into a histogram; the zero timer (nil
+// histogram, telemetry off) never reads the clock.
+type treeTimer struct {
+	h     *obs.Histogram
+	start time.Time
+}
+
+func startTreeTimer(h *obs.Histogram) treeTimer {
+	if h == nil {
+		return treeTimer{}
+	}
+	return treeTimer{h: h, start: time.Now()}
+}
+
+func (t treeTimer) finish() {
+	if t.h != nil {
+		t.h.Observe(int64(time.Since(t.start)))
+	}
 }
 
 // Forest is a fitted random forest.
@@ -150,17 +178,21 @@ func FitForest(ds *Dataset, cfg ForestConfig) *Forest {
 	}
 	if cfg.legacyKernel {
 		parallel.ForEach(workers, cfg.NTrees, func(t int) {
+			tm := startTreeTimer(cfg.TreeDur)
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*7919))
 			idx := make([]int, ds.N)
 			for i := range idx {
 				idx[i] = rng.Intn(ds.N)
 			}
 			f.Trees[t] = fitTreeLegacy(ds, idx, tc, rng)
+			tm.finish()
 		})
 	} else {
 		ss := splitSetFor(ds, tc, workers)
 		parallel.ForEach(workers, cfg.NTrees, func(t int) {
+			tm := startTreeTimer(cfg.TreeDur)
 			f.Trees[t] = bootstrapTree(ss, tc, cfg.Seed+int64(t)*7919)
+			tm.finish()
 		})
 	}
 	aggregateImportances(f, ds.D)

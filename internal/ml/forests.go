@@ -63,7 +63,9 @@ func FitForests(workers int, jobs []ForestJob) []*Forest {
 		i := jobOf[g]
 		t := g - offsets[i]
 		st := &states[i]
+		tm := startTreeTimer(st.cfg.TreeDur)
 		forests[i].Trees[t] = bootstrapTree(st.ss, st.tc, st.cfg.Seed+int64(t)*7919)
+		tm.finish()
 	})
 	for i, job := range jobs {
 		aggregateImportances(forests[i], job.DS.D)

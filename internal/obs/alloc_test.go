@@ -48,3 +48,43 @@ func TestCounterAddAllocs(t *testing.T) {
 	}
 	tr.Finish()
 }
+
+// TestHistogramObserveAllocs: Observe is three atomic adds — zero
+// allocations both live and on the nil (tracing-off) handle, so per-tree
+// and per-score observations are safe inside the selection hot loop.
+func TestHistogramObserveAllocs(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("AllocsPerRun counts the race detector's bookkeeping; run via `make alloc`")
+	}
+	var off *Histogram
+	if allocs := testing.AllocsPerRun(1000, func() { off.Observe(7) }); allocs != 0 {
+		t.Fatalf("nil Histogram.Observe allocates %.1f per run, want 0", allocs)
+	}
+	tr := New("run")
+	h := tr.Histogram("x")
+	var v int64
+	if allocs := testing.AllocsPerRun(1000, func() { h.Observe(v); v++ }); allocs != 0 {
+		t.Fatalf("Histogram.Observe allocates %.1f per run, want 0", allocs)
+	}
+	tr.Finish()
+}
+
+// TestStreamEmitAllocs: once the replay buffer is full, Emit is pure
+// bookkeeping — a saturated subscriber costs an atomic add, not an
+// allocation — so a slow /events reader cannot add GC pressure to a run.
+func TestStreamEmitAllocs(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("AllocsPerRun counts the race detector's bookkeeping; run via `make alloc`")
+	}
+	s := NewStreamSink(1)
+	sub := s.Subscribe(1)
+	ev := Event{Type: EventSpan, Name: "x"}
+	s.Emit(ev) // fills the history buffer
+	s.Emit(ev) // fills the subscriber channel (capacity 1+1, one replayed)
+	if allocs := testing.AllocsPerRun(1000, func() { s.Emit(ev) }); allocs != 0 {
+		t.Fatalf("saturated StreamSink.Emit allocates %.1f per run, want 0", allocs)
+	}
+	s.Flush()
+	for range sub.Events() {
+	}
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count of every Histogram: bucket i holds
+// the values whose bit length is i, i.e. [2^(i-1), 2^i). 64 buckets cover
+// the full non-negative int64 range, so nanosecond latencies from single
+// digits to centuries land without configuration.
+const histBuckets = 64
+
+// Histogram is a lock-free latency/size distribution with power-of-two
+// bucket bounds. Observe is atomic and allocation-free, safe from any
+// goroutine; bucket totals are order-independent sums, so two runs that
+// observe the same multiset of values produce bit-identical histograms
+// regardless of worker count or scheduling (the determinism contract the
+// 1-vs-8-worker suite leans on). All methods are nil-receiver safe no-ops,
+// matching Counter and Gauge.
+type Histogram struct {
+	name    string
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex maps a value to its bucket: 0 for v <= 0 (and for v == 1,
+// whose bit length is 1 — bucket 1's range [1,2) holds it), otherwise the
+// value's bit length.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v)) // 1..63 for positive int64
+}
+
+// BucketUpper returns bucket i's exclusive upper bound: 2^i, with bucket 0
+// meaning "zero or negative" (upper bound 1 would be wrong — it reports 0).
+// The last bucket's bound saturates at MaxInt64.
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return 1 << uint(i)
+}
+
+// Observe folds one value into the distribution; a nil histogram is a no-op.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// ObserveSince observes the elapsed nanoseconds from start to now — the
+// one-liner for timing a region: defer h.ObserveSince(time.Now()).
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(int64(time.Since(start)))
+}
+
+// Count returns the number of observations (0 for a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Snapshot freezes the distribution into a plain value. Concurrent Observe
+// calls may land between field loads, so a snapshot taken mid-run is only
+// approximately consistent; snapshots after the last Observe are exact.
+func (h *Histogram) Snapshot() HistogramStat {
+	if h == nil {
+		return HistogramStat{}
+	}
+	st := HistogramStat{Count: h.count.Load(), Sum: h.sum.Load()}
+	top := -1
+	var raw [histBuckets]int64
+	for i := range h.buckets {
+		raw[i] = h.buckets[i].Load()
+		if raw[i] != 0 {
+			top = i
+		}
+	}
+	if top >= 0 {
+		st.Buckets = append([]int64(nil), raw[:top+1]...)
+	}
+	return st
+}
+
+// HistogramStat is the immutable snapshot of a Histogram: observation count,
+// value sum, and per-bucket counts trimmed after the highest non-empty
+// bucket (bucket i spans [2^(i-1), 2^i); bucket 0 holds <= 0). It is a
+// plain value — safe to retain, serialize, merge, and query after the run.
+type HistogramStat struct {
+	// Count is the total number of observations.
+	Count int64 `json:"count"`
+	// Sum is the sum of all observed values.
+	Sum int64 `json:"sum"`
+	// Buckets holds per-bucket observation counts, trimmed after the last
+	// non-empty bucket.
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// Merge folds another snapshot into this one (per-bucket addition) — the
+// reduction for aggregating histograms across runs or shards.
+func (s *HistogramStat) Merge(o HistogramStat) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if len(o.Buckets) > len(s.Buckets) {
+		grown := make([]int64, len(o.Buckets))
+		copy(grown, s.Buckets)
+		s.Buckets = grown
+	}
+	for i, c := range o.Buckets {
+		s.Buckets[i] += c
+	}
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s HistogramStat) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the containing bucket — the standard Prometheus-style estimate,
+// with error bounded by the power-of-two bucket width (< 2x). Returns 0 for
+// an empty snapshot.
+func (s HistogramStat) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	if target < 1 {
+		target = 1
+	}
+	var cum float64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(int64(1) << uint(i-1))
+			}
+			hi := float64(BucketUpper(i))
+			if i == 0 {
+				hi = 0
+			}
+			return int64(lo + (hi-lo)*(target-cum)/float64(c))
+		}
+		cum = next
+	}
+	return BucketUpper(len(s.Buckets) - 1)
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(-5) // bucket 0
+	h.Observe(0)  // bucket 0
+	h.Observe(1)  // bucket 1: [1,2)
+	h.Observe(2)  // bucket 2: [2,4)
+	h.Observe(3)  // bucket 2
+	h.Observe(4)  // bucket 3: [4,8)
+	h.Observe(1 << 40)
+
+	st := h.Snapshot()
+	if st.Count != 7 {
+		t.Fatalf("count = %d, want 7", st.Count)
+	}
+	if st.Sum != -5+0+1+2+3+4+(1<<40) {
+		t.Fatalf("sum = %d", st.Sum)
+	}
+	if len(st.Buckets) != 42 {
+		t.Fatalf("buckets trimmed to %d, want 42 (highest bit length of 2^40)", len(st.Buckets))
+	}
+	want := map[int]int64{0: 2, 1: 1, 2: 2, 3: 1, 41: 1}
+	for i, c := range st.Buckets {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	// 100 observations of 100ns (bucket [64,128)) and 1 of 1e9ns.
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	h.Observe(1_000_000_000)
+	st := h.Snapshot()
+	p50 := st.Quantile(0.50)
+	if p50 < 64 || p50 > 128 {
+		t.Fatalf("p50 = %d, want within [64,128]", p50)
+	}
+	p99 := st.Quantile(0.99)
+	if p99 < 64 || p99 > 128 {
+		t.Fatalf("p99 = %d, want within [64,128] (100/101 observations there)", p99)
+	}
+	p999 := st.Quantile(0.9999)
+	if p999 < 1<<29 || p999 > 1<<30 {
+		t.Fatalf("p99.99 = %d, want inside the 1e9 bucket [2^29,2^30]", p999)
+	}
+	if q := (HistogramStat{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %d, want 0", q)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(10)
+	a.Observe(20)
+	b.Observe(1 << 20)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 3 || sa.Sum != 30+(1<<20) {
+		t.Fatalf("merged count/sum = %d/%d", sa.Count, sa.Sum)
+	}
+	if len(sa.Buckets) != 22 {
+		t.Fatalf("merged buckets = %d, want 22", len(sa.Buckets))
+	}
+	// Merge must not alias the source's bucket slice.
+	sb.Buckets[21] = 99
+	if sa.Buckets[21] != 1 {
+		t.Fatal("merge aliased the source buckets")
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 {
+		t.Fatal("nil histogram count != 0")
+	}
+	if st := h.Snapshot(); st.Count != 0 || st.Buckets != nil {
+		t.Fatalf("nil snapshot = %+v", st)
+	}
+}
+
+// TestHistogramConcurrentDeterminism: the same multiset of observed values
+// yields bit-identical bucket counts whether observed sequentially or from
+// eight goroutines — the histogram side of the worker-count determinism
+// contract (wall-clock *durations* differ across runs; recorded *values*
+// bucket identically).
+func TestHistogramConcurrentDeterminism(t *testing.T) {
+	values := make([]int64, 4096)
+	for i := range values {
+		values[i] = int64(i) * 37 % 100000
+	}
+	var seq Histogram
+	for _, v := range values {
+		seq.Observe(v)
+	}
+	var par Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(values); i += 8 {
+				par.Observe(values[i])
+			}
+		}(g)
+	}
+	wg.Wait()
+	if !reflect.DeepEqual(seq.Snapshot(), par.Snapshot()) {
+		t.Fatalf("sequential vs 8-goroutine snapshots differ:\n%+v\n%+v",
+			seq.Snapshot(), par.Snapshot())
+	}
+}
+
+func TestTraceHistogramRegistryAndSpanAuto(t *testing.T) {
+	tr := New("run")
+	tr.Histogram("fit").Observe(7)
+	tr.Histogram("fit").Observe(9)
+	sp := tr.Root().Child("join", 1)
+	sp.End()
+	stats := tr.Finish()
+	if h := stats.Histograms["fit"]; h.Count != 2 || h.Sum != 16 {
+		t.Fatalf("fit histogram = %+v", h)
+	}
+	// Ended spans observe their duration into the histogram of their name.
+	if h := stats.Histograms["join"]; h.Count != 1 {
+		t.Fatalf("join span histogram = %+v", h)
+	}
+	if h := stats.Histograms["run"]; h.Count != 1 {
+		t.Fatalf("root span histogram = %+v", h)
+	}
+	var nilTr *Trace
+	if nilTr.Histogram("x") != nil || nilTr.Histograms() != nil || nilTr.Snapshot() != nil {
+		t.Fatal("nil trace must return nil histogram handles")
+	}
+}

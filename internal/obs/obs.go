@@ -38,6 +38,7 @@ type Trace struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
 	done     bool
 }
 
@@ -50,6 +51,7 @@ func New(name string, sinks ...Sink) *Trace {
 		sinks:    sinks,
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
 	}
 	t.root = &Span{trace: t, name: name, start: t.start}
 	return t
@@ -95,6 +97,55 @@ func (t *Trace) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram returns the named latency/size distribution, registering it on
+// first use. A nil trace returns a nil histogram, whose methods are no-ops.
+// Every ended span also observes its duration into the histogram named
+// after the span, so per-stage and per-item distributions exist without
+// explicit calls; Histogram is for distributions below span granularity
+// (per-tree fit times, per-subset score latencies).
+func (t *Trace) Histogram(name string) *Histogram {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := t.hists[name]
+	if h == nil {
+		h = &Histogram{name: name}
+		t.hists[name] = h
+	}
+	return h
+}
+
+// Histograms returns a snapshot of every registered histogram by name.
+func (t *Trace) Histograms() map[string]HistogramStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	hists := make([]*Histogram, 0, len(t.hists))
+	for _, h := range t.hists {
+		hists = append(hists, h)
+	}
+	t.mu.Unlock()
+	out := make(map[string]HistogramStat, len(hists))
+	for _, h := range hists {
+		out[h.name] = h.Snapshot()
+	}
+	return out
+}
+
+// Snapshot freezes the trace's current state — span tree (open spans report
+// elapsed-so-far), metrics, and histograms — without ending anything. This
+// is the live view behind /statusz; Finish returns the terminal snapshot.
+// A nil trace returns nil.
+func (t *Trace) Snapshot() *RunStats {
+	if t == nil {
+		return nil
+	}
+	return t.snapshot()
+}
+
 // Finish ends the root span (and any still-open descendants), emits the
 // counter/gauge values and a final "run" event to the sinks, flushes them,
 // and returns the run snapshot. Finish is idempotent; calls after the first
@@ -138,6 +189,26 @@ func (t *Trace) metricEvents() []Event {
 	evs := make([]Event, 0, len(names))
 	for _, name := range names {
 		evs = append(evs, Event{Type: EventCounter, Name: name, Value: vals[name]})
+	}
+	hists := t.Histograms()
+	hnames := make([]string, 0, len(hists))
+	for name := range hists {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		st := hists[name]
+		evs = append(evs, Event{
+			Type:  EventHist,
+			Name:  name,
+			Value: st.Count,
+			Attrs: map[string]int64{
+				"sum_ns": st.Sum,
+				"p50_ns": st.Quantile(0.50),
+				"p95_ns": st.Quantile(0.95),
+				"p99_ns": st.Quantile(0.99),
+			},
+		})
 	}
 	return evs
 }
@@ -239,6 +310,11 @@ func (s *Span) endAt(now time.Time) {
 		c.endAt(now)
 	}
 	if s.trace != nil {
+		// Every ended span feeds the histogram named after it, so stage and
+		// per-item latency distributions (join.cand, select.rep, …) fall out
+		// of the existing span structure. The observation *count* per name is
+		// scheduling-independent even though the durations are not.
+		s.trace.Histogram(s.name).Observe(int64(s.dur))
 		s.trace.emit(s.event())
 	}
 }

@@ -136,10 +136,11 @@ func TestNDJSONSinkSchema(t *testing.T) {
 	tr.Counter("join.rows_matched").Add(5)
 	tr.Finish()
 
-	// Four lines: the child span, the root span, the counter, the run event.
+	// Six lines: the child span, the root span, the counter, the two
+	// span-duration histograms, the run event.
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if len(lines) != 4 {
-		t.Fatalf("want 4 NDJSON lines, got %d:\n%s", len(lines), buf.String())
+	if len(lines) != 6 {
+		t.Fatalf("want 6 NDJSON lines, got %d:\n%s", len(lines), buf.String())
 	}
 	var ev Event
 	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {

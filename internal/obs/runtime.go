@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RuntimeSampler is a background goroutine that periodically folds Go
+// runtime health (heap, GC, goroutine count) and caller-supplied gauges
+// (e.g. worker-pool utilization) into a trace's gauge registry, so a live
+// scrape of the trace sees fresh values without the pipeline carrying any
+// sampling code.
+//
+// The sampler is strictly additive observability: it only Sets gauges, whose
+// names are namespaced under "runtime." and the caller's extra names, so it
+// never perturbs pipeline counters or results. Because gauge values are
+// wall-clock dependent, deterministic paths (the 1-vs-8-worker suite) must
+// simply not start a sampler — it is opt-in, wired only by live-serving
+// surfaces like `arda -metrics-addr`.
+type RuntimeSampler struct {
+	tr       *Trace
+	interval time.Duration
+	extra    map[string]func() int64
+	stop     chan struct{}
+	done     chan struct{}
+	once     sync.Once
+}
+
+// StartRuntimeSampler begins sampling into tr every interval (<= 0 means
+// 500ms). extra maps gauge names to sampling callbacks invoked on the same
+// cadence. One sample is taken synchronously before returning, so the
+// gauges exist immediately. Returns nil (a no-op handle) for a nil trace.
+func StartRuntimeSampler(tr *Trace, interval time.Duration, extra map[string]func() int64) *RuntimeSampler {
+	if tr == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	rs := &RuntimeSampler{
+		tr:       tr,
+		interval: interval,
+		extra:    extra,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	rs.sample()
+	go rs.loop()
+	return rs
+}
+
+func (rs *RuntimeSampler) loop() {
+	defer close(rs.done)
+	tick := time.NewTicker(rs.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rs.stop:
+			rs.sample() // final sample so end-of-run scrapes are fresh
+			return
+		case <-tick.C:
+			rs.sample()
+		}
+	}
+}
+
+// sample reads the runtime and the extra callbacks once.
+func (rs *RuntimeSampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rs.tr.Gauge("runtime.heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	rs.tr.Gauge("runtime.heap_objects").Set(int64(ms.HeapObjects))
+	rs.tr.Gauge("runtime.total_alloc_bytes").Set(int64(ms.TotalAlloc))
+	rs.tr.Gauge("runtime.num_gc").Set(int64(ms.NumGC))
+	rs.tr.Gauge("runtime.gc_pause_total_ns").Set(int64(ms.PauseTotalNs))
+	rs.tr.Gauge("runtime.goroutines").Set(int64(runtime.NumGoroutine()))
+	for name, fn := range rs.extra {
+		rs.tr.Gauge(name).Set(fn())
+	}
+}
+
+// Stop halts the sampler after one final sample and waits for the goroutine
+// to exit. Idempotent; a nil handle is a no-op.
+func (rs *RuntimeSampler) Stop() {
+	if rs == nil {
+		return
+	}
+	rs.once.Do(func() {
+		close(rs.stop)
+		<-rs.done
+	})
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"github.com/arda-ml/arda/internal/testenv"
+)
+
+func TestRuntimeSamplerGauges(t *testing.T) {
+	defer testenv.NoGoroutineLeak(t)()
+	tr := New("run")
+	var calls int
+	rs := StartRuntimeSampler(tr, time.Millisecond, map[string]func() int64{
+		"workers.in_flight": func() int64 { calls++; return int64(calls) },
+	})
+	// The first sample is synchronous, so gauges exist before any tick.
+	m := tr.Metrics()
+	if m["runtime.goroutines"] <= 0 {
+		t.Fatalf("runtime.goroutines = %d after synchronous sample", m["runtime.goroutines"])
+	}
+	if m["runtime.heap_alloc_bytes"] <= 0 {
+		t.Fatalf("runtime.heap_alloc_bytes = %d", m["runtime.heap_alloc_bytes"])
+	}
+	if m["workers.in_flight"] != 1 {
+		t.Fatalf("extra gauge = %d, want 1 (first synchronous sample)", m["workers.in_flight"])
+	}
+	// Wait for at least one ticked sample.
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.Metrics()["workers.in_flight"] < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("sampler never ticked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rs.Stop()
+	rs.Stop() // idempotent
+	final := tr.Metrics()["workers.in_flight"]
+	time.Sleep(5 * time.Millisecond)
+	if got := tr.Metrics()["workers.in_flight"]; got != final {
+		t.Fatalf("sampler still running after Stop: %d -> %d", final, got)
+	}
+	tr.Finish()
+}
+
+func TestRuntimeSamplerNilTrace(t *testing.T) {
+	rs := StartRuntimeSampler(nil, time.Millisecond, nil)
+	if rs != nil {
+		t.Fatal("nil trace must return a nil sampler")
+	}
+	rs.Stop() // nil-safe
+}

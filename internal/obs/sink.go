@@ -12,6 +12,9 @@ const (
 	EventSpan = "span"
 	// EventCounter records one final counter or gauge value.
 	EventCounter = "counter"
+	// EventHist records one final histogram: Value is the observation
+	// count, Attrs carries sum_ns and the p50/p95/p99 estimates.
+	EventHist = "hist"
 	// EventRun is the terminal event: the whole run's duration. Exactly one
 	// per finished trace, always last.
 	EventRun = "run"

@@ -38,16 +38,20 @@ type RunStats struct {
 	Root *SpanStat `json:"root"`
 	// Counters holds the final counter and gauge values by name.
 	Counters map[string]int64 `json:"counters,omitempty"`
+	// Histograms holds the latency/size distributions by name (stage and
+	// per-item span durations, per-tree fit times, subset-score latencies).
+	Histograms map[string]HistogramStat `json:"histograms,omitempty"`
 }
 
 // snapshot freezes the trace's span tree and metrics.
 func (t *Trace) snapshot() *RunStats {
 	root := t.root.stat()
 	return &RunStats{
-		Name:     t.root.name,
-		Elapsed:  root.Dur,
-		Root:     root,
-		Counters: t.Metrics(),
+		Name:       t.root.name,
+		Elapsed:    root.Dur,
+		Root:       root,
+		Counters:   t.Metrics(),
+		Histograms: t.Histograms(),
 	}
 }
 
@@ -138,6 +142,25 @@ func (r *RunStats) Render() string {
 		sort.Strings(names)
 		for _, name := range names {
 			fmt.Fprintf(&b, "  %-34s %d\n", name, r.Counters[name])
+		}
+	}
+	if len(r.Histograms) > 0 {
+		b.WriteString("histograms:                          count      p50      p95      p99\n")
+		names := make([]string, 0, len(r.Histograms))
+		for name := range r.Histograms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h := r.Histograms[name]
+			if h.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-34s %5d %7.1fms %7.1fms %7.1fms\n",
+				name, h.Count,
+				float64(h.Quantile(0.50))/1e6,
+				float64(h.Quantile(0.95))/1e6,
+				float64(h.Quantile(0.99))/1e6)
 		}
 	}
 	return b.String()

@@ -89,6 +89,12 @@ func SetMaxWorkers(n int) {
 // MaxWorkers returns the current process-wide worker cap.
 func MaxWorkers() int { return int(maxWorkers.Load()) }
 
+// InFlight returns the number of helper goroutines currently running across
+// all pool calls — the live worker-utilization signal for telemetry (the
+// calling goroutines themselves are not counted, so a fully sequential run
+// reads 0).
+func InFlight() int { return int(inFlight.Load()) }
+
 // Workers resolves a requested worker count: values <= 0 select the
 // process-wide maximum.
 func Workers(requested int) int {
