@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race alloc chaos crash bench bench-parallel bench-dataplane trace-smoke metrics-smoke bench-stages bench-checkpoint bench-select bench-obs profile-select
+.PHONY: check vet build test race alloc chaos crash bench bench-parallel bench-dataplane trace-smoke metrics-smoke serve-smoke bench-stages bench-checkpoint bench-select bench-obs profile-select
 
-check: vet build race alloc chaos crash trace-smoke metrics-smoke
+check: vet build race alloc chaos crash trace-smoke metrics-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -38,18 +38,27 @@ alloc:
 	$(GO) test -run 'Allocs' ./internal/join/ ./internal/dataframe/ ./internal/eval/ ./internal/obs/ ./internal/faults/ ./internal/checkpoint/ ./internal/ml/
 
 # Chaos suite under the race detector: deterministic fault injection,
-# quarantine isolation, cancellation/timeout, and pool panic recovery.
+# quarantine isolation, cancellation/timeout, pool panic recovery, and the
+# daemon's admission/persistence/run fault sites, queue-pressure rejection,
+# and drain-under-load behavior (exact accounting, no leaked goroutines).
 chaos:
-	$(GO) test -race -timeout 20m -run 'TestChaos|TestCancel|TestTimeout|TestCanceled|TestPanic|TestForEachPanic|TestMapPanic|TestInjector|TestRetry' \
-		./internal/core/ ./internal/parallel/ ./internal/faults/
+	$(GO) test -race -timeout 20m -run 'TestChaos|TestCancel|TestTimeout|TestCanceled|TestPanic|TestForEachPanic|TestMapPanic|TestInjector|TestRetry|TestDo|TestBackoff' \
+		./internal/core/ ./internal/parallel/ ./internal/faults/ ./internal/retry/
+	$(GO) test -race -timeout 20m \
+		-run 'TestQueueBounds|TestAdmissionAndPersistenceFaults|TestTransientRunFailure|TestRunHardFailure|TestDrain|TestService' \
+		./internal/runqueue/ ./internal/server/
 
 # Crash/durability suite under the race detector: checkpoint corruption
 # rejection, kill-at-every-stage-boundary resume equivalence, budget
-# degradation determinism, and atomic artifact writes.
+# degradation determinism, atomic artifact writes, daemon state recovery,
+# and the process-level gates (arda SIGINT partial report, ardad SIGKILL
+# with two runs in flight resuming bit-identically at 1 and 8 workers).
 crash:
 	$(GO) test -race -timeout 30m \
-		-run 'TestCheckpoint|TestResume|TestApplyBudgets|TestBudget|TestSave|TestOpen|TestCreate|TestTruncate|TestLoad|TestNilLog|TestNDJSONFileSink|TestWriteCSVFileAtomic|TestWriteFile' \
-		./internal/checkpoint/ ./internal/core/ ./internal/atomicio/ ./internal/obs/ ./internal/dataframe/
+		-run 'TestCheckpoint|TestResume|TestApplyBudgets|TestBudget|TestSave|TestOpen|TestCreate|TestTruncate|TestLoad|TestNilLog|TestNDJSONFileSink|TestWriteCSVFileAtomic|TestWriteFile|TestPrune|TestRecover|TestSubmitRuns' \
+		./internal/checkpoint/ ./internal/core/ ./internal/atomicio/ ./internal/obs/ ./internal/dataframe/ ./internal/runqueue/
+	$(GO) test -timeout 20m -run 'TestSIGINTPartialReport|TestCrashRecoveryBitIdentical' \
+		./cmd/arda/ ./cmd/ardad/
 
 # Observability smoke: generate a small corpus, run the full pipeline with
 # -v and -trace, then validate the NDJSON event stream covers every stage.
@@ -82,6 +91,39 @@ metrics-smoke:
 		-require-metrics arda_join_seconds,arda_select_seconds,arda_workers_in_flight,arda_workers_max,arda_runtime_goroutines,arda_runtime_heap_alloc_bytes \
 		|| { kill $$pid 2>/dev/null; exit 1; }; \
 	wait $$pid
+
+# Service smoke: start the ardad daemon over a generated corpus, submit a
+# run through the HTTP API, validate the live per-run event stream and the
+# daemon's /metrics exposition with tracecheck while the run executes, poll
+# the result to completion, then drain with SIGTERM and require a clean
+# exit. Exercises the full submit → queue → execute → stream → drain path
+# from outside the process.
+serve-smoke:
+	@rm -rf /tmp/arda-serve-smoke && mkdir -p /tmp/arda-serve-smoke
+	$(GO) build -o /tmp/arda-serve-smoke/ardad ./cmd/ardad
+	$(GO) build -o /tmp/arda-serve-smoke/tracecheck ./cmd/tracecheck
+	$(GO) run ./cmd/datagen -corpus poverty -scale 0.2 -out /tmp/arda-serve-smoke/data
+	@/tmp/arda-serve-smoke/ardad -addr 127.0.0.1:19754 -state /tmp/arda-serve-smoke/state \
+		-dir /tmp/arda-serve-smoke/data -v & \
+	pid=$$!; \
+	up=0; for i in $$(seq 1 100); do \
+		curl -fs http://127.0.0.1:19754/healthz >/dev/null 2>&1 && { up=1; break; }; sleep 0.1; \
+	done; \
+	test $$up = 1 || { echo "serve-smoke: daemon never came up"; kill $$pid 2>/dev/null; exit 1; }; \
+	id=$$(curl -fs -d '{"base":"poverty","target":"poverty_rate","size":192,"seed":1}' \
+		http://127.0.0.1:19754/runs | sed -n 's/.*"id": "\([^"]*\)".*/\1/p'); \
+	test -n "$$id" || { echo "serve-smoke: submit failed"; kill $$pid 2>/dev/null; exit 1; }; \
+	echo "serve-smoke: submitted run $$id"; \
+	/tmp/arda-serve-smoke/tracecheck -scrape http://127.0.0.1:19754 -events-path /runs/$$id/events \
+		-stages prefilter,coreset,join,impute,select,materialize,evaluate \
+		-require-metrics arda_queue_admitted,arda_queue_depth,arda_queue_wait_seconds,arda_runtime_goroutines,arda_workers_in_flight \
+		|| { kill $$pid 2>/dev/null; exit 1; }; \
+	ok=0; for i in $$(seq 1 100); do \
+		curl -fs http://127.0.0.1:19754/runs/$$id/result >/dev/null 2>&1 && { ok=1; break; }; sleep 0.1; \
+	done; \
+	test $$ok = 1 || { echo "serve-smoke: run never completed"; kill $$pid 2>/dev/null; exit 1; }; \
+	echo "serve-smoke: run $$id completed"; \
+	kill -TERM $$pid; wait $$pid
 
 # Stage-cost breakdown over the five corpora via the tracing layer; writes
 # BENCH_stages.json.

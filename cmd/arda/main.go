@@ -21,7 +21,8 @@
 // stream, replayed from the start of the run).
 //
 // Durability: -checkpoint-dir snapshots pipeline state after every stage so
-// a killed run can continue with -resume; -max-cells and
+// a killed run can continue with -resume; -checkpoint-ttl discards saved
+// state older than the given age before the run; -max-cells and
 // -max-candidate-bytes bound the run's working set, degrading the
 // configuration deterministically instead of failing. SIGINT/SIGTERM stop
 // the run at the next stage boundary with a partial report.
@@ -42,6 +43,7 @@ import (
 	"syscall"
 
 	"github.com/arda-ml/arda"
+	"github.com/arda-ml/arda/internal/checkpoint"
 	"github.com/arda-ml/arda/internal/cli"
 	"github.com/arda-ml/arda/internal/metrics"
 )
@@ -78,6 +80,7 @@ func main() {
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and expvar run counters on this address (e.g. localhost:6060)")
 		metricsAddr = flag.String("metrics-addr", "", "serve live run telemetry on this address: /metrics (Prometheus), /statusz (stage tree), /events (NDJSON stream)")
 		ckDir      = flag.String("checkpoint-dir", "", "snapshot pipeline state into this directory after every stage (crash-safe)")
+		ckTTL      = flag.Duration("checkpoint-ttl", 0, "discard checkpoint state in -checkpoint-dir older than this before the run (0 = keep)")
 		resume     = flag.Bool("resume", false, "continue from the last completed stage recorded in -checkpoint-dir")
 		maxCells   = flag.Int64("max-cells", 0, "bound the augmented working set to this many cells, degrading deterministically (0 = unbounded)")
 		maxBytes   = flag.Int64("max-candidate-bytes", 0, "bound the candidate tables admitted per run to this estimated byte size (0 = unbounded)")
@@ -156,6 +159,18 @@ func main() {
 	}
 	if base == nil {
 		cli.Fatalf("base table %q not found in %s (%d tables loaded)", *baseName, *dir, len(tables))
+	}
+
+	// Stale-checkpoint hygiene: a TTL sweep before the run, so an ancient
+	// half-finished log is discarded (and the run starts fresh) instead of
+	// being resumed weeks later. Losing a checkpoint costs recompute time,
+	// never correctness.
+	if *ckDir != "" && *ckTTL > 0 {
+		if pruned, err := checkpoint.Prune(*ckDir, *ckTTL, 0); err != nil {
+			cli.Errorf("pruning checkpoints: %v", err)
+		} else if len(pruned) > 0 {
+			cli.Noticef("discarded %d stale checkpoint log(s) older than %s in %s", len(pruned), *ckTTL, *ckDir)
+		}
 	}
 
 	opts := arda.Options{

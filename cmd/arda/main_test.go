@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/arda-ml/arda/internal/obs"
+	"github.com/arda-ml/arda/internal/synth"
+)
+
+// buildArda compiles the arda binary into dir and returns its path.
+func buildArda(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "arda")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building arda: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeCorpus materializes a synthetic corpus as CSV files and returns the
+// data directory, base table name, and target column.
+func writeCorpus(t *testing.T, dir string) (string, string, string) {
+	t.Helper()
+	data := filepath.Join(dir, "data")
+	if err := os.MkdirAll(data, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	corpus := synth.Poverty(synth.Config{Seed: 61, Scale: 0.3})
+	if err := corpus.Base.WriteCSVFile(filepath.Join(data, corpus.Base.Name()+".csv")); err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range corpus.Repo {
+		if err := tab.WriteCSVFile(filepath.Join(data, tab.Name()+".csv")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return data, corpus.Base.Name(), corpus.Target
+}
+
+// TestSIGINTPartialReport is the interruption contract for the CLI: a run
+// killed with SIGINT mid-pipeline must exit with code 2, print a partial
+// report plus a -resume hint to stderr, and still publish a complete,
+// schema-valid -trace file atomically (no stray .tmp). The signal is sent
+// only after the first verbose progress line, which the pipeline emits
+// strictly after the signal handler is registered; if the run still finishes
+// before the signal lands, the test retries at a larger coreset size.
+func TestSIGINTPartialReport(t *testing.T) {
+	tmp := t.TempDir()
+	bin := buildArda(t, tmp)
+	data, base, target := writeCorpus(t, tmp)
+
+	for attempt, size := range []int{256, 1024, 4096} {
+		tracePath := filepath.Join(tmp, "trace.ndjson")
+		ckDir := filepath.Join(tmp, "ck")
+		os.Remove(tracePath)
+		os.RemoveAll(ckDir)
+
+		cmd := exec.Command(bin,
+			"-dir", data, "-base", base, "-target", target,
+			"-size", strconv.Itoa(size), "-seed", "7", "-v",
+			"-trace", tracePath, "-checkpoint-dir", ckDir)
+		var stdout bytes.Buffer
+		cmd.Stdout = &stdout
+		stderrPipe, err := cmd.StderrPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		watchdog := time.AfterFunc(2*time.Minute, func() { cmd.Process.Kill() })
+
+		var stderr bytes.Buffer
+		signaled := false
+		sc := bufio.NewScanner(stderrPipe)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+		for sc.Scan() {
+			line := sc.Text()
+			stderr.WriteString(line + "\n")
+			if !signaled && strings.HasPrefix(line, "arda: ") {
+				// First progress line: the pipeline is running, so the
+				// signal handler is installed. Interrupt now.
+				if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+					t.Fatalf("sending SIGINT: %v", err)
+				}
+				signaled = true
+			}
+		}
+		err = cmd.Wait()
+		watchdog.Stop()
+		if !signaled {
+			t.Fatalf("no progress line ever appeared on stderr\nstdout:\n%s\nstderr:\n%s", stdout.String(), stderr.String())
+		}
+		if err == nil {
+			// The run beat the signal to the finish line; go bigger.
+			t.Logf("attempt %d (size %d): run completed before SIGINT landed, retrying larger", attempt, size)
+			continue
+		}
+		exitErr, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("wait: %v", err)
+		}
+		if code := exitErr.ExitCode(); code != exitCanceled {
+			t.Fatalf("exit code = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, exitCanceled, stdout.String(), stderr.String())
+		}
+		if !strings.Contains(stderr.String(), "partial report") {
+			t.Fatalf("stderr missing partial report:\n%s", stderr.String())
+		}
+		if !strings.Contains(stderr.String(), "-resume") {
+			t.Fatalf("stderr missing resume hint for the checkpoint dir:\n%s", stderr.String())
+		}
+		validateTraceFile(t, tracePath)
+		return
+	}
+	t.Skip("run completed before SIGINT at every ladder size; machine too fast to interrupt deterministically")
+}
+
+// validateTraceFile checks that the interrupted run still published a
+// complete NDJSON trace: the file exists with no stray .tmp beside it
+// (atomic publish), every line is a valid event, and the stream ends with
+// the terminal run event.
+func validateTraceFile(t *testing.T, path string) {
+	t.Helper()
+	if _, err := os.Stat(path + ".tmp"); err == nil {
+		t.Fatalf("stray %s.tmp left behind — publish was not atomic", path)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("interrupted run published no trace file: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("trace file is empty")
+	}
+	var last obs.Event
+	for i, line := range lines {
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line %d is not a valid event: %v", i+1, err)
+		}
+		last = ev
+	}
+	if last.Type != obs.EventRun {
+		t.Fatalf("trace does not end with the terminal run event (got type %q)", last.Type)
+	}
+}

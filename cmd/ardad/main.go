@@ -1,0 +1,108 @@
+// Command ardad is the ARDA augmentation service: a long-running daemon that
+// accepts augmentation runs over HTTP, executes them through a bounded FIFO
+// queue on the shared worker pool, and survives crashes without losing work.
+//
+// Usage:
+//
+//	ardad -addr localhost:8080 -state /var/lib/ardad -dir data/
+//
+// Submit runs as JSON specs (see internal/runqueue.Spec):
+//
+//	curl -d '{"base":"taxi","target":"collisions"}' localhost:8080/runs
+//
+// Durability: every accepted run is persisted before it is acknowledged and
+// checkpoints its pipeline state after every stage, so killing the daemon —
+// including kill -9 — and restarting it over the same -state directory
+// requeues and resumes in-flight runs to bit-identical results. SIGTERM and
+// SIGINT drain gracefully: admission closes (new submits get 503 +
+// Retry-After), in-flight runs get -drain-timeout to finish, stragglers are
+// checkpointed and requeued for the next start, and the process exits 0.
+//
+// Queueing: at most -concurrency runs execute at once and at most -queue-cap
+// wait; submits beyond that are rejected with 429. Transient run failures
+// retry with capped exponential backoff. /metrics exposes the queue's
+// depth/wait/run telemetry plus runtime gauges in Prometheus text format;
+// /runs/{id}/events streams one run's trace as NDJSON.
+//
+// Old checkpoints: -checkpoint-ttl prunes per-run checkpoint directories
+// whose last write is older than the TTL at startup (0 keeps everything).
+package main
+
+import (
+	"flag"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/arda-ml/arda/internal/cli"
+	"github.com/arda-ml/arda/internal/obs"
+	"github.com/arda-ml/arda/internal/runqueue"
+	"github.com/arda-ml/arda/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "localhost:8080", "HTTP listen address")
+		state        = flag.String("state", "", "state directory for run records and checkpoints (required)")
+		dir          = flag.String("dir", "", "default CSV corpus directory for specs that name none")
+		queueCap     = flag.Int("queue-cap", 16, "maximum queued (not yet running) runs; submits beyond are rejected with 429")
+		concurrency  = flag.Int("concurrency", 2, "runs executing at once (they share the worker pool)")
+		workers      = flag.Int("workers", 0, "max parallel workers shared by all runs (0 = all cores); results are identical for any value")
+		runTimeout   = flag.Duration("run-timeout", 0, "default per-run wall-clock budget for specs without one (0 = unbounded)")
+		maxCells     = flag.Int64("max-cells", 0, "default per-run working-set bound in cells (0 = unbounded)")
+		maxBytes     = flag.Int64("max-candidate-bytes", 0, "default per-run candidate byte budget (0 = unbounded)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight runs before checkpointing and requeueing them")
+		ckTTL        = flag.Duration("checkpoint-ttl", 0, "prune per-run checkpoint state older than this at startup (0 = keep forever)")
+		verbose      = flag.Bool("v", false, "log queue activity to stderr")
+	)
+	flag.Parse()
+	cli.Setup("ardad", *verbose)
+	if *state == "" {
+		cli.Fatalf("-state is required")
+	}
+
+	// One long-lived trace carries the daemon's telemetry: queue metrics from
+	// the manager, runtime gauges from the server's sampler. Per-run traces
+	// are separate (each run gets its own, streamed at /runs/{id}/events).
+	trace := obs.New("ardad")
+
+	mgr, err := runqueue.Open(runqueue.Config{
+		StateDir:          *state,
+		DataDir:           *dir,
+		QueueCap:          *queueCap,
+		Concurrency:       *concurrency,
+		Workers:           *workers,
+		RunTimeout:        *runTimeout,
+		MaxCells:          *maxCells,
+		MaxCandidateBytes: *maxBytes,
+		CheckpointTTL:     *ckTTL,
+		Trace:             trace,
+		Logf:              cli.Progressf,
+	})
+	if err != nil {
+		cli.Fatalf("opening state %s: %v", *state, err)
+	}
+
+	srv, err := server.New(*addr, mgr, trace)
+	if err != nil {
+		cli.Fatalf("%v", err)
+	}
+	cli.Noticef("ardad serving on http://%s (state %s)", srv.Addr(), *state)
+
+	// Graceful drain: stop admitting, give in-flight runs the drain budget,
+	// checkpoint-and-requeue what remains, then stop the listener. The order
+	// matters — the listener stays up during the drain so status polls and
+	// event streams keep answering (submits get 503) until the queue is idle.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	cli.Noticef("received %s, draining (timeout %s)", s, *drainTimeout)
+	if err := mgr.Close(*drainTimeout); err != nil {
+		cli.Errorf("drain: %v", err)
+	}
+	if err := srv.Close(0); err != nil {
+		cli.Errorf("closing listener: %v", err)
+	}
+	cli.Noticef("drained, exiting")
+}

@@ -22,7 +22,9 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -33,12 +35,21 @@ import (
 
 	"github.com/arda-ml/arda/internal/cli"
 	"github.com/arda-ml/arda/internal/obs"
+	"github.com/arda-ml/arda/internal/retry"
 )
+
+// fatalScrape wraps an error that must abort the scrape poll immediately
+// (e.g. a syntactically invalid exposition, which will not fix itself).
+type fatalScrape struct{ err error }
+
+func (f *fatalScrape) Error() string { return f.err.Error() }
+func (f *fatalScrape) Unwrap() error { return f.err }
 
 func main() {
 	var (
 		stages   = flag.String("stages", "", "comma-separated span names that must appear in the trace")
 		scrape   = flag.String("scrape", "", "base URL of a live arda -metrics-addr server to validate instead of a trace file")
+		evPath   = flag.String("events-path", "/events", "events endpoint path on the -scrape server (e.g. /runs/r000000/events against ardad)")
 		reqMet   = flag.String("require-metrics", "", "comma-separated metric-name prefixes the /metrics exposition must contain (with -scrape)")
 		waitSecs = flag.Int("scrape-wait", 30, "seconds to retry connecting to the -scrape server")
 		verbose  = flag.Bool("v", false, "print a per-type event summary")
@@ -57,7 +68,7 @@ func main() {
 		if flag.NArg() != 0 {
 			cli.Fatalf("-scrape takes no trace file argument")
 		}
-		if err := scrapeLive(*scrape, required, splitList(*reqMet), time.Duration(*waitSecs)*time.Second); err != nil {
+		if err := scrapeLive(*scrape, *evPath, required, splitList(*reqMet), time.Duration(*waitSecs)*time.Second); err != nil {
 			cli.Fatalf("%s: %v", *scrape, err)
 		}
 		return
@@ -98,45 +109,68 @@ func splitList(s string) []string {
 	return out
 }
 
+// scrapePoll is the shared backoff for waiting on a live server: unbounded
+// attempts at a flat 100ms cadence, stopped by the scrape-wait deadline on
+// the context (see internal/retry).
+var scrapePoll = retry.Policy{Base: 100 * time.Millisecond, Max: 100 * time.Millisecond}
+
 // scrapeLive validates a running telemetry server end-to-end: it subscribes
-// to /events first (so the scrape provably happens while the run is live),
-// checks the /metrics exposition, then drains the event stream — which
-// terminates when the run finishes — and validates it as a full trace.
-func scrapeLive(base string, requiredStages map[string]bool, requiredMetrics []string, wait time.Duration) error {
+// to the events endpoint first (so the scrape provably happens while the run
+// is live), checks the /metrics exposition, then drains the event stream —
+// which terminates when the run finishes — and validates it as a full trace.
+// eventsPath selects the stream: "/events" on a single-run arda server, or
+// "/runs/{id}/events" on an ardad daemon.
+func scrapeLive(base, eventsPath string, requiredStages map[string]bool, requiredMetrics []string, wait time.Duration) error {
 	base = strings.TrimRight(base, "/")
+	if !strings.HasPrefix(eventsPath, "/") {
+		eventsPath = "/" + eventsPath
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), wait)
+	defer cancel()
+
 	var events *http.Response
-	deadline := time.Now().Add(wait)
-	for {
-		resp, err := http.Get(base + "/events")
-		if err == nil && resp.StatusCode == http.StatusOK {
-			events = resp
-			break
-		}
-		if err == nil {
+	var lastErr error
+	if err := retry.Do(ctx, scrapePoll, retry.Always, func() error {
+		resp, err := http.Get(base + eventsPath)
+		if err == nil && resp.StatusCode != http.StatusOK {
 			resp.Body.Close()
 			err = fmt.Errorf("status %s", resp.Status)
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("connecting to /events: %v", err)
+		if err != nil {
+			lastErr = err
+			return err
 		}
-		time.Sleep(100 * time.Millisecond)
+		events = resp
+		return nil
+	}); err != nil {
+		if lastErr != nil {
+			err = lastErr
+		}
+		return fmt.Errorf("connecting to %s: %v", eventsPath, err)
 	}
 	defer events.Body.Close()
 
-	// The run is live now (the /events stream is open and unterminated):
+	// The run is live now (the events stream is open and unterminated):
 	// scrape and validate the exposition. The server comes up before the
 	// pipeline registers its stage histograms, so retry until the required
 	// names appear — every scrape must still be syntactically valid.
 	var metricNames map[string]bool
-	for {
+	retryable := func(err error) bool {
+		var fatal *fatalScrape
+		return !errors.As(err, &fatal)
+	}
+	if err := retry.Do(ctx, scrapePoll, retryable, func() error {
 		mresp, err := http.Get(base + "/metrics")
 		if err != nil {
-			return fmt.Errorf("scraping /metrics: %v", err)
+			lastErr = fmt.Errorf("scraping /metrics: %v", err)
+			return lastErr
 		}
 		metricNames, err = validateExposition(mresp.Body)
 		mresp.Body.Close()
 		if err != nil {
-			return fmt.Errorf("/metrics exposition: %v", err)
+			// A malformed exposition will not fix itself — fail immediately
+			// by reporting a non-retryable terminal error.
+			return &fatalScrape{fmt.Errorf("/metrics exposition: %v", err)}
 		}
 		var missing []string
 		for _, want := range requiredMetrics {
@@ -151,13 +185,20 @@ func scrapeLive(base string, requiredStages map[string]bool, requiredMetrics []s
 				missing = append(missing, want)
 			}
 		}
-		if len(missing) == 0 {
-			break
+		if len(missing) > 0 {
+			lastErr = fmt.Errorf("/metrics missing required metrics: %s", strings.Join(missing, ", "))
+			return lastErr
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("/metrics missing required metrics: %s", strings.Join(missing, ", "))
+		return nil
+	}); err != nil {
+		var fatal *fatalScrape
+		if errors.As(err, &fatal) {
+			return fatal.err
 		}
-		time.Sleep(100 * time.Millisecond)
+		if lastErr != nil {
+			err = lastErr
+		}
+		return err
 	}
 	fmt.Printf("metrics OK: %d metric families exposed\n", len(metricNames))
 

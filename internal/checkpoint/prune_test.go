@@ -1,0 +1,144 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// makeLog creates a run log with one saved stage in dir and backdates its
+// manifest by age.
+func makeLog(t *testing.T, dir string, age time.Duration) {
+	t.Helper()
+	l, err := Create(dir, "run", "fp", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Save("coreset", -1, 0, struct{ X int }{1}); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-age)
+	if err := os.Chtimes(filepath.Join(dir, ManifestName), old, old); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPruneSubdirectoryLogs(t *testing.T) {
+	root := t.TempDir()
+	makeLog(t, filepath.Join(root, "r1"), 48*time.Hour)
+	makeLog(t, filepath.Join(root, "r2"), 30*time.Hour)
+	makeLog(t, filepath.Join(root, "r3"), time.Minute)
+
+	pruned, err := Prune(root, 24*time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned) != 2 {
+		t.Fatalf("pruned %v, want r1 and r2", pruned)
+	}
+	for _, gone := range []string{"r1", "r2"} {
+		if _, err := os.Stat(filepath.Join(root, gone)); !os.IsNotExist(err) {
+			t.Fatalf("stale log %s still present (err=%v)", gone, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(root, "r3", ManifestName)); err != nil {
+		t.Fatalf("fresh log r3 was pruned: %v", err)
+	}
+}
+
+func TestPruneKeepLatestExemptsNewest(t *testing.T) {
+	root := t.TempDir()
+	makeLog(t, filepath.Join(root, "old"), 72*time.Hour)
+	makeLog(t, filepath.Join(root, "older"), 96*time.Hour)
+
+	pruned, err := Prune(root, 24*time.Hour, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned) != 1 || pruned[0] != "older" {
+		t.Fatalf("pruned %v, want [older]", pruned)
+	}
+	if _, err := os.Stat(filepath.Join(root, "old", ManifestName)); err != nil {
+		t.Fatalf("keepLatest log pruned: %v", err)
+	}
+}
+
+func TestPruneDirItselfAsLog(t *testing.T) {
+	dir := t.TempDir()
+	makeLog(t, dir, 48*time.Hour)
+	// A foreign file must survive the sweep.
+	foreign := filepath.Join(dir, "notes.txt")
+	if err := os.WriteFile(foreign, []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	pruned, err := Prune(dir, 24*time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned) != 1 || pruned[0] != "." {
+		t.Fatalf("pruned %v, want [.]", pruned)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); !os.IsNotExist(err) {
+		t.Fatalf("manifest still present after prune (err=%v)", err)
+	}
+	if _, err := os.Stat(foreign); err != nil {
+		t.Fatalf("foreign file removed by prune: %v", err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("dir itself removed: %v", err)
+	}
+}
+
+func TestPruneNoops(t *testing.T) {
+	dir := t.TempDir()
+	makeLog(t, filepath.Join(dir, "r1"), 48*time.Hour)
+	if pruned, err := Prune(dir, 0, 0); err != nil || pruned != nil {
+		t.Fatalf("Prune(maxAge=0) = %v, %v, want no-op", pruned, err)
+	}
+	if pruned, err := Prune(filepath.Join(dir, "missing"), time.Hour, 0); err != nil || pruned != nil {
+		t.Fatalf("Prune(missing dir) = %v, %v, want no-op", pruned, err)
+	}
+	// Fresh logs and non-log directories are untouched.
+	if err := os.MkdirAll(filepath.Join(dir, "plain"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if pruned, err := Prune(dir, 100*time.Hour, 0); err != nil || len(pruned) != 0 {
+		t.Fatalf("Prune(all fresh) = %v, %v, want nothing pruned", pruned, err)
+	}
+}
+
+func TestPruneLeavesForeignFilesInSubdir(t *testing.T) {
+	root := t.TempDir()
+	sub := filepath.Join(root, "r1")
+	makeLog(t, sub, 48*time.Hour)
+	if err := os.WriteFile(filepath.Join(sub, "result.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := Prune(root, 24*time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned) != 1 || pruned[0] != "r1" {
+		t.Fatalf("pruned %v, want [r1]", pruned)
+	}
+	if _, err := os.Stat(filepath.Join(sub, "result.json")); err != nil {
+		t.Fatalf("foreign file removed: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(sub, ManifestName)); !os.IsNotExist(err) {
+		t.Fatalf("manifest survived prune (err=%v)", err)
+	}
+}
+
+func TestPruneThenResumeStartsFresh(t *testing.T) {
+	dir := t.TempDir()
+	makeLog(t, dir, 48*time.Hour)
+	if _, err := Prune(dir, 24*time.Hour, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A pruned directory must look like "nothing to resume".
+	if _, err := Open(dir, "fp"); !os.IsNotExist(err) {
+		t.Fatalf("Open after prune = %v, want os.ErrNotExist", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"github.com/arda-ml/arda/internal/faults"
 	"github.com/arda-ml/arda/internal/join"
+	"github.com/arda-ml/arda/internal/retry"
 )
 
 // Typed interruption sentinels: AugmentContext returns one of these (test
@@ -26,10 +27,7 @@ var (
 // quick deterministic attempts. The backoff is tiny because the faults being
 // retried (injected transients, momentary resource blips) either clear
 // immediately or keep failing — a long ladder would just stall the batch.
-const (
-	candidateAttempts  = 3
-	candidateRetryBase = time.Millisecond
-)
+var candidateRetry = retry.Policy{Attempts: 3, Base: time.Millisecond}
 
 // interruptOf maps the context's state to the typed sentinel: nil while the
 // context is live (or nil), ErrDeadline/ErrCanceled once it is done.
@@ -99,7 +97,7 @@ func faultAt(inj *faults.Injector, stage string, ordinal int) (err error) {
 func guardedJoin(ctx context.Context, inj *faults.Injector, stage string, ordinal int,
 	mkRNG func() *rand.Rand, fn func(*rand.Rand) (*join.Result, error)) (*join.Result, error) {
 	var jr *join.Result
-	err := faults.Retry(ctx, candidateAttempts, candidateRetryBase, func() (err error) {
+	err := retry.Do(ctx, candidateRetry, faults.IsTransient, func() (err error) {
 		defer func() {
 			if v := recover(); v != nil {
 				err = recoveredError(v)

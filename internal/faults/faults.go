@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"github.com/arda-ml/arda/internal/retry"
 )
 
 // Kind selects what a matching rule does at its injection site.
@@ -68,6 +70,23 @@ type Rule struct {
 	// Delay is the sleep duration of Delay faults (default 1ms).
 	Delay time.Duration
 }
+
+// Injection-site names outside the pipeline's per-candidate stages. The
+// augmentation service probes these so its chaos suite can fire admission
+// and queue-persistence failures deterministically: SiteServerAdmit is
+// checked with the submission sequence number before a run is accepted, and
+// SiteServerPersist with the same ordinal at every crash-safe run-record
+// write (transient persist faults are retried; persistent ones fail the
+// transition).
+// SiteServerRun is probed once at the start of every run execution attempt,
+// with the run's sequence number: a transient fault there exercises the
+// supervisor's whole-attempt retry-with-backoff loop, which the pipeline's
+// own per-candidate quarantine never escalates to.
+const (
+	SiteServerAdmit   = "server.admit"
+	SiteServerPersist = "server.persist"
+	SiteServerRun     = "server.run"
+)
 
 // MatchAll returns a rule of the given kind matching every site.
 func MatchAll(kind Kind) Rule { return Rule{Ordinal: -1, Kind: kind} }
@@ -243,34 +262,11 @@ func IsTransient(err error) bool {
 // transient by IsTransient, with deterministic exponential backoff (base,
 // 2·base, 4·base, …) between tries. A done ctx aborts the wait and returns
 // ctx.Err(); non-transient errors (and success) return immediately. attempts
-// < 1 is treated as 1.
+// < 1 is treated as 1. It is the transient-classified specialization of
+// retry.Do, kept for callers that already speak this signature.
 func Retry(ctx context.Context, attempts int, base time.Duration, fn func() error) error {
 	if attempts < 1 {
 		attempts = 1
 	}
-	var err error
-	for try := 0; try < attempts; try++ {
-		if try > 0 && base > 0 {
-			t := time.NewTimer(base << (try - 1))
-			if ctx != nil {
-				select {
-				case <-ctx.Done():
-					t.Stop()
-					return ctx.Err()
-				case <-t.C:
-				}
-			} else {
-				<-t.C
-			}
-		}
-		if ctx != nil {
-			if cerr := ctx.Err(); cerr != nil {
-				return cerr
-			}
-		}
-		if err = fn(); err == nil || !IsTransient(err) {
-			return err
-		}
-	}
-	return err
+	return retry.Do(ctx, retry.Policy{Attempts: attempts, Base: base}, IsTransient, fn)
 }

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// DefaultShutdownTimeout is how long Handle.Shutdown waits for in-flight
+// requests before force-closing the listener, when the caller passes 0.
+const DefaultShutdownTimeout = 5 * time.Second
+
+// Handle is the shared listener lifecycle for the repo's HTTP planes: it
+// owns one bound listener plus its http.Server, serves in a background
+// goroutine, and shuts down gracefully — http.Server.Shutdown under a
+// deadline (letting in-flight requests, including long-lived /events
+// streams, drain) with a hard Close fallback when the deadline passes. Both
+// the per-run telemetry server (metrics.Server) and the ardad daemon serve
+// through it, so "stop accepting, drain, then close" behaves identically
+// everywhere.
+type Handle struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Listen binds addr and starts serving handler in a background goroutine.
+// The returned handle is already serving; stop it with Shutdown.
+func Listen(addr string, handler http.Handler) (*Handle, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("listening on %s: %w", addr, err)
+	}
+	h := &Handle{ln: ln, srv: &http.Server{Handler: handler}}
+	go h.srv.Serve(ln)
+	return h, nil
+}
+
+// Addr returns the bound listen address (useful with ":0"). Safe on nil.
+func (h *Handle) Addr() string {
+	if h == nil {
+		return ""
+	}
+	return h.ln.Addr().String()
+}
+
+// Shutdown stops accepting new connections and waits up to timeout (0 means
+// DefaultShutdownTimeout) for in-flight requests to finish; connections
+// still open at the deadline are force-closed. Safe on nil and idempotent.
+func (h *Handle) Shutdown(timeout time.Duration) error {
+	if h == nil {
+		return nil
+	}
+	if timeout <= 0 {
+		timeout = DefaultShutdownTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := h.srv.Shutdown(ctx); err != nil {
+		return h.srv.Close()
+	}
+	return nil
+}

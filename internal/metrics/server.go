@@ -1,10 +1,8 @@
 package metrics
 
 import (
-	"context"
 	"encoding/json"
 	"fmt"
-	"net"
 	"net/http"
 	"time"
 
@@ -29,8 +27,7 @@ const samplerInterval = 250 * time.Millisecond
 // sampler makes gauge values wall-clock dependent, which is why serving is
 // opt-in (`-metrics-addr`) and never wired in deterministic test paths.
 type Server struct {
-	ln      net.Listener
-	srv     *http.Server
+	h       *Handle
 	tr      *obs.Trace
 	stream  *obs.StreamSink
 	sampler *obs.RuntimeSampler
@@ -40,28 +37,28 @@ type Server struct {
 // be one of tr's sinks (it feeds /events); a nil stream disables /events
 // with 404s. The returned server is already running; stop it with Close.
 func NewServer(addr string, tr *obs.Trace, stream *obs.StreamSink) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("metrics listener: %w", err)
-	}
-	s := &Server{ln: ln, tr: tr, stream: stream}
-	s.sampler = obs.StartRuntimeSampler(tr, samplerInterval, map[string]func() int64{
-		"workers.in_flight": func() int64 { return int64(parallel.InFlight()) },
-		"workers.max":       func() int64 { return int64(parallel.MaxWorkers()) },
-	})
+	s := &Server{tr: tr, stream: stream}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/statusz", s.handleStatusz)
 	mux.HandleFunc("/events", s.handleEvents)
-	s.srv = &http.Server{Handler: mux}
-	go s.srv.Serve(ln)
+	h, err := Listen(addr, mux)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	s.h = h
+	s.sampler = obs.StartRuntimeSampler(tr, samplerInterval, map[string]func() int64{
+		"workers.in_flight": func() int64 { return int64(parallel.InFlight()) },
+		"workers.max":       func() int64 { return int64(parallel.MaxWorkers()) },
+	})
 	return s, nil
 }
 
 // Addr returns the bound listen address (useful with ":0").
-func (s *Server) Addr() string { return s.ln.Addr().String() }
+func (s *Server) Addr() string { return s.h.Addr() }
 
-// Close stops the sampler and shuts the server down, waiting briefly for
+// Close stops the sampler and shuts the server down gracefully via the
+// shared listener lifecycle, waiting up to DefaultShutdownTimeout for
 // in-flight requests (an /events stream drains once the trace finished).
 // Safe on a nil server.
 func (s *Server) Close() error {
@@ -69,12 +66,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.sampler.Stop()
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	if err := s.srv.Shutdown(ctx); err != nil {
-		return s.srv.Close()
-	}
-	return nil
+	return s.h.Shutdown(0)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

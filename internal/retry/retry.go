@@ -1,0 +1,103 @@
+// Package retry is the repo's one bounded-retry loop: deterministic capped
+// exponential backoff around an operation, retrying only failures the
+// caller's classifier deems worth another attempt. It exists so the three
+// places that need retries — the pipeline's per-candidate quarantine loop
+// (internal/core via faults.Retry), tracecheck's connect-to-a-starting-server
+// loop, and ardad's transient-run-failure supervisor — share one semantics
+// instead of three hand-rolled sleeps.
+//
+// Determinism matters to the first consumer: the backoff schedule is a pure
+// function of the policy (base << try, capped at Max), never jittered, so a
+// retried pipeline operation re-runs on a schedule independent of wall clock
+// and worker count. Context cancellation aborts a backoff wait immediately.
+package retry
+
+import (
+	"context"
+	"time"
+)
+
+// Policy describes one retry schedule.
+type Policy struct {
+	// Attempts is the maximum number of tries (including the first). Values
+	// < 1 mean 1, except 0-with-context: Attempts <= 0 retries without an
+	// attempt bound, stopping only when the context is done — the "wait for a
+	// server to come up" shape. Callers without a context must set Attempts.
+	Attempts int
+	// Base is the first backoff; try n waits Base << (n-1). 0 retries
+	// immediately.
+	Base time.Duration
+	// Max caps a single backoff when > 0; 0 leaves the doubling uncapped.
+	Max time.Duration
+}
+
+// Backoff returns the wait before try (1-based; try 1 has no wait): the
+// capped exponential Base << (try-2).
+func (p Policy) Backoff(try int) time.Duration {
+	if try <= 1 || p.Base <= 0 {
+		return 0
+	}
+	d := p.Base
+	for i := 2; i < try; i++ {
+		d <<= 1
+		if p.Max > 0 && d >= p.Max {
+			return p.Max
+		}
+		if d <= 0 { // overflow
+			return maxDuration(p.Max)
+		}
+	}
+	if p.Max > 0 && d > p.Max {
+		return p.Max
+	}
+	return d
+}
+
+func maxDuration(max time.Duration) time.Duration {
+	if max > 0 {
+		return max
+	}
+	return 1<<63 - 1
+}
+
+// Always classifies every error as retryable — for loops bounded by a
+// context deadline rather than by the error's nature.
+func Always(error) bool { return true }
+
+// Do runs fn up to p.Attempts times, retrying only errors for which
+// retryable reports true, waiting p.Backoff between tries. A done ctx aborts
+// the wait (and the next try) with ctx.Err(); a nil ctx never aborts.
+// Non-retryable errors and success return immediately. The returned error is
+// fn's last, so exhausting attempts surfaces the underlying failure, not a
+// generic "retries exhausted".
+func Do(ctx context.Context, p Policy, retryable func(error) bool, fn func() error) error {
+	unbounded := p.Attempts <= 0 && ctx != nil
+	if p.Attempts < 1 {
+		p.Attempts = 1
+	}
+	var err error
+	for try := 1; unbounded || try <= p.Attempts; try++ {
+		if wait := p.Backoff(try); wait > 0 {
+			t := time.NewTimer(wait)
+			if ctx != nil {
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return ctx.Err()
+				case <-t.C:
+				}
+			} else {
+				<-t.C
+			}
+		}
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+		}
+		if err = fn(); err == nil || retryable == nil || !retryable(err) {
+			return err
+		}
+	}
+	return err
+}

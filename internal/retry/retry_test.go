@@ -1,0 +1,130 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+var errTransient = errors.New("transient")
+
+func TestDoSucceedsAfterRetries(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Policy{Attempts: 3, Base: time.Microsecond}, Always, func() error {
+		calls++
+		if calls < 3 {
+			return errTransient
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want success on call 3", err, calls)
+	}
+}
+
+func TestDoNonRetryableReturnsImmediately(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := Do(context.Background(), Policy{Attempts: 5, Base: time.Microsecond},
+		func(err error) bool { return !errors.Is(err, boom) },
+		func() error { calls++; return boom })
+	if !errors.Is(err, boom) || calls != 1 {
+		t.Fatalf("Do = %v after %d calls, want boom after 1", err, calls)
+	}
+}
+
+func TestDoExhaustsAttemptsReturnsLastError(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Policy{Attempts: 3, Base: time.Microsecond}, Always, func() error {
+		calls++
+		return errTransient
+	})
+	if !errors.Is(err, errTransient) || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want transient after 3", err, calls)
+	}
+}
+
+func TestDoHonorsContextDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err := Do(ctx, Policy{Attempts: 3, Base: time.Hour}, Always, func() error {
+		calls++
+		return errTransient
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do under canceled ctx = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("Do kept calling (%d) after cancellation", calls)
+	}
+}
+
+func TestDoPreCanceledContextNeverCalls(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Do(ctx, Policy{Attempts: 3}, Always, func() error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Fatalf("Do = %v after %d calls, want context.Canceled after 0", err, calls)
+	}
+}
+
+func TestDoNilContextBounded(t *testing.T) {
+	calls := 0
+	err := Do(nil, Policy{Attempts: 2, Base: time.Microsecond}, Always, func() error {
+		calls++
+		return errTransient
+	})
+	if !errors.Is(err, errTransient) || calls != 2 {
+		t.Fatalf("Do(nil ctx) = %v after %d calls, want transient after 2", err, calls)
+	}
+}
+
+func TestDoUnboundedStopsAtDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	calls := 0
+	err := Do(ctx, Policy{Base: time.Millisecond, Max: time.Millisecond}, Always, func() error {
+		calls++
+		return errTransient
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("unbounded Do = %v, want deadline exceeded", err)
+	}
+	if calls < 2 {
+		t.Fatalf("unbounded Do made only %d calls before the deadline", calls)
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 45 * time.Millisecond}
+	want := []time.Duration{0, 10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond, 45 * time.Millisecond, 45 * time.Millisecond}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w {
+			t.Fatalf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	uncapped := Policy{Base: time.Millisecond}
+	if got := uncapped.Backoff(5); got != 8*time.Millisecond {
+		t.Fatalf("uncapped Backoff(5) = %v, want 8ms", got)
+	}
+	if got := (Policy{}).Backoff(3); got != 0 {
+		t.Fatalf("zero-base Backoff(3) = %v, want 0", got)
+	}
+}
+
+func TestBackoffOverflowCapped(t *testing.T) {
+	p := Policy{Base: time.Duration(1) << 55, Max: time.Hour}
+	if got := p.Backoff(60); got != time.Hour {
+		t.Fatalf("overflowing Backoff = %v, want Max", got)
+	}
+	unc := Policy{Base: time.Duration(1) << 62}
+	if got := unc.Backoff(10); got <= 0 {
+		t.Fatalf("uncapped overflow Backoff = %v, want positive", got)
+	}
+}

@@ -1,0 +1,265 @@
+package runqueue
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/arda-ml/arda/internal/atomicio"
+	"github.com/arda-ml/arda/internal/core"
+	"github.com/arda-ml/arda/internal/dataframe"
+	"github.com/arda-ml/arda/internal/discovery"
+	"github.com/arda-ml/arda/internal/faults"
+	"github.com/arda-ml/arda/internal/obs"
+	"github.com/arda-ml/arda/internal/retry"
+)
+
+// execute drives one claimed run from queued to a terminal state (or back to
+// queued, if a drain preempts it). It owns the run's full failure surface:
+// panics in the attempt are contained and converted to errors, transient
+// failures retry with capped exponential backoff, and every state transition
+// persists before execute returns the supervisor to the queue.
+func (m *Manager) execute(r *run) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	m.mu.Lock()
+	r.rec.State = StateRunning
+	r.rec.StartedAt = time.Now()
+	r.rec.Error = ""
+	r.cancel = cancel
+	if r.userCanceled {
+		// Canceled in the claim window between the queue pop and here: the
+		// attempt below starts with a dead context and stops immediately.
+		cancel()
+	}
+	wait := r.rec.StartedAt.Sub(r.rec.SubmittedAt)
+	m.mu.Unlock()
+	m.hWait.Observe(int64(wait))
+	if err := m.persist(r); err != nil {
+		m.logf("persisting running %s: %v", r.rec.ID, err)
+	}
+	m.logf("started %s after %s queued", r.rec.ID, wait.Round(time.Millisecond))
+
+	policy := retry.Policy{Attempts: m.cfg.RetryAttempts, Base: m.cfg.RetryBase, Max: m.cfg.RetryMax}
+	var res *RunResult
+	var err error
+	start := time.Now()
+	for try := 1; ; try++ {
+		res, err = m.attempt(ctx, r)
+		if err == nil || !faults.IsTransient(err) || try >= policy.Attempts {
+			break
+		}
+		// Transient failure with budget left: back off (abandoning the wait
+		// if the run is canceled meanwhile) and go again. The next attempt
+		// resumes from the run's checkpoint, so retries never repeat stages
+		// that already completed.
+		m.cRetried.Add(1)
+		m.logf("%s attempt %d failed (transient): %v — retrying", r.rec.ID, try, err)
+		if wait := policy.Backoff(try + 1); wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+			}
+		}
+		if ctx.Err() != nil {
+			err = core.ErrCanceled
+			break
+		}
+	}
+	m.hRun.Observe(int64(time.Since(start)))
+
+	m.mu.Lock()
+	r.cancel = nil
+	preempted := r.drainPreempted && !r.userCanceled
+	m.mu.Unlock()
+
+	switch {
+	case err == nil:
+		m.finishRun(r, StateCompleted, res, "")
+	case errors.Is(err, core.ErrCanceled) && preempted:
+		// Drain preemption: the run's checkpoint holds every completed stage;
+		// return it to the queue so the next process resumes it.
+		m.requeueRun(r)
+	case errors.Is(err, core.ErrCanceled):
+		m.finishRun(r, StateCanceled, nil, err.Error())
+	default:
+		m.finishRun(r, StateFailed, nil, err.Error())
+	}
+}
+
+// finishRun persists a terminal transition and settles the run's durable
+// artifacts: a completed run publishes result.json and discards its
+// checkpoint directory (nothing left to resume); failed and canceled runs
+// keep theirs for postmortem or resubmission.
+func (m *Manager) finishRun(r *run, state State, res *RunResult, errMsg string) {
+	m.mu.Lock()
+	r.rec.State = state
+	r.rec.Error = errMsg
+	r.rec.FinishedAt = time.Now()
+	r.rec.Result = res
+	rec := r.rec
+	m.mu.Unlock()
+
+	if state == StateCompleted {
+		body, err := json.MarshalIndent(res, "", "  ")
+		if err == nil {
+			err = retry.Do(nil, persistRetry, faults.IsTransient, func() error {
+				if ferr := m.cfg.Injector.Check(faults.SiteServerPersist, int(rec.Seq)); ferr != nil {
+					return ferr
+				}
+				return atomicio.WriteFileBytes(filepath.Join(m.runDir(rec.ID), "result.json"), body)
+			})
+		}
+		if err != nil {
+			// The record still carries the result; losing result.json costs a
+			// convenience file, not the run.
+			m.cPersistFailures.Add(1)
+			m.logf("publishing result for %s: %v", rec.ID, err)
+		}
+		if err := os.RemoveAll(m.ckDir(rec.ID)); err != nil {
+			m.logf("clearing checkpoints for %s: %v", rec.ID, err)
+		}
+	}
+	if err := m.persist(r); err != nil {
+		m.logf("persisting %s %s: %v", state, rec.ID, err)
+	}
+	switch state {
+	case StateCompleted:
+		m.cCompleted.Add(1)
+		m.logf("completed %s: base %.4f → augmented %.4f, %d columns kept",
+			rec.ID, res.BaseScore, res.FinalScore, len(res.KeptColumns))
+	case StateFailed:
+		m.cFailed.Add(1)
+		m.logf("failed %s: %s", rec.ID, errMsg)
+	case StateCanceled:
+		m.cCanceled.Add(1)
+		m.logf("canceled %s", rec.ID)
+	}
+}
+
+// requeueRun returns a drain-preempted run to the queued state on disk. It
+// is not re-added to the in-memory queue — the manager is draining and its
+// supervisors are exiting — but the persisted state makes the next Open
+// requeue it.
+func (m *Manager) requeueRun(r *run) {
+	m.mu.Lock()
+	r.rec.State = StateQueued
+	r.rec.StartedAt = time.Time{}
+	r.rec.Error = ""
+	m.mu.Unlock()
+	if err := m.persist(r); err != nil {
+		m.logf("persisting preempted %s: %v", r.rec.ID, err)
+	}
+	m.logf("preempted %s: checkpointed, will resume on restart", r.rec.ID)
+}
+
+// attempt executes the spec once, end to end, under a fresh per-attempt
+// trace whose event stream is both subscribable live (Manager.Stream) and
+// persisted as trace.ndjson in the run directory. Panics anywhere in the
+// attempt — CSV loading, discovery, the pipeline — are contained here and
+// returned as errors, so one poisoned run cannot take down the daemon.
+func (m *Manager) attempt(ctx context.Context, r *run) (res *RunResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("runqueue: run panicked: %v", p)
+		}
+	}()
+
+	m.mu.Lock()
+	spec := r.rec.Spec
+	id := r.rec.ID
+	seq := r.rec.Seq
+	m.mu.Unlock()
+
+	// The attempt-level fault site: chaos tests fire transient faults here to
+	// exercise the supervisor's retry loop around whole attempts.
+	if err := m.cfg.Injector.Check(faults.SiteServerRun, int(seq)); err != nil {
+		return nil, err
+	}
+
+	// A fresh trace per attempt: the pipeline finishes its trace even on
+	// error, so attempts cannot share one. The stream sink replays history to
+	// late subscribers; the file sink publishes atomically on Flush.
+	stream := obs.NewStreamSink(0)
+	fileSink, ferr := obs.NewNDJSONFileSink(filepath.Join(m.runDir(id), "trace.ndjson"))
+	if ferr != nil {
+		return nil, fmt.Errorf("runqueue: creating trace sink: %w", ferr)
+	}
+	trace := obs.New("augment", stream, fileSink)
+	m.mu.Lock()
+	r.stream = stream
+	m.mu.Unlock()
+	defer func() {
+		if perr := fileSink.Flush(); perr != nil && err == nil {
+			m.logf("publishing trace for %s: %v", id, perr)
+		}
+	}()
+
+	dir := spec.Dir
+	if dir == "" {
+		dir = m.cfg.DataDir
+	}
+	tables, err := loadCSVDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("runqueue: loading %s: %w", dir, err)
+	}
+	var base *dataframe.Table
+	repo := make([]*dataframe.Table, 0, len(tables))
+	for _, t := range tables {
+		if t.Name() == spec.Base {
+			base = t
+		} else {
+			repo = append(repo, t)
+		}
+	}
+	if base == nil {
+		return nil, fmt.Errorf("runqueue: base table %q not found in %s (%d tables)", spec.Base, dir, len(tables))
+	}
+	cands := discovery.Discover(base, repo, spec.Target, discovery.Options{})
+	if spec.Transitive {
+		rng := rand.New(rand.NewSource(spec.seed()))
+		cands = append(cands, discovery.Transitive(base, repo, spec.Target, discovery.TransitiveOptions{}, rng)...)
+	}
+
+	opts, err := spec.options(m.cfg)
+	if err != nil {
+		return nil, err
+	}
+	opts.CheckpointDir = m.ckDir(id)
+	opts.Resume = true // an empty checkpoint directory starts fresh
+	opts.FaultInjector = m.cfg.Injector
+	opts.Trace = trace
+
+	out, err := core.AugmentContext(ctx, base, cands, opts)
+	if err != nil {
+		return nil, err
+	}
+	res = &RunResult{
+		BaseScore:   out.BaseScore,
+		FinalScore:  out.FinalScore,
+		KeptColumns: out.KeptColumns,
+		KeptTables:  out.KeptTables,
+		TableDigest: fmt.Sprintf("%016x", out.Table.Digest()),
+		Rows:        out.Table.NumRows(),
+		Cols:        out.Table.NumCols(),
+		Quarantined: len(out.Quarantined),
+		Degraded:    len(out.Degraded),
+		ResumedFrom: out.ResumedFrom,
+		ElapsedMS:   out.Elapsed.Milliseconds(),
+		SelectionMS: out.SelectionElapsed.Milliseconds(),
+	}
+	if spec.KeepTable {
+		if werr := out.Table.WriteCSVFile(m.TablePath(id)); werr != nil {
+			return nil, fmt.Errorf("runqueue: writing table: %w", werr)
+		}
+	}
+	return res, nil
+}

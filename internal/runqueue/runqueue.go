@@ -1,0 +1,693 @@
+// Package runqueue is the run-management core of the augmentation service: a
+// bounded FIFO admission queue feeding a crash-tolerant supervisor that
+// executes ARDA runs on the shared worker pool.
+//
+// Robustness invariants, in the order they were designed:
+//
+//   - No accepted run is ever lost. A run's record is persisted crash-safely
+//     (internal/atomicio) under the state directory before Submit
+//     acknowledges it, every state transition rewrites it, and Open requeues
+//     any run found in a non-terminal state — so a `kill -9` of the daemon
+//     at any instant is recovered by a restart over the same directory.
+//   - Recovery is bit-identical. Each run checkpoints through the ordinary
+//     pipeline machinery (internal/checkpoint) into a per-run directory, and
+//     a requeued run resumes from its last completed stage; the checkpoint
+//     layer's fingerprint + resume guarantees make the recovered result
+//     identical to an uninterrupted run at any worker count.
+//   - Admission is bounded. The queue holds at most QueueCap waiting runs;
+//     submits beyond that are rejected (ErrQueueFull → HTTP 429) rather than
+//     buffered without bound, and a draining manager rejects everything
+//     (ErrDraining → HTTP 503) while in-flight runs finish or checkpoint.
+//   - Failure is contained. Each run executes in a panic-isolated region;
+//     transient failures retry with capped exponential backoff
+//     (internal/retry); a run that still fails is marked failed without
+//     affecting its neighbors. The chaos fault sites faults.SiteServerAdmit
+//     and faults.SiteServerPersist let tests fire admission and persistence
+//     failures deterministically.
+//
+// Accounting is exact: every admitted or requeued run is, at all times, in
+// exactly one of queued / running / completed / failed / canceled, and the
+// obs counters (queue.admitted, queue.requeued, queue.completed,
+// queue.failed, queue.canceled, queue.rejected_full,
+// queue.rejected_draining) plus the queue.depth / queue.running gauges
+// reconcile against that partition — the chaos suite asserts it.
+package runqueue
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/arda-ml/arda/internal/atomicio"
+	"github.com/arda-ml/arda/internal/checkpoint"
+	"github.com/arda-ml/arda/internal/faults"
+	"github.com/arda-ml/arda/internal/obs"
+	"github.com/arda-ml/arda/internal/parallel"
+	"github.com/arda-ml/arda/internal/retry"
+)
+
+// Typed admission failures; the HTTP layer maps them to 429 and 503.
+var (
+	// ErrQueueFull reports a submission rejected because the waiting queue is
+	// at capacity.
+	ErrQueueFull = errors.New("runqueue: queue full")
+	// ErrDraining reports a submission rejected because the manager is
+	// draining (or closed) and no longer admits runs.
+	ErrDraining = errors.New("runqueue: draining, not admitting runs")
+	// ErrNotFound reports an unknown run ID.
+	ErrNotFound = errors.New("runqueue: no such run")
+)
+
+// State is a run's lifecycle position.
+type State string
+
+const (
+	// StateQueued: admitted, persisted, waiting for a supervisor slot. Also
+	// the state a preempted or crash-interrupted run returns to.
+	StateQueued State = "queued"
+	// StateRunning: executing on the worker pool.
+	StateRunning State = "running"
+	// StateCompleted: finished successfully; result.json is published.
+	StateCompleted State = "completed"
+	// StateFailed: exhausted its retries (or exceeded its budget) and gave up.
+	StateFailed State = "failed"
+	// StateCanceled: terminated by a cancel request.
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is an end state.
+func (s State) Terminal() bool {
+	return s == StateCompleted || s == StateFailed || s == StateCanceled
+}
+
+// RunResult is the deterministic summary of a completed run — everything a
+// client needs to verify bit-identity without downloading the table. Scores
+// are exact (float64 round-trips through JSON) and TableDigest fingerprints
+// the full augmented table, so two runs are output-identical iff their
+// RunResults match on the deterministic fields (Elapsed/Selection/ResumedFrom
+// are informational).
+type RunResult struct {
+	BaseScore   float64  `json:"base_score"`
+	FinalScore  float64  `json:"final_score"`
+	KeptColumns []string `json:"kept_columns"`
+	KeptTables  []string `json:"kept_tables"`
+	TableDigest string   `json:"table_digest"`
+	Rows        int      `json:"rows"`
+	Cols        int      `json:"cols"`
+	Quarantined int      `json:"quarantined"`
+	Degraded    int      `json:"degraded"`
+	ResumedFrom string   `json:"resumed_from,omitempty"`
+	ElapsedMS   int64    `json:"elapsed_ms"`
+	SelectionMS int64    `json:"selection_ms"`
+}
+
+// Record is one run's persisted document: the spec plus lifecycle state.
+// It is rewritten crash-safely on every transition.
+type Record struct {
+	ID          string     `json:"id"`
+	Seq         int64      `json:"seq"`
+	Spec        Spec       `json:"spec"`
+	State       State      `json:"state"`
+	Error       string     `json:"error,omitempty"`
+	Attempts    int        `json:"attempts"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   time.Time  `json:"started_at,omitempty"`
+	FinishedAt  time.Time  `json:"finished_at,omitempty"`
+	Result      *RunResult `json:"result,omitempty"`
+}
+
+// Config configures a Manager.
+type Config struct {
+	// StateDir is the daemon's durable root: runs/<id>/ record + result +
+	// trace, checkpoints/<id>/ pipeline checkpoints. Required.
+	StateDir string
+	// DataDir is the default CSV corpus for specs that do not name one.
+	DataDir string
+	// QueueCap bounds the waiting queue; <= 0 means 16.
+	QueueCap int
+	// Concurrency is the number of runs executing at once; <= 0 means 2.
+	// Concurrent runs share the process-wide worker pool.
+	Concurrency int
+	// Workers caps the shared worker pool for every run; 0 keeps the current
+	// cap. Results are bit-identical at any value.
+	Workers int
+	// RunTimeout is the default per-run wall-clock budget for specs without
+	// their own; 0 leaves runs unbounded.
+	RunTimeout time.Duration
+	// MaxCells / MaxCandidateBytes are default resource budgets for specs
+	// without their own; 0 leaves them unbounded.
+	MaxCells          int64
+	MaxCandidateBytes int64
+	// RetryAttempts/RetryBase/RetryMax shape the transient-failure retry of a
+	// run (capped exponential backoff); zero values mean 3 attempts, 100ms
+	// base, 2s cap.
+	RetryAttempts int
+	RetryBase     time.Duration
+	RetryMax      time.Duration
+	// CheckpointTTL, when > 0, prunes per-run checkpoint directories whose
+	// last write is older than this at Open (checkpoint.Prune).
+	CheckpointTTL time.Duration
+	// Injector fires deterministic faults at the server's admission and
+	// persistence sites and inside every run's pipeline — the chaos hook.
+	Injector *faults.Injector
+	// Trace receives the queue's metrics (counters, gauges, wait/run
+	// histograms). Typically the daemon's long-lived trace; nil disables.
+	Trace *obs.Trace
+	// Logf receives operational progress lines.
+	Logf func(format string, args ...any)
+}
+
+// persistRetry is the backoff for crash-safe record writes: short, capped,
+// and bounded — a persistence failure that survives it fails the transition.
+var persistRetry = retry.Policy{Attempts: 3, Base: 5 * time.Millisecond, Max: 50 * time.Millisecond}
+
+// run is the in-memory view of one run.
+type run struct {
+	rec Record
+	// cancel interrupts the executing pipeline; non-nil only while running.
+	cancel func()
+	// claimed is set (under the manager lock) the instant a supervisor pops
+	// the run off the queue, closing the window where Cancel could see a
+	// "queued" run that no supervisor will ever observe as canceled.
+	claimed bool
+	// userCanceled / drainPreempted disambiguate why the context died:
+	// a user cancel terminates the run, a drain preemption requeues it.
+	userCanceled   bool
+	drainPreempted bool
+	// stream is the live event bus of the current execution attempt (nil
+	// before the run first starts). It survives past completion so late
+	// subscribers replay the final attempt's events.
+	stream *obs.StreamSink
+}
+
+// Manager owns the queue, the supervisors, and the state directory.
+type Manager struct {
+	cfg Config
+
+	gDepth, gRunning                    *obs.Gauge
+	cAdmitted, cRequeued                *obs.Counter
+	cCompleted, cFailed, cCanceled      *obs.Counter
+	cRejectedFull, cRejectedDraining    *obs.Counter
+	cRetried, cPruned, cPersistFailures *obs.Counter
+	hWait, hRun                         *obs.Histogram
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	runs     map[string]*run
+	queue    []*run // FIFO of queued runs
+	nextSeq  int64
+	running  int
+	draining bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// Open loads (or initializes) the state directory, requeues every run left
+// in a non-terminal state by a previous process, prunes stale checkpoint
+// directories per Config.CheckpointTTL, and starts the supervisors. The
+// returned manager is accepting submissions; stop it with Close.
+func Open(cfg Config) (*Manager, error) {
+	if cfg.StateDir == "" {
+		return nil, fmt.Errorf("runqueue: Config.StateDir is required")
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 16
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 2
+	}
+	if cfg.RetryAttempts <= 0 {
+		cfg.RetryAttempts = 3
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 100 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 2 * time.Second
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.StateDir, "runs"), 0o755); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.StateDir, "checkpoints"), 0o755); err != nil {
+		return nil, err
+	}
+	if cfg.Workers > 0 {
+		parallel.SetMaxWorkers(cfg.Workers)
+	}
+	tr := cfg.Trace
+	if tr == nil {
+		// Counters back the exact-accounting contract, so the queue keeps
+		// its own sink-less trace when the daemon does not supply one.
+		tr = obs.New("runqueue")
+	}
+	m := &Manager{
+		cfg:               cfg,
+		gDepth:            tr.Gauge("queue.depth"),
+		gRunning:          tr.Gauge("queue.running"),
+		cAdmitted:         tr.Counter("queue.admitted"),
+		cRequeued:         tr.Counter("queue.requeued"),
+		cCompleted:        tr.Counter("queue.completed"),
+		cFailed:           tr.Counter("queue.failed"),
+		cCanceled:         tr.Counter("queue.canceled"),
+		cRejectedFull:     tr.Counter("queue.rejected_full"),
+		cRejectedDraining: tr.Counter("queue.rejected_draining"),
+		cRetried:          tr.Counter("queue.run_retries"),
+		cPruned:           tr.Counter("queue.checkpoints_pruned"),
+		cPersistFailures:  tr.Counter("queue.persist_failures"),
+		hWait:             tr.Histogram("queue.wait"),
+		hRun:              tr.Histogram("queue.run"),
+		runs:              make(map[string]*run),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	if err := m.recover(); err != nil {
+		return nil, err
+	}
+	if pruned, err := checkpoint.Prune(filepath.Join(cfg.StateDir, "checkpoints"), cfg.CheckpointTTL, 0); err != nil {
+		m.logf("checkpoint prune: %v", err)
+	} else if len(pruned) > 0 {
+		m.cPruned.Add(int64(len(pruned)))
+		m.logf("pruned %d stale checkpoint directories", len(pruned))
+	}
+	for i := 0; i < cfg.Concurrency; i++ {
+		m.wg.Add(1)
+		go m.supervise()
+	}
+	return m, nil
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+// runDir / ckDir locate one run's durable artifacts.
+func (m *Manager) runDir(id string) string {
+	return filepath.Join(m.cfg.StateDir, "runs", id)
+}
+func (m *Manager) ckDir(id string) string {
+	return filepath.Join(m.cfg.StateDir, "checkpoints", id)
+}
+
+// recover scans the state directory, rebuilding the in-memory table and
+// requeueing every non-terminal run in original admission order. Run records
+// that cannot be parsed are skipped with a log line (a torn write cannot
+// happen — records are written atomically — so an unreadable record means
+// external damage, and dropping it is better than refusing to start).
+func (m *Manager) recover() error {
+	root := filepath.Join(m.cfg.StateDir, "runs")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return err
+	}
+	var requeue []*run
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(root, e.Name(), "run.json"))
+		if err != nil {
+			m.logf("recover: skipping %s: %v", e.Name(), err)
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			m.logf("recover: skipping %s: unreadable record: %v", e.Name(), err)
+			continue
+		}
+		r := &run{rec: rec}
+		m.runs[rec.ID] = r
+		if rec.Seq >= m.nextSeq {
+			m.nextSeq = rec.Seq + 1
+		}
+		if !rec.State.Terminal() {
+			requeue = append(requeue, r)
+		}
+	}
+	sort.Slice(requeue, func(i, j int) bool { return requeue[i].rec.Seq < requeue[j].rec.Seq })
+	for _, r := range requeue {
+		r.rec.State = StateQueued
+		if err := m.persist(r); err != nil {
+			m.logf("recover: persisting requeued %s: %v", r.rec.ID, err)
+		}
+		m.queue = append(m.queue, r)
+		m.cRequeued.Add(1)
+		m.logf("requeued %s (%s/%s) from previous process", r.rec.ID, r.rec.Spec.Base, r.rec.Spec.Target)
+	}
+	m.gDepth.Set(int64(len(m.queue)))
+	return nil
+}
+
+// persist writes the run's record crash-safely, retrying transient
+// persistence faults with capped backoff. The faults.SiteServerPersist site
+// is probed on every attempt so the chaos suite can fire deterministic
+// persistence failures.
+func (m *Manager) persist(r *run) error {
+	rec := r.rec
+	body, err := json.MarshalIndent(&rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := m.runDir(rec.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	err = retry.Do(nil, persistRetry, faults.IsTransient, func() error {
+		if err := m.cfg.Injector.Check(faults.SiteServerPersist, int(rec.Seq)); err != nil {
+			return err
+		}
+		return atomicio.WriteFileBytes(filepath.Join(dir, "run.json"), body)
+	})
+	if err != nil {
+		m.cPersistFailures.Add(1)
+	}
+	return err
+}
+
+// Submit validates and admits one run: the record is persisted before the
+// submission is acknowledged, so an accepted run survives any crash.
+// Admission failures are typed: ErrQueueFull (bounded queue at capacity),
+// ErrDraining (manager shutting down), spec validation errors, and injected
+// admission faults.
+func (m *Manager) Submit(spec Spec) (Record, error) {
+	if err := spec.Validate(); err != nil {
+		return Record{}, err
+	}
+	if spec.Dir == "" && m.cfg.DataDir == "" {
+		return Record{}, fmt.Errorf("runqueue: spec.dir is required (daemon has no default data directory)")
+	}
+	m.mu.Lock()
+	if m.draining || m.closed {
+		m.cRejectedDraining.Add(1)
+		m.mu.Unlock()
+		return Record{}, ErrDraining
+	}
+	if len(m.queue) >= m.cfg.QueueCap {
+		m.cRejectedFull.Add(1)
+		m.mu.Unlock()
+		return Record{}, ErrQueueFull
+	}
+	seq := m.nextSeq
+	m.nextSeq++
+	m.mu.Unlock()
+
+	// The admission fault site runs outside the lock: Delay-kind faults
+	// sleep, and a sleeping admission must not stall the whole queue.
+	if err := m.cfg.Injector.Check(faults.SiteServerAdmit, int(seq)); err != nil {
+		return Record{}, fmt.Errorf("runqueue: admission: %w", err)
+	}
+
+	r := &run{rec: Record{
+		ID:          fmt.Sprintf("r%06d", seq),
+		Seq:         seq,
+		Spec:        spec,
+		State:       StateQueued,
+		SubmittedAt: time.Now(),
+	}}
+	if err := m.persist(r); err != nil {
+		return Record{}, fmt.Errorf("runqueue: persisting admission: %w", err)
+	}
+
+	m.mu.Lock()
+	if m.draining || m.closed {
+		// Drain began while we were persisting: reject rather than enqueue a
+		// run no supervisor will pick up; the orphan record on disk is
+		// terminal-ized so a restart does not resurrect a rejected run.
+		m.mu.Unlock()
+		r.rec.State = StateCanceled
+		r.rec.Error = "rejected: admission raced drain"
+		r.rec.FinishedAt = time.Now()
+		if err := m.persist(r); err != nil {
+			m.logf("persisting drain-raced %s: %v", r.rec.ID, err)
+		}
+		m.cRejectedDraining.Add(1)
+		return Record{}, ErrDraining
+	}
+	if len(m.queue) >= m.cfg.QueueCap {
+		m.mu.Unlock()
+		r.rec.State = StateCanceled
+		r.rec.Error = "rejected: queue filled during admission"
+		r.rec.FinishedAt = time.Now()
+		if err := m.persist(r); err != nil {
+			m.logf("persisting overflow-raced %s: %v", r.rec.ID, err)
+		}
+		m.cRejectedFull.Add(1)
+		return Record{}, ErrQueueFull
+	}
+	m.runs[r.rec.ID] = r
+	m.queue = append(m.queue, r)
+	depth := len(m.queue)
+	m.gDepth.Set(int64(depth))
+	m.cAdmitted.Add(1)
+	rec := r.rec
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.logf("admitted %s (%s/%s), queue depth %d", rec.ID, rec.Spec.Base, rec.Spec.Target, depth)
+	return rec, nil
+}
+
+// Get returns a snapshot of one run's record.
+func (m *Manager) Get(id string) (Record, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.runs[id]
+	if !ok {
+		return Record{}, ErrNotFound
+	}
+	return r.rec, nil
+}
+
+// List returns snapshots of every known run in admission order.
+func (m *Manager) List() []Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Record, 0, len(m.runs))
+	for _, r := range m.runs {
+		out = append(out, r.rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Cancel terminates one run: a queued run is removed from the queue and
+// marked canceled immediately; a running run's context is canceled and the
+// supervisor marks it canceled when the pipeline stops (promptly, at the
+// next stage boundary). Canceling a terminal run is a no-op.
+func (m *Manager) Cancel(id string) (Record, error) {
+	m.mu.Lock()
+	r, ok := m.runs[id]
+	if !ok {
+		m.mu.Unlock()
+		return Record{}, ErrNotFound
+	}
+	switch {
+	case r.rec.State == StateQueued && r.claimed:
+		// A supervisor already popped the run and is about to execute it:
+		// treat it as running so the cancellation reaches the pipeline
+		// context instead of racing the queued→running transition.
+		r.userCanceled = true
+		if r.cancel != nil {
+			r.cancel()
+		}
+		rec := r.rec
+		m.mu.Unlock()
+		return rec, nil
+	case r.rec.State == StateQueued:
+		for i, q := range m.queue {
+			if q == r {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				break
+			}
+		}
+		m.gDepth.Set(int64(len(m.queue)))
+		r.rec.State = StateCanceled
+		r.rec.Error = "canceled while queued"
+		r.rec.FinishedAt = time.Now()
+		m.cCanceled.Add(1)
+		rec := r.rec
+		m.mu.Unlock()
+		if err := m.persist(r); err != nil {
+			m.logf("persisting canceled %s: %v", id, err)
+		}
+		return rec, nil
+	case r.rec.State == StateRunning:
+		r.userCanceled = true
+		if r.cancel != nil {
+			r.cancel()
+		}
+		rec := r.rec
+		m.mu.Unlock()
+		return rec, nil
+	default:
+		rec := r.rec
+		m.mu.Unlock()
+		return rec, nil
+	}
+}
+
+// Stream returns the live event bus of the run's current (or last) execution
+// attempt and the path of its persisted NDJSON trace. The stream is nil for
+// a run that has not started in this process; the trace file exists whenever
+// an attempt ran to a flush (including interrupted attempts).
+func (m *Manager) Stream(id string) (*obs.StreamSink, string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.runs[id]
+	if !ok {
+		return nil, "", ErrNotFound
+	}
+	return r.stream, filepath.Join(m.runDir(id), "trace.ndjson"), nil
+}
+
+// TablePath returns the augmented table written for a completed keep_table
+// run.
+func (m *Manager) TablePath(id string) string {
+	return filepath.Join(m.runDir(id), "table.csv")
+}
+
+// Accounting is the queue's exact bookkeeping snapshot.
+type Accounting struct {
+	Admitted, Requeued             int64
+	Completed, Failed, Canceled    int64
+	RejectedFull, RejectedDraining int64
+	Queued, Running                int64
+}
+
+// Accounting returns the current counters plus live queue occupancy. At any
+// quiescent point Admitted+Requeued == Completed+Failed+Canceled+Queued+
+// Running holds exactly (requeued runs are re-admissions of earlier admits,
+// counted once per process that queued them).
+func (m *Manager) Accounting() Accounting {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Queued is counted from run states, not queue length: a drain-preempted
+	// run is back in the queued state (persisted for the next process) but no
+	// longer in this process's queue slice.
+	var queued int64
+	for _, r := range m.runs {
+		if r.rec.State == StateQueued {
+			queued++
+		}
+	}
+	return Accounting{
+		Admitted:         m.cAdmitted.Value(),
+		Requeued:         m.cRequeued.Value(),
+		Completed:        m.cCompleted.Value(),
+		Failed:           m.cFailed.Value(),
+		Canceled:         m.cCanceled.Value(),
+		RejectedFull:     m.cRejectedFull.Value(),
+		RejectedDraining: m.cRejectedDraining.Value(),
+		Queued:           queued,
+		Running:          int64(m.running),
+	}
+}
+
+// Draining reports whether the manager has stopped admitting runs.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining || m.closed
+}
+
+// Drain stops admission and waits up to timeout for in-flight runs to
+// finish. Runs still executing at the deadline are preempted: their contexts
+// are canceled, the pipeline stops at its next stage boundary (its
+// checkpoint already holds every completed stage), and the run returns to
+// the queued state so the next process resumes it. Queued runs stay queued
+// on disk. Drain returns once no run is executing; it is idempotent.
+func (m *Manager) Drain(timeout time.Duration) error {
+	m.mu.Lock()
+	m.draining = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.logf("draining: admission closed, waiting up to %s for in-flight runs", timeout)
+
+	deadline := time.Now().Add(timeout)
+	for {
+		m.mu.Lock()
+		n := m.running
+		m.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Deadline passed: preempt. The pipeline checkpoints at every stage
+	// boundary, so cancellation loses at most the in-progress stage.
+	m.mu.Lock()
+	for _, r := range m.runs {
+		if r.rec.State == StateRunning && r.cancel != nil {
+			r.drainPreempted = true
+			r.cancel()
+		}
+	}
+	m.mu.Unlock()
+	m.logf("drain deadline passed: preempting in-flight runs at their next stage boundary")
+
+	// Preempted pipelines return promptly; bound the wait defensively so a
+	// wedged run cannot hang shutdown forever.
+	force := time.Now().Add(timeout + 10*time.Second)
+	for {
+		m.mu.Lock()
+		n := m.running
+		m.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		if time.Now().After(force) {
+			return fmt.Errorf("runqueue: %d runs still executing after drain preemption", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Close drains (with the given timeout) and stops the supervisors. After
+// Close returns, no manager goroutine is left running.
+func (m *Manager) Close(drainTimeout time.Duration) error {
+	err := m.Drain(drainTimeout)
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.wg.Wait()
+	return err
+}
+
+// supervise is one supervisor loop: claim the FIFO head, execute, repeat,
+// until the manager drains or closes.
+func (m *Manager) supervise() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for !m.closed && !m.draining && len(m.queue) == 0 {
+			m.cond.Wait()
+		}
+		if m.closed || m.draining {
+			m.mu.Unlock()
+			return
+		}
+		r := m.queue[0]
+		m.queue = m.queue[1:]
+		r.claimed = true
+		m.gDepth.Set(int64(len(m.queue)))
+		m.running++
+		m.gRunning.Set(int64(m.running))
+		m.mu.Unlock()
+
+		m.execute(r)
+
+		m.mu.Lock()
+		m.running--
+		m.gRunning.Set(int64(m.running))
+		m.mu.Unlock()
+	}
+}
