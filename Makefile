@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race alloc chaos crash bench bench-parallel bench-dataplane trace-smoke metrics-smoke serve-smoke bench-stages bench-checkpoint bench-select bench-obs profile-select
+.PHONY: check vet build test race alloc chaos crash lease-chaos bench bench-parallel bench-dataplane trace-smoke metrics-smoke serve-smoke bench-stages bench-checkpoint bench-select bench-obs profile-select
 
-check: vet build race alloc chaos crash trace-smoke metrics-smoke serve-smoke
+check: vet build race alloc chaos crash lease-chaos trace-smoke metrics-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -45,7 +45,7 @@ chaos:
 	$(GO) test -race -timeout 20m -run 'TestChaos|TestCancel|TestTimeout|TestCanceled|TestPanic|TestForEachPanic|TestMapPanic|TestInjector|TestRetry|TestDo|TestBackoff' \
 		./internal/core/ ./internal/parallel/ ./internal/faults/ ./internal/retry/
 	$(GO) test -race -timeout 20m \
-		-run 'TestQueueBounds|TestAdmissionAndPersistenceFaults|TestTransientRunFailure|TestRunHardFailure|TestDrain|TestService' \
+		-run 'TestQueueBounds|TestAdmissionAndPersistenceFaults|TestTransientRunFailure|TestRunHardFailure|TestDrain|TestService|TestTenant|TestLease' \
 		./internal/runqueue/ ./internal/server/
 
 # Crash/durability suite under the race detector: checkpoint corruption
@@ -59,6 +59,17 @@ crash:
 		./internal/checkpoint/ ./internal/core/ ./internal/atomicio/ ./internal/obs/ ./internal/dataframe/ ./internal/runqueue/
 	$(GO) test -timeout 20m -run 'TestSIGINTPartialReport|TestCrashRecoveryBitIdentical' \
 		./cmd/arda/ ./cmd/ardad/
+
+# Multi-process lease suite under the race detector, then the process-level
+# chaos gate: three ardad daemons sharing one state directory while a kill
+# driver SIGKILLs whichever daemon owns running work; every run must complete
+# exactly once, bit-identical to an uninterrupted daemon, at 1 and 8 workers.
+lease-chaos:
+	$(GO) test -race -timeout 20m ./internal/lease/
+	$(GO) test -race -timeout 30m \
+		-run 'TestTenantFairDispatch|TestTenantCaps|TestLeaseSkewTakeover|TestDrainAdmissionRace' \
+		./internal/runqueue/
+	$(GO) test -timeout 30m -run 'TestMultiDaemonChaosExactlyOnce' ./cmd/ardad/
 
 # Observability smoke: generate a small corpus, run the full pipeline with
 # -v and -trace, then validate the NDJSON event stream covers every stage.
@@ -110,13 +121,13 @@ serve-smoke:
 		curl -fs http://127.0.0.1:19754/healthz >/dev/null 2>&1 && { up=1; break; }; sleep 0.1; \
 	done; \
 	test $$up = 1 || { echo "serve-smoke: daemon never came up"; kill $$pid 2>/dev/null; exit 1; }; \
-	id=$$(curl -fs -d '{"base":"poverty","target":"poverty_rate","size":192,"seed":1}' \
+	id=$$(curl -fs -d '{"base":"poverty","target":"poverty_rate","size":192,"seed":1,"tenant":"acme"}' \
 		http://127.0.0.1:19754/runs | sed -n 's/.*"id": "\([^"]*\)".*/\1/p'); \
 	test -n "$$id" || { echo "serve-smoke: submit failed"; kill $$pid 2>/dev/null; exit 1; }; \
 	echo "serve-smoke: submitted run $$id"; \
 	/tmp/arda-serve-smoke/tracecheck -scrape http://127.0.0.1:19754 -events-path /runs/$$id/events \
 		-stages prefilter,coreset,join,impute,select,materialize,evaluate \
-		-require-metrics arda_queue_admitted,arda_queue_depth,arda_queue_wait_seconds,arda_runtime_goroutines,arda_workers_in_flight \
+		-require-metrics arda_queue_admitted,arda_queue_depth,arda_queue_wait_seconds,arda_runtime_goroutines,arda_workers_in_flight,arda_lease_,arda_tenant_acme_ \
 		|| { kill $$pid 2>/dev/null; exit 1; }; \
 	ok=0; for i in $$(seq 1 100); do \
 		curl -fs http://127.0.0.1:19754/runs/$$id/result >/dev/null 2>&1 && { ok=1; break; }; sleep 0.1; \

@@ -166,7 +166,7 @@ func main() {
 	// being resumed weeks later. Losing a checkpoint costs recompute time,
 	// never correctness.
 	if *ckDir != "" && *ckTTL > 0 {
-		if pruned, err := checkpoint.Prune(*ckDir, *ckTTL, 0); err != nil {
+		if pruned, err := checkpoint.Prune(*ckDir, *ckTTL, 0, nil); err != nil {
 			cli.Errorf("pruning checkpoints: %v", err)
 		} else if len(pruned) > 0 {
 			cli.Noticef("discarded %d stale checkpoint log(s) older than %s in %s", len(pruned), *ckTTL, *ckDir)

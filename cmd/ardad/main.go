@@ -1,10 +1,19 @@
 // Command ardad is the ARDA augmentation service: a long-running daemon that
-// accepts augmentation runs over HTTP, executes them through a bounded FIFO
-// queue on the shared worker pool, and survives crashes without losing work.
+// accepts augmentation runs over HTTP, executes them through bounded,
+// tenant-fair admission lanes on the shared worker pool, and survives
+// crashes without losing work.
 //
 // Usage:
 //
 //	ardad -addr localhost:8080 -state /var/lib/ardad -dir data/
+//
+// Several daemons may share one -state directory (on one host or a shared
+// filesystem): each run is owned via a crash-safe filesystem lease with a
+// monotonic fencing token, heartbeat-renewed at a third of -lease-ttl. A
+// SIGKILLed daemon's runs are adopted by a surviving peer — immediately when
+// the dead process is on the same host, within -lease-ttl otherwise — and a
+// stale owner is fenced out at its next write instead of corrupting state.
+// Set -lease-ttl 0 to run the single-process protocol with no lease files.
 //
 // Submit runs as JSON specs (see internal/runqueue.Spec):
 //
@@ -19,9 +28,13 @@
 // checkpointed and requeued for the next start, and the process exits 0.
 //
 // Queueing: at most -concurrency runs execute at once and at most -queue-cap
-// wait; submits beyond that are rejected with 429. Transient run failures
-// retry with capped exponential backoff. /metrics exposes the queue's
-// depth/wait/run telemetry plus runtime gauges in Prometheus text format;
+// wait; submits beyond that are rejected with 429. Each spec may name a
+// tenant (default lane: -tenant); lanes are dispatched deficit-round-robin
+// (-drr-quantum runs per lane per visit) with per-lane queue caps
+// (-tenant-cap) and in-flight quotas (-tenant-inflight), so one tenant's
+// flood cannot starve the others. Transient run failures retry with capped
+// exponential backoff. /metrics exposes the queue, lease, and per-tenant
+// telemetry plus runtime gauges in Prometheus text format;
 // /runs/{id}/events streams one run's trace as NDJSON.
 //
 // Old checkpoints: -checkpoint-ttl prunes per-run checkpoint directories
@@ -53,7 +66,12 @@ func main() {
 		maxCells     = flag.Int64("max-cells", 0, "default per-run working-set bound in cells (0 = unbounded)")
 		maxBytes     = flag.Int64("max-candidate-bytes", 0, "default per-run candidate byte budget (0 = unbounded)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight runs before checkpointing and requeueing them")
-		ckTTL        = flag.Duration("checkpoint-ttl", 0, "prune per-run checkpoint state older than this at startup (0 = keep forever)")
+		ckTTL        = flag.Duration("checkpoint-ttl", 0, "prune per-run checkpoint state older than this at startup (0 = keep forever; never prunes runs holding a live lease)")
+		leaseTTL     = flag.Duration("lease-ttl", 10*time.Second, "run-ownership lease TTL for multi-daemon shared -state dirs (0 = single-process mode, no leases)")
+		tenant       = flag.String("tenant", "default", "admission lane for specs that name no tenant")
+		tenantCap    = flag.Int("tenant-cap", 0, "maximum queued runs per tenant lane (0 = -queue-cap)")
+		tenantInFl   = flag.Int("tenant-inflight", 0, "maximum concurrently executing runs per tenant (0 = unlimited)")
+		drrQuantum   = flag.Int("drr-quantum", 1, "deficit-round-robin quantum: runs one tenant lane may dispatch per scheduler visit")
 		verbose      = flag.Bool("v", false, "log queue activity to stderr")
 	)
 	flag.Parse()
@@ -77,6 +95,11 @@ func main() {
 		MaxCells:          *maxCells,
 		MaxCandidateBytes: *maxBytes,
 		CheckpointTTL:     *ckTTL,
+		LeaseTTL:          *leaseTTL,
+		DefaultTenant:     *tenant,
+		TenantQueueCap:    *tenantCap,
+		TenantMaxInFlight: *tenantInFl,
+		DRRQuantum:        *drrQuantum,
 		Trace:             trace,
 		Logf:              cli.Progressf,
 	})

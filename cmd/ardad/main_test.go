@@ -67,12 +67,15 @@ func (d *daemon) log() string {
 }
 
 // startDaemon launches ardad on an ephemeral port and waits for its listen
-// address to appear on stderr.
-func startDaemon(t *testing.T, bin, state, data string, workers int) *daemon {
+// address to appear on stderr. Extra flags are appended after the defaults,
+// so they may override -concurrency and friends.
+func startDaemon(t *testing.T, bin, state, data string, workers int, extra ...string) *daemon {
 	t.Helper()
-	cmd := exec.Command(bin,
+	args := []string{
 		"-addr", "127.0.0.1:0", "-state", state, "-dir", data,
-		"-concurrency", "2", "-workers", fmt.Sprint(workers), "-v")
+		"-concurrency", "2", "-workers", fmt.Sprint(workers), "-v"}
+	args = append(args, extra...)
+	cmd := exec.Command(bin, args...)
 	stderrPipe, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)

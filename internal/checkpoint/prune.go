@@ -30,7 +30,13 @@ import (
 // "nothing to resume" as a fresh start — losing a checkpoint costs recompute
 // time, never correctness. maxAge <= 0 disables pruning (no-op, nil error).
 // The names of the pruned logs (relative to dir) are returned.
-func Prune(dir string, maxAge time.Duration, keepLatest int) ([]string, error) {
+//
+// skip, when non-nil, exempts logs by relative name ("" for dir itself)
+// regardless of age. Multi-process daemons pass a liveness probe here so a
+// slow-but-alive run owned by another process — whose checkpoint mtimes can
+// legitimately be older than the TTL while it holds a live lease — cannot
+// have its resume state pruned out from under it.
+func Prune(dir string, maxAge time.Duration, keepLatest int, skip func(rel string) bool) ([]string, error) {
 	if maxAge <= 0 {
 		return nil, nil
 	}
@@ -66,6 +72,9 @@ func Prune(dir string, maxAge time.Duration, keepLatest int) ([]string, error) {
 	var pruned []string
 	for i, l := range logs {
 		if i < keepLatest || !l.mtime.Before(cutoff) {
+			continue
+		}
+		if skip != nil && skip(l.rel) {
 			continue
 		}
 		if err := removeLogFiles(l.path); err != nil {

@@ -30,7 +30,7 @@ func TestPruneSubdirectoryLogs(t *testing.T) {
 	makeLog(t, filepath.Join(root, "r2"), 30*time.Hour)
 	makeLog(t, filepath.Join(root, "r3"), time.Minute)
 
-	pruned, err := Prune(root, 24*time.Hour, 0)
+	pruned, err := Prune(root, 24*time.Hour, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestPruneKeepLatestExemptsNewest(t *testing.T) {
 	makeLog(t, filepath.Join(root, "old"), 72*time.Hour)
 	makeLog(t, filepath.Join(root, "older"), 96*time.Hour)
 
-	pruned, err := Prune(root, 24*time.Hour, 1)
+	pruned, err := Prune(root, 24*time.Hour, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestPruneDirItselfAsLog(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	pruned, err := Prune(dir, 24*time.Hour, 0)
+	pruned, err := Prune(dir, 24*time.Hour, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,17 +94,17 @@ func TestPruneDirItselfAsLog(t *testing.T) {
 func TestPruneNoops(t *testing.T) {
 	dir := t.TempDir()
 	makeLog(t, filepath.Join(dir, "r1"), 48*time.Hour)
-	if pruned, err := Prune(dir, 0, 0); err != nil || pruned != nil {
+	if pruned, err := Prune(dir, 0, 0, nil); err != nil || pruned != nil {
 		t.Fatalf("Prune(maxAge=0) = %v, %v, want no-op", pruned, err)
 	}
-	if pruned, err := Prune(filepath.Join(dir, "missing"), time.Hour, 0); err != nil || pruned != nil {
+	if pruned, err := Prune(filepath.Join(dir, "missing"), time.Hour, 0, nil); err != nil || pruned != nil {
 		t.Fatalf("Prune(missing dir) = %v, %v, want no-op", pruned, err)
 	}
 	// Fresh logs and non-log directories are untouched.
 	if err := os.MkdirAll(filepath.Join(dir, "plain"), 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if pruned, err := Prune(dir, 100*time.Hour, 0); err != nil || len(pruned) != 0 {
+	if pruned, err := Prune(dir, 100*time.Hour, 0, nil); err != nil || len(pruned) != 0 {
 		t.Fatalf("Prune(all fresh) = %v, %v, want nothing pruned", pruned, err)
 	}
 }
@@ -116,7 +116,7 @@ func TestPruneLeavesForeignFilesInSubdir(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(sub, "result.json"), []byte("{}"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	pruned, err := Prune(root, 24*time.Hour, 0)
+	pruned, err := Prune(root, 24*time.Hour, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,10 +131,33 @@ func TestPruneLeavesForeignFilesInSubdir(t *testing.T) {
 	}
 }
 
+// TestPruneSkipExemptsLiveLogs: the skip hook protects named logs from the
+// age sweep — the multi-process daemon passes a lease-liveness probe here so
+// a slow run owned by another process keeps its resume state.
+func TestPruneSkipExemptsLiveLogs(t *testing.T) {
+	root := t.TempDir()
+	makeLog(t, filepath.Join(root, "r1"), 48*time.Hour)
+	makeLog(t, filepath.Join(root, "r2"), 48*time.Hour)
+
+	pruned, err := Prune(root, 24*time.Hour, 0, func(rel string) bool { return rel == "r1" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned) != 1 || pruned[0] != "r2" {
+		t.Fatalf("pruned %v, want [r2] (r1 skipped)", pruned)
+	}
+	if _, err := os.Stat(filepath.Join(root, "r1", ManifestName)); err != nil {
+		t.Fatalf("skipped log r1 was pruned: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "r2")); !os.IsNotExist(err) {
+		t.Fatalf("unskipped log r2 still present (err=%v)", err)
+	}
+}
+
 func TestPruneThenResumeStartsFresh(t *testing.T) {
 	dir := t.TempDir()
 	makeLog(t, dir, 48*time.Hour)
-	if _, err := Prune(dir, 24*time.Hour, 0); err != nil {
+	if _, err := Prune(dir, 24*time.Hour, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	// A pruned directory must look like "nothing to resume".

@@ -121,6 +121,14 @@ type Options struct {
 	// CheckpointDir with Resume set simply starts fresh. A resumed run's
 	// Result is bit-identical to an uninterrupted run at any worker count.
 	Resume bool
+	// CheckpointGuard, when set alongside CheckpointDir, is consulted
+	// immediately before every checkpoint write; a non-nil return skips the
+	// write (counted as a write failure, never fatal — the run continues).
+	// The multi-process daemon passes a lease-fencing probe here so a stale
+	// owner whose run was taken over cannot corrupt the new owner's
+	// checkpoint log. Like the observability hooks, it is excluded from the
+	// resume fingerprint.
+	CheckpointGuard func() error
 	// MaxCells bounds the projected working-set size in table cells
 	// (coreset rows × total columns under consideration) when > 0. Instead of
 	// failing, a run over budget degrades deterministically — tighten the

@@ -177,6 +177,18 @@ func AugmentContext(ctx context.Context, base *dataframe.Table, cands []discover
 			mut(st)
 		}
 		seq := len(ck.Entries())
+		// The fencing guard runs before anything touches disk: a stale owner
+		// (lease lost to another process) must not write into a checkpoint
+		// log the new owner is appending to. Skipping is the correct
+		// response — the run is aborted separately at its next cancellation
+		// point; here we only refuse the write.
+		if opts.CheckpointGuard != nil {
+			if err := opts.CheckpointGuard(); err != nil {
+				cCkFailed.Add(1)
+				opts.logf("checkpoint: fenced out of %s snapshot: %v", stage, err)
+				return
+			}
+		}
 		// A failed checkpoint write (injected or real) must never fail the
 		// run — durability degrades, the run continues.
 		if err := faultAt(inj, "checkpoint.write", seq); err != nil {

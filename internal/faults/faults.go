@@ -82,10 +82,15 @@ type Rule struct {
 // with the run's sequence number: a transient fault there exercises the
 // supervisor's whole-attempt retry-with-backoff loop, which the pipeline's
 // own per-candidate quarantine never escalates to.
+// SiteLeaseRenew is probed (with the run's sequence number) on every lease
+// heartbeat renewal: a Delay rule there models a heartbeat arriving after
+// the lease TTL — the clock-skew scenario — and must make the old owner
+// self-fence with lease.ErrLeaseLost instead of resurrecting its lease.
 const (
 	SiteServerAdmit   = "server.admit"
 	SiteServerPersist = "server.persist"
 	SiteServerRun     = "server.run"
+	SiteLeaseRenew    = "lease.renew"
 )
 
 // MatchAll returns a rule of the given kind matching every site.

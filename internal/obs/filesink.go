@@ -9,28 +9,42 @@ import (
 	"github.com/arda-ml/arda/internal/atomicio"
 )
 
-// NDJSONFileSink streams events as NDJSON into path + atomicio.TempSuffix and
-// atomically renames the complete stream over path on Flush. The final name
-// therefore only ever holds a complete trace: a crashed run leaves its
-// partial prefix under the temporary name (still valid NDJSON, line by line)
-// and whatever complete trace a previous run left in place.
+// NDJSONFileSink streams events as NDJSON into a temporary file (path +
+// atomicio.TempSuffix by default) and atomically renames the complete stream
+// over path on Flush. The final name therefore only ever holds a complete
+// trace: a crashed run leaves its partial prefix under the temporary name
+// (still valid NDJSON, line by line) and whatever complete trace a previous
+// run left in place.
 type NDJSONFileSink struct {
 	mu     sync.Mutex
 	path   string
+	tmp    string
 	f      *os.File
 	enc    *json.Encoder
 	err    error
 	closed bool
 }
 
-// NewNDJSONFileSink opens the sink's temporary file. The caller must Flush
-// (directly or via Trace.Finish) to publish the trace under path.
+// NewNDJSONFileSink opens the sink's temporary file at the conventional
+// path + atomicio.TempSuffix. The caller must Flush (directly or via
+// Trace.Finish) to publish the trace under path.
 func NewNDJSONFileSink(path string) (*NDJSONFileSink, error) {
-	f, err := os.OpenFile(path+atomicio.TempSuffix, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	return NewNDJSONFileSinkAt(path, path+atomicio.TempSuffix)
+}
+
+// NewNDJSONFileSinkAt opens the sink's temporary file at an explicit tmp
+// path (which must live on the same filesystem as path, normally the same
+// directory). Callers whose destination may be written by several processes
+// at once — e.g. a run re-attempted by a peer daemon while its stale owner
+// is still streaming — pass a writer-unique tmp so concurrent sinks never
+// truncate each other's in-progress file; the atomic rename on Flush still
+// decides the single published trace.
+func NewNDJSONFileSinkAt(path, tmp string) (*NDJSONFileSink, error) {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &NDJSONFileSink{path: path, f: f, enc: json.NewEncoder(f)}, nil
+	return &NDJSONFileSink{path: path, tmp: tmp, f: f, enc: json.NewEncoder(f)}, nil
 }
 
 // Emit implements Sink; the first write error sticks and is reported by
@@ -54,7 +68,7 @@ func (s *NDJSONFileSink) Flush() error {
 		return s.err
 	}
 	s.closed = true
-	tmp := s.path + atomicio.TempSuffix
+	tmp := s.tmp
 	if s.err != nil {
 		s.f.Close()
 		os.Remove(tmp)

@@ -1,0 +1,51 @@
+package retry
+
+import "sync"
+
+// Jitter is a small seeded uniform-jitter source for spreading retry hints
+// across a bounded window — the HTTP layer draws Retry-After values from it
+// so a burst of rejected clients does not thundering-herd the re-admission
+// window by all coming back on the same second.
+//
+// It is deliberately separate from Policy: the pipeline's retry schedule
+// stays a pure, never-jittered function of the policy (see the package
+// comment), while client-facing hints want decorrelation. The stream is a
+// pure function of the seed — tests can assert exact draws — but callers
+// share one Jitter per process, so the draw a given request sees depends on
+// request order. Safe for concurrent use.
+type Jitter struct {
+	mu    sync.Mutex
+	state uint64
+}
+
+// NewJitter returns a jitter source seeded deterministically from seed.
+func NewJitter(seed int64) *Jitter {
+	j := &Jitter{state: uint64(seed)}
+	j.next() // decorrelate trivial seeds (0, 1, ...) immediately
+	return j
+}
+
+// next advances the SplitMix64 stream.
+func (j *Jitter) next() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state += 0x9E3779B97F4A7C15
+	z := j.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn draws a uniform integer in [0, n); n <= 0 returns 0.
+func (j *Jitter) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(j.next() % uint64(n))
+}
+
+// Seconds draws base + [0, spread) — the bounded Retry-After shape: never
+// below base (clients must not retry early), never at or beyond base+spread.
+func (j *Jitter) Seconds(base, spread int) int {
+	return base + j.Intn(spread)
+}

@@ -1,0 +1,50 @@
+package retry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestJitterBoundsAndDeterminism: draws stay within [base, base+spread), the
+// stream is a pure function of the seed, and degenerate spreads are safe.
+func TestJitterBoundsAndDeterminism(t *testing.T) {
+	a, b := NewJitter(42), NewJitter(42)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		va, vb := a.Seconds(1, 4), b.Seconds(1, 4)
+		if va != vb {
+			t.Fatalf("draw %d: same seed diverged: %d vs %d", i, va, vb)
+		}
+		if va < 1 || va >= 5 {
+			t.Fatalf("draw %d: %d outside [1, 5)", i, va)
+		}
+		seen[va] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("1000 draws hit only %d of 4 values: %v", len(seen), seen)
+	}
+	if got := NewJitter(7).Seconds(5, 0); got != 5 {
+		t.Fatalf("zero spread: got %d, want 5", got)
+	}
+	if got := NewJitter(7).Intn(-3); got != 0 {
+		t.Fatalf("negative n: got %d, want 0", got)
+	}
+}
+
+// TestJitterConcurrent exercises the lock under the race detector.
+func TestJitterConcurrent(t *testing.T) {
+	j := NewJitter(1)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 200; k++ {
+				if v := j.Seconds(1, 3); v < 1 || v >= 4 {
+					t.Errorf("out of bounds: %d", v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -15,20 +15,29 @@ import (
 	"github.com/arda-ml/arda/internal/dataframe"
 	"github.com/arda-ml/arda/internal/discovery"
 	"github.com/arda-ml/arda/internal/faults"
+	"github.com/arda-ml/arda/internal/lease"
 	"github.com/arda-ml/arda/internal/obs"
 	"github.com/arda-ml/arda/internal/retry"
 )
 
 // execute drives one claimed run from queued to a terminal state (or back to
-// queued, if a drain preempts it). It owns the run's full failure surface:
-// panics in the attempt are contained and converted to errors, transient
-// failures retry with capped exponential backoff, and every state transition
-// persists before execute returns the supervisor to the queue.
+// queued, if a drain preempts it; or abandoned, if its lease is stolen). It
+// owns the run's full failure surface: panics in the attempt are contained
+// and converted to errors, transient failures retry with capped exponential
+// backoff, and every state transition persists — fenced, in lease mode —
+// before execute returns the supervisor to the queue.
 func (m *Manager) execute(r *run) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
 	m.mu.Lock()
+	if r.leaseLost {
+		// Fenced out between the queue pop and here: the new owner has it.
+		id := r.rec.ID
+		m.mu.Unlock()
+		m.logf("abandoned %s before start: lease lost to another owner", id)
+		return
+	}
 	r.rec.State = StateRunning
 	r.rec.StartedAt = time.Now()
 	r.rec.Error = ""
@@ -39,9 +48,18 @@ func (m *Manager) execute(r *run) {
 		cancel()
 	}
 	wait := r.rec.StartedAt.Sub(r.rec.SubmittedAt)
+	l := m.lanes[r.tenant]
 	m.mu.Unlock()
 	m.hWait.Observe(int64(wait))
+	if l != nil {
+		l.hWait.Observe(int64(wait))
+	}
 	if err := m.persist(r); err != nil {
+		if errors.Is(err, lease.ErrLeaseLost) {
+			m.markLost(r)
+			m.abandonRun(r)
+			return
+		}
 		m.logf("persisting running %s: %v", r.rec.ID, err)
 	}
 	m.logf("started %s after %s queued", r.rec.ID, wait.Round(time.Millisecond))
@@ -79,9 +97,18 @@ func (m *Manager) execute(r *run) {
 	m.mu.Lock()
 	r.cancel = nil
 	preempted := r.drainPreempted && !r.userCanceled
+	lost := r.leaseLost
 	m.mu.Unlock()
 
 	switch {
+	case lost || errors.Is(err, lease.ErrLeaseLost):
+		// Fenced out mid-run (heartbeat observed the theft, or a fenced write
+		// did): the new owner resumes from the shared checkpoint. Nothing is
+		// persisted here — writing now would fight the new owner's state.
+		if !lost {
+			m.markLost(r)
+		}
+		m.abandonRun(r)
 	case err == nil:
 		m.finishRun(r, StateCompleted, res, "")
 	case errors.Is(err, core.ErrCanceled) && preempted:
@@ -95,11 +122,36 @@ func (m *Manager) execute(r *run) {
 	}
 }
 
+// abandonRun is the stale-owner exit: the run's lease was stolen, its new
+// owner carries it (and its accounting) from here, and this process must not
+// touch its durable state again. markLost already counted the departure.
+func (m *Manager) abandonRun(r *run) {
+	m.mu.Lock()
+	id := r.rec.ID
+	fence := r.rec.Fence
+	m.mu.Unlock()
+	m.logf("abandoned %s: lease lost to another owner (had fence %d)", id, fence)
+}
+
 // finishRun persists a terminal transition and settles the run's durable
 // artifacts: a completed run publishes result.json and discards its
 // checkpoint directory (nothing left to resume); failed and canceled runs
-// keep theirs for postmortem or resubmission.
+// keep theirs for postmortem or resubmission. In lease mode the transition
+// is fenced twice — a verification here, and the persist's own check — so a
+// stale owner abandons instead of overwriting the new owner's record; only
+// a fenced, persisted transition is counted and logged as completed.
 func (m *Manager) finishRun(r *run, state State, res *RunResult, errMsg string) {
+	m.mu.Lock()
+	lse := r.lease
+	m.mu.Unlock()
+	if lse != nil {
+		if err := lse.Check(); err != nil {
+			m.markLost(r)
+			m.abandonRun(r)
+			return
+		}
+	}
+
 	m.mu.Lock()
 	r.rec.State = state
 	r.rec.Error = errMsg
@@ -129,6 +181,11 @@ func (m *Manager) finishRun(r *run, state State, res *RunResult, errMsg string) 
 		}
 	}
 	if err := m.persist(r); err != nil {
+		if errors.Is(err, lease.ErrLeaseLost) {
+			m.markLost(r)
+			m.abandonRun(r)
+			return
+		}
 		m.logf("persisting %s %s: %v", state, rec.ID, err)
 	}
 	switch state {
@@ -143,29 +200,90 @@ func (m *Manager) finishRun(r *run, state State, res *RunResult, errMsg string) 
 		m.cCanceled.Add(1)
 		m.logf("canceled %s", rec.ID)
 	}
+	if lse != nil {
+		lse.Release()
+		m.mu.Lock()
+		r.lease = nil
+		m.updateLeaseGaugeLocked()
+		m.mu.Unlock()
+	}
 }
 
 // requeueRun returns a drain-preempted run to the queued state on disk. It
 // is not re-added to the in-memory queue — the manager is draining and its
 // supervisors are exiting — but the persisted state makes the next Open
-// requeue it.
+// requeue it. In lease mode the run's lease is released after the fenced
+// persist, so a live peer adopts it immediately instead of waiting for this
+// process to exit.
 func (m *Manager) requeueRun(r *run) {
 	m.mu.Lock()
 	r.rec.State = StateQueued
 	r.rec.StartedAt = time.Time{}
 	r.rec.Error = ""
+	lse := r.lease
 	m.mu.Unlock()
 	if err := m.persist(r); err != nil {
+		if errors.Is(err, lease.ErrLeaseLost) {
+			m.markLost(r)
+			m.abandonRun(r)
+			return
+		}
 		m.logf("persisting preempted %s: %v", r.rec.ID, err)
 	}
+	if lse != nil {
+		if err := lse.Release(); err != nil {
+			m.logf("releasing preempted %s: %v", r.rec.ID, err)
+		}
+		m.mu.Lock()
+		r.lease = nil
+		m.updateLeaseGaugeLocked()
+		m.mu.Unlock()
+	}
 	m.logf("preempted %s: checkpointed, will resume on restart", r.rec.ID)
+}
+
+// fencedSink gates an NDJSON trace sink's publication on the run's lease:
+// events stream through untouched, but the atomic rename that publishes
+// trace.ndjson is skipped once the lease is lost. The pipeline flushes its
+// sinks itself (Trace.Finish, even on error), so the fence must live inside
+// the sink — a stale owner's finish would otherwise publish a partial trace
+// over (or race) the new owner's.
+type fencedSink struct {
+	inner obs.Sink
+	lse   *lease.Lease
+}
+
+func (s *fencedSink) Emit(ev obs.Event) { s.inner.Emit(ev) }
+
+func (s *fencedSink) Flush() error {
+	if s.lse != nil && s.lse.Check() != nil {
+		return nil
+	}
+	return s.inner.Flush()
+}
+
+// sanitizeOwner maps a lease owner identity (host:pid:seq) to a filename-
+// safe tag for the owner-unique trace tmp name.
+func sanitizeOwner(owner string) string {
+	b := []byte(owner)
+	for i, c := range b {
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_' || c == '.'
+		if !ok {
+			b[i] = '-'
+		}
+	}
+	return string(b)
 }
 
 // attempt executes the spec once, end to end, under a fresh per-attempt
 // trace whose event stream is both subscribable live (Manager.Stream) and
 // persisted as trace.ndjson in the run directory. Panics anywhere in the
 // attempt — CSV loading, discovery, the pipeline — are contained here and
-// returned as errors, so one poisoned run cannot take down the daemon.
+// returned as errors, so one poisoned run cannot take down the daemon. In
+// lease mode the attempt is fenced end to end: every checkpoint write
+// re-verifies the lease (core.Options.CheckpointGuard), the final outputs
+// are written only after a last verification, and a lost lease suppresses
+// even the trace flush — the new owner's artifacts win everywhere.
 func (m *Manager) attempt(ctx context.Context, r *run) (res *RunResult, err error) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -177,6 +295,7 @@ func (m *Manager) attempt(ctx context.Context, r *run) (res *RunResult, err erro
 	spec := r.rec.Spec
 	id := r.rec.ID
 	seq := r.rec.Seq
+	lse := r.lease
 	m.mu.Unlock()
 
 	// The attempt-level fault site: chaos tests fire transient faults here to
@@ -189,16 +308,25 @@ func (m *Manager) attempt(ctx context.Context, r *run) (res *RunResult, err erro
 	// error, so attempts cannot share one. The stream sink replays history to
 	// late subscribers; the file sink publishes atomically on Flush.
 	stream := obs.NewStreamSink(0)
-	fileSink, ferr := obs.NewNDJSONFileSink(filepath.Join(m.runDir(id), "trace.ndjson"))
+	tracePath := filepath.Join(m.runDir(id), "trace.ndjson")
+	traceTmp := tracePath + ".tmp"
+	if lse != nil {
+		// Owner-unique tmp: a peer re-attempting this run after a takeover
+		// must never truncate the stale owner's still-open in-progress file
+		// (or vice versa). The fenced Flush's rename decides the winner.
+		traceTmp = fmt.Sprintf("%s.tmp-%s", tracePath, sanitizeOwner(m.owner))
+	}
+	fileSink, ferr := obs.NewNDJSONFileSinkAt(tracePath, traceTmp)
 	if ferr != nil {
 		return nil, fmt.Errorf("runqueue: creating trace sink: %w", ferr)
 	}
-	trace := obs.New("augment", stream, fileSink)
+	guarded := &fencedSink{inner: fileSink, lse: lse}
+	trace := obs.New("augment", stream, guarded)
 	m.mu.Lock()
 	r.stream = stream
 	m.mu.Unlock()
 	defer func() {
-		if perr := fileSink.Flush(); perr != nil && err == nil {
+		if perr := guarded.Flush(); perr != nil && err == nil {
 			m.logf("publishing trace for %s: %v", id, perr)
 		}
 	}()
@@ -237,10 +365,21 @@ func (m *Manager) attempt(ctx context.Context, r *run) (res *RunResult, err erro
 	opts.Resume = true // an empty checkpoint directory starts fresh
 	opts.FaultInjector = m.cfg.Injector
 	opts.Trace = trace
+	if lse != nil {
+		opts.CheckpointGuard = lse.Check
+	}
 
 	out, err := core.AugmentContext(ctx, base, cands, opts)
 	if err != nil {
 		return nil, err
+	}
+	if lse != nil {
+		// Last fence before publishing outputs: a stolen lease means the new
+		// owner computes (bit-identical) outputs of its own — ours must not
+		// land next to its record.
+		if cerr := lse.Check(); cerr != nil {
+			return nil, cerr
+		}
 	}
 	res = &RunResult{
 		BaseScore:   out.BaseScore,

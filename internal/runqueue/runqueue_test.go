@@ -100,16 +100,37 @@ func waitRunning(t *testing.T, m *Manager, id string, timeout time.Duration) {
 	}
 }
 
-// checkAccounting asserts the exact queue partition: every admitted or
-// requeued run is in exactly one live or terminal state.
+// waitSettled polls until no run is executing. A run's terminal state is
+// visible (Get, waitTerminal) one persist before its terminal counter is
+// incremented and the supervisor releases its slot, so tests asserting exact
+// counter values must let the bookkeeping catch up first.
+func waitSettled(t *testing.T, m *Manager, timeout time.Duration) Accounting {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		a := m.Accounting()
+		if a.Running == 0 {
+			return a
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never settled: %+v", a)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// checkAccounting asserts the exact queue partition: every admitted,
+// requeued, or taken-over run is in exactly one live or terminal state — or
+// was fenced out of this process's custody (lost) and is its new owner's to
+// count.
 func checkAccounting(t *testing.T, m *Manager) {
 	t.Helper()
 	a := m.Accounting()
-	in := a.Admitted + a.Requeued
-	out := a.Completed + a.Failed + a.Canceled + a.Queued + a.Running
+	in := a.Admitted + a.Requeued + a.Takeovers
+	out := a.Completed + a.Failed + a.Canceled + a.Queued + a.Running + a.Lost
 	if in != out {
-		t.Fatalf("queue accounting violated: admitted %d + requeued %d != completed %d + failed %d + canceled %d + queued %d + running %d",
-			a.Admitted, a.Requeued, a.Completed, a.Failed, a.Canceled, a.Queued, a.Running)
+		t.Fatalf("queue accounting violated: admitted %d + requeued %d + takeovers %d != completed %d + failed %d + canceled %d + queued %d + running %d + lost %d",
+			a.Admitted, a.Requeued, a.Takeovers, a.Completed, a.Failed, a.Canceled, a.Queued, a.Running, a.Lost)
 	}
 }
 
@@ -136,7 +157,10 @@ func TestSubmitRunsToCompletion(t *testing.T) {
 	}
 
 	// Durable artifacts: record, published result, published trace; the
-	// checkpoint directory is gone (nothing left to resume).
+	// checkpoint directory is gone (nothing left to resume). The artifacts
+	// land between the state flip and the supervisor releasing its slot, so
+	// settle first.
+	waitSettled(t, m, time.Minute)
 	runDir := filepath.Join(m.cfg.StateDir, "runs", rec.ID)
 	for _, f := range []string{"run.json", "result.json", "trace.ndjson"} {
 		if _, err := os.Stat(filepath.Join(runDir, f)); err != nil {
@@ -159,7 +183,7 @@ func TestSubmitRunsToCompletion(t *testing.T) {
 	}
 
 	checkAccounting(t, m)
-	if a := m.Accounting(); a.Admitted != 1 || a.Completed != 1 {
+	if a := waitSettled(t, m, time.Minute); a.Admitted != 1 || a.Completed != 1 {
 		t.Fatalf("accounting = %+v, want 1 admitted 1 completed", a)
 	}
 	if err := m.Close(time.Minute); err != nil {
@@ -219,7 +243,7 @@ func TestQueueBoundsCancelAndValidation(t *testing.T) {
 	}
 
 	checkAccounting(t, m)
-	a := m.Accounting()
+	a := waitSettled(t, m, time.Minute)
 	if a.RejectedFull != 1 || a.Canceled != 2 || a.Admitted != 2 {
 		t.Fatalf("accounting = %+v, want 2 admitted, 2 canceled, 1 rejected_full", a)
 	}
@@ -294,7 +318,7 @@ func TestDrainRejectsAndPreemptedRunResumesIdentically(t *testing.T) {
 	if final.State != StateCompleted {
 		t.Fatalf("resumed run finished %s (%s), want completed", final.State, final.Error)
 	}
-	a := m2.Accounting()
+	a := waitSettled(t, m2, time.Minute)
 	if a.Requeued != 1 || a.Completed != 1 {
 		t.Fatalf("restart accounting = %+v, want 1 requeued 1 completed", a)
 	}
@@ -392,7 +416,7 @@ func TestRunHardFailureIsContained(t *testing.T) {
 		t.Fatalf("bad run finished %s (%q), want failed with a reason", final.State, final.Error)
 	}
 	checkAccounting(t, m)
-	if a := m.Accounting(); a.Failed != 1 {
+	if a := waitSettled(t, m, time.Minute); a.Failed != 1 {
 		t.Fatalf("accounting = %+v, want 1 failed", a)
 	}
 	if err := m.Close(time.Minute); err != nil {

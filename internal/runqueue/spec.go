@@ -23,6 +23,12 @@ import (
 type Spec struct {
 	// Dir is the CSV corpus directory; empty uses the daemon's -dir.
 	Dir string `json:"dir,omitempty"`
+	// Tenant names the admission lane this run queues in (lowercase
+	// alphanumeric, '-' or '_', 32 chars max); empty uses the daemon's
+	// default lane. Tenants share the workers but are dispatched fairly:
+	// deficit round-robin across lanes, with per-lane queue caps and
+	// in-flight quotas.
+	Tenant string `json:"tenant,omitempty"`
 	// Base names the base table (CSV file name without extension). Required.
 	Base string `json:"base"`
 	// Target is the prediction column in the base table. Required.
@@ -71,6 +77,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.Target == "" {
 		return fmt.Errorf("runqueue: spec.target is required")
+	}
+	if s.Tenant != "" && !validTenant(s.Tenant) {
+		return fmt.Errorf("runqueue: bad spec.tenant %q (want 1-32 chars of [a-z0-9_-], starting alphanumeric)", s.Tenant)
 	}
 	if _, err := s.planKind(); err != nil {
 		return err

@@ -2,8 +2,10 @@
 // REST-ish endpoints onto a runqueue.Manager. All queueing, durability, and
 // execution semantics live in the manager; the server only translates
 // transport — JSON in/out, typed admission errors to status codes (429 queue
-// full, 503 draining, both with Retry-After), and the per-run event stream
-// to NDJSON over a flushed connection.
+// full or tenant limit, 503 draining, 409 owned by a peer daemon), and the
+// per-run event stream to NDJSON over a flushed connection. Retry-After
+// values on 429/503 carry bounded seeded jitter so a fleet of rejected
+// clients does not retry in lockstep.
 package server
 
 import (
@@ -12,11 +14,13 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
 	"time"
 
 	"github.com/arda-ml/arda/internal/metrics"
 	"github.com/arda-ml/arda/internal/obs"
 	"github.com/arda-ml/arda/internal/parallel"
+	"github.com/arda-ml/arda/internal/retry"
 	"github.com/arda-ml/arda/internal/runqueue"
 )
 
@@ -40,6 +44,9 @@ type Server struct {
 	tr      *obs.Trace
 	h       *metrics.Handle
 	sampler *obs.RuntimeSampler
+	// jitter decorrelates Retry-After values across rejected clients; seeded
+	// deterministically so tests can assert the emitted bounds.
+	jitter *retry.Jitter
 }
 
 // New binds addr and starts serving the manager's API. tr is the daemon's
@@ -47,7 +54,7 @@ type Server struct {
 // runtime sampler into it so /metrics scrapes see live heap and worker-pool
 // numbers. Stop with Close.
 func New(addr string, mgr *runqueue.Manager, tr *obs.Trace) (*Server, error) {
-	s := &Server{mgr: mgr, tr: tr}
+	s := &Server{mgr: mgr, tr: tr, jitter: retry.NewJitter(time.Now().UnixNano())}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /runs", s.handleSubmit)
 	mux.HandleFunc("GET /runs", s.handleList)
@@ -95,18 +102,30 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// retryAfter429 / retryAfter503 bound the jittered Retry-After windows:
+// rejected submissions retry within [1,4) seconds, draining responses within
+// [5,9). The spread keeps a burst of rejected clients from retrying in
+// lockstep and re-creating the pressure that rejected them.
+func (s *Server) retryAfter429() string { return strconv.Itoa(s.jitter.Seconds(1, 3)) }
+func (s *Server) retryAfter503() string { return strconv.Itoa(s.jitter.Seconds(5, 4)) }
+
 // writeError maps manager errors onto transport semantics. Admission
-// pressure is explicitly retryable: 429 (queue full) and 503 (draining) both
-// carry Retry-After so well-behaved clients back off instead of hammering.
-func writeError(w http.ResponseWriter, err error) {
+// pressure is explicitly retryable: 429 (queue full or tenant limit) and 503
+// (draining) carry a jittered Retry-After so well-behaved clients back off
+// instead of hammering; a run owned by a peer daemon over the shared state
+// dir is 409 — cancel it through its owner.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	var tle *runqueue.TenantLimitError
 	var status int
 	switch {
-	case errors.Is(err, runqueue.ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, runqueue.ErrQueueFull), errors.As(err, &tle):
+		w.Header().Set("Retry-After", s.retryAfter429())
 		status = http.StatusTooManyRequests
 	case errors.Is(err, runqueue.ErrDraining):
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", s.retryAfter503())
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, runqueue.ErrNotOwned):
+		status = http.StatusConflict
 	case errors.Is(err, runqueue.ErrNotFound):
 		status = http.StatusNotFound
 	default:
@@ -120,12 +139,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, fmt.Errorf("decoding spec: %w", err))
+		s.writeError(w, fmt.Errorf("decoding spec: %w", err))
 		return
 	}
 	rec, err := s.mgr.Submit(spec)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	w.Header().Set("Location", "/runs/"+rec.ID)
@@ -139,7 +158,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	rec, err := s.mgr.Get(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, rec)
@@ -148,7 +167,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	rec, err := s.mgr.Get(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	if rec.State != runqueue.StateCompleted || rec.Result == nil {
@@ -163,7 +182,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	rec, err := s.mgr.Cancel(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, rec)
@@ -172,7 +191,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	rec, err := s.mgr.Get(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	path := s.mgr.TablePath(rec.ID)
@@ -193,7 +212,7 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	stream, path, err := s.mgr.Stream(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	if stream == nil {
@@ -241,10 +260,16 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	a := s.mgr.Accounting()
 	fmt.Fprintf(w, "draining: %v\n", s.mgr.Draining())
-	fmt.Fprintf(w, "admitted %d  requeued %d  completed %d  failed %d  canceled %d\n",
-		a.Admitted, a.Requeued, a.Completed, a.Failed, a.Canceled)
-	fmt.Fprintf(w, "rejected: %d full, %d draining\n", a.RejectedFull, a.RejectedDraining)
-	fmt.Fprintf(w, "live: %d queued, %d running\n\n", a.Queued, a.Running)
+	fmt.Fprintf(w, "admitted %d  requeued %d  takeovers %d  completed %d  failed %d  canceled %d  lost %d\n",
+		a.Admitted, a.Requeued, a.Takeovers, a.Completed, a.Failed, a.Canceled, a.Lost)
+	fmt.Fprintf(w, "rejected: %d full, %d draining, %d tenant\n", a.RejectedFull, a.RejectedDraining, a.RejectedTenant)
+	fmt.Fprintf(w, "live: %d queued, %d running\n", a.Queued, a.Running)
+	fmt.Fprintf(w, "leases: %d held, %d renewals\n", a.LeasesHeld, a.LeaseRenewals)
+	for _, l := range a.Lanes {
+		fmt.Fprintf(w, "tenant %-12s queued %d  running %d  admitted %d  rejected %d\n",
+			l.Tenant, l.Queued, l.Running, l.Admitted, l.Rejected)
+	}
+	fmt.Fprintln(w)
 	for _, rec := range s.mgr.List() {
 		line := fmt.Sprintf("%-8s %-9s %s/%s", rec.ID, rec.State, rec.Spec.Base, rec.Spec.Target)
 		if rec.Error != "" {
@@ -256,7 +281,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.mgr.Draining() {
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", s.retryAfter503())
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
